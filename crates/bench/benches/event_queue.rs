@@ -1,0 +1,60 @@
+//! Criterion: event-queue scheduling/pop throughput — the inner loop of
+//! every packet-level simulation (paper §2.2: the simulator "serializes
+//! [the network] into a single event queue").
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_sim::event::{EventKind, EventQueue};
+use dcn_sim::time::SimTime;
+use dcn_sim::topology::NodeId;
+
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("schedule_then_drain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                // Pseudo-random times via a multiplicative hash.
+                for i in 0..n {
+                    let t = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) % 1_000_000;
+                    q.schedule(
+                        SimTime(t),
+                        EventKind::FlowArrival {
+                            host: NodeId((i % 64) as u32),
+                        },
+                    );
+                }
+                let mut count = 0;
+                while let Some(e) = q.pop() {
+                    count += black_box(e.time.0 as usize & 1);
+                }
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_interleaved(c: &mut Criterion) {
+    // Hold-and-schedule pattern typical of simulation steady state.
+    c.bench_function("event_queue/steady_state_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..128u64 {
+                q.schedule(SimTime(i), EventKind::FlowArrival { host: NodeId(0) });
+            }
+            for i in 0..10_000u64 {
+                let e = q.pop().expect("queue primed");
+                q.schedule(
+                    SimTime(e.time.0 + 100 + (i % 7)),
+                    EventKind::FlowArrival {
+                        host: NodeId((i % 64) as u32),
+                    },
+                );
+            }
+            black_box(q.len())
+        })
+    });
+}
+
+criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500)); targets = bench_schedule_pop, bench_interleaved}
+criterion_main!(benches);

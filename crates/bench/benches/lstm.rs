@@ -1,0 +1,61 @@
+//! Criterion: LSTM forward/backward cost per window size — the micro
+//! numbers behind the paper's Appendix C (Figures 16/17) and the Mimic's
+//! per-packet inference price.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mimic_ml::matrix::Matrix;
+use mimic_ml::model::SeqModel;
+
+const FEATURES: usize = 21; // width of the default feature config
+const HIDDEN: usize = 32;
+
+fn window_inputs(w: usize, batch: usize) -> Vec<Matrix> {
+    (0..w)
+        .map(|t| Matrix::from_fn(batch, FEATURES, |i, j| ((i + j + t) % 7) as f32 * 0.1))
+        .collect()
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let model = SeqModel::new(FEATURES, HIDDEN, 1);
+    let mut group = c.benchmark_group("lstm_forward");
+    for &w in &[1usize, 5, 12, 20] {
+        let xs = window_inputs(w, 32);
+        group.bench_with_input(BenchmarkId::new("window_batch32", w), &w, |b, _| {
+            b.iter(|| black_box(model.forward_window(&xs).0.data[0]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstm_backward");
+    for &w in &[5usize, 12] {
+        let xs = window_inputs(w, 32);
+        group.bench_with_input(BenchmarkId::new("bptt_batch32", w), &w, |b, _| {
+            let mut model = SeqModel::new(FEATURES, HIDDEN, 1);
+            b.iter(|| {
+                let (y, cache) = model.forward_window(&xs);
+                model.zero_grad();
+                model.backward_window(&cache, &y);
+                let mut s = 0.0f32;
+                model.visit_params(&mut |_, g| s += g[0]);
+                black_box(s)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stateful_inference(c: &mut Criterion) {
+    // The per-packet cost inside a running Mimic (state carried, O(1) in
+    // the window).
+    let model = SeqModel::new(FEATURES, HIDDEN, 1);
+    let x: Vec<f32> = (0..FEATURES).map(|i| (i % 5) as f32 * 0.2).collect();
+    c.bench_function("lstm/stateful_step", |b| {
+        let mut state = model.init_state();
+        b.iter(|| black_box(model.step(&x, &mut state)[0]))
+    });
+}
+
+criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500)); targets = bench_forward, bench_backward, bench_stateful_inference}
+criterion_main!(benches);

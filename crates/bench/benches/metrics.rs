@@ -1,0 +1,37 @@
+//! Criterion: cost of the evaluation metrics themselves (W1 over large
+//! sample sets, percentile extraction) — these run once per tuning
+//! evaluation, so they must stay cheap.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_sim::cdf::wasserstein1;
+use dcn_sim::stats::{percentile, Summary};
+
+fn samples(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = dcn_sim::rng::SplitMix64::new(seed);
+    (0..n).map(|_| rng.exp(0.05)).collect()
+}
+
+fn bench_w1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wasserstein1");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let a = samples(n, 1);
+        let b_set = samples(n, 2);
+        group.bench_with_input(BenchmarkId::new("equal_sizes", n), &n, |b, _| {
+            b.iter(|| black_box(wasserstein1(&a, &b_set)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_percentiles(c: &mut Criterion) {
+    let xs = samples(100_000, 3);
+    c.bench_function("stats/percentile_p99_100k", |b| {
+        b.iter(|| black_box(percentile(&xs, 99.0)))
+    });
+    c.bench_function("stats/summary_100k", |b| {
+        b.iter(|| black_box(Summary::of(&xs).p99))
+    });
+}
+
+criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500)); targets = bench_w1, bench_percentiles}
+criterion_main!(benches);

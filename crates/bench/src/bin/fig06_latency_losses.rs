@@ -1,0 +1,83 @@
+//! Figure 6: latency prediction under MAE vs. MSE vs. Huber loss.
+//!
+//! Paper: "Unfortunately, using MAE directly as the loss function fails to
+//! capture outliers. Instead, Huber produces more realistic results and a
+//! better eventual MAE score." (Their MAEs: MAE-trained 1.4e-4,
+//! MSE-trained 3.3e-4, Huber-trained 1.1e-4; Huber also cut the 99-pct
+//! latency error from 13.2% to 2.6%.)
+
+use dcn_sim::stats::percentile;
+use mimic_ml::loss::RegLoss;
+use mimic_ml::model::OUT_LATENCY;
+use mimic_ml::train::TrainConfig;
+use mimicnet_bench::{header, pipeline_config, Scale};
+use mimicnet::datagen::{generate, DataGenConfig};
+use mimicnet::internal_model::InternalModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "Figure 6",
+        "latency regression under MAE vs MSE vs Huber: test MAE and p99 error",
+    );
+
+    let mut dg = DataGenConfig {
+        sim: pipeline_config(scale, 91).base,
+        ..DataGenConfig::default()
+    };
+    dg.sim.traffic.load = 0.95; // induce latency outliers
+    dg.sim.duration_s = scale.duration_s() * 4.0;
+    let td = generate(&dg);
+    let (train_set, test_set) = td.ingress.split(0.7);
+
+    // Ground-truth stats on the (normalized) test targets.
+    let truth: Vec<f64> = test_set.targets.iter().map(|t| t.latency as f64).collect();
+    let truth_p99 = percentile(&truth, 99.0);
+    println!(
+        "trace: {} ingress packets; normalized-latency p99 (truth) = {truth_p99:.4}",
+        td.ingress.len()
+    );
+    println!(
+        "{:>14} | {:>12} | {:>12} | {:>14}",
+        "loss", "test MAE", "pred p99", "p99 error"
+    );
+
+    // Targets are normalized to [0,1], so the Huber knee sits at 0.1 of
+    // the range (the paper's delta=1 is relative to *its* latency units).
+    for (name, loss) in [
+        ("MAE", RegLoss::Mae),
+        ("MSE", RegLoss::Mse),
+        ("Huber d=0.1", RegLoss::Huber { delta: 0.1 }),
+    ] {
+        let mut tc = TrainConfig {
+            epochs: scale.epochs() + 1,
+            window: 8,
+            seed: 5,
+            ..TrainConfig::default()
+        };
+        tc.loss.latency = loss;
+        tc.loss.w_latency = 1.0;
+        tc.loss.w_drop = 0.0;
+        tc.loss.w_ecn = 0.0;
+        let (model, _) = InternalModel::train_new(&train_set, td.ingress_disc, 16, &tc);
+        let mut state = model.init_state();
+        let mut abs_err = 0.0f64;
+        let mut preds = Vec::with_capacity(test_set.len());
+        for (f, t) in test_set.features.iter().zip(&test_set.targets) {
+            let out = model.model.step(f, &mut state);
+            let p = out[OUT_LATENCY].clamp(0.0, 1.0) as f64;
+            abs_err += (p - t.latency as f64).abs();
+            preds.push(p);
+        }
+        let mae = abs_err / test_set.len() as f64;
+        let p99 = percentile(&preds, 99.0);
+        println!(
+            "{name:>14} | {mae:>12.5} | {p99:>12.4} | {:>13.1}%",
+            (p99 - truth_p99).abs() / truth_p99.max(1e-9) * 100.0
+        );
+    }
+    println!(
+        "\npaper shape: Huber attains the best test MAE *and* the smallest\n\
+         p99 error; MSE over-reacts to outliers, MAE ignores them."
+    );
+}

@@ -1,0 +1,97 @@
+//! Figure 7: FCT / throughput / RTT distributions — ground truth vs.
+//! MimicNet vs. flow-level vs. the small-scale hypothesis, at 2 clusters
+//! and at the largest affordable size.
+//!
+//! Paper: at 2 clusters MimicNet's CDFs "adhere closely to the ground
+//! truth"; at 128 clusters the W1s are 0.113 (FCT), 7561 (throughput),
+//! 0.00158 (RTT), with small-scale and SimGrid errors 311%/457%/70%
+//! higher; the p99s of FCT/throughput/RTT land within 1.8%/3.3%/2%.
+
+use dcn_sim::cdf::wasserstein1;
+use dcn_sim::topology::FatTree;
+use mimicnet_bench::{header, pipeline_config, q, Scale};
+use mimicnet::pipeline::Pipeline;
+
+fn print_q(label: &str, xs: &[f64], w1: Option<f64>) {
+    let v = q(xs);
+    match w1 {
+        Some(w) => println!(
+            "  {label:<14} p10 {:>9.4}  p50 {:>9.4}  p90 {:>9.4}  p99 {:>9.4}  (W1 {w:.5})",
+            v[0], v[1], v[2], v[3]
+        ),
+        None => println!(
+            "  {label:<14} p10 {:>9.4}  p50 {:>9.4}  p90 {:>9.4}  p99 {:>9.4}",
+            v[0], v[1], v[2], v[3]
+        ),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "Figure 7",
+        "FCT / throughput / RTT distributions: truth vs MimicNet vs flow-level vs small-scale",
+    );
+
+    let mut pipe = Pipeline::new(pipeline_config(scale, 42));
+    let trained = pipe.train();
+    let (small, _, _) = pipe.run_ground_truth(2);
+
+    for clusters in [2u32, scale.large()] {
+        let (truth, _, _) = pipe.run_ground_truth(clusters);
+        let est = pipe.estimate(&trained, clusters);
+        let mut fl_cfg = pipe.cfg.base;
+        fl_cfg.topo.clusters = clusters;
+        let fm = flow_sim::FlowSim::new(fl_cfg).run();
+        let topo = FatTree::new(fl_cfg.topo);
+        let fl_fct = fm
+            .fct_samples(|f| topo.cluster_of(f.src) == Some(0) || topo.cluster_of(f.dst) == Some(0));
+        let fl_tput = fm.throughput_samples(|h| topo.cluster_of(h) == Some(0));
+
+        println!("\n================ {clusters} clusters ================");
+        println!("FCT (s):");
+        print_q("ground truth", &truth.fct, None);
+        print_q("MimicNet", &est.samples.fct, Some(wasserstein1(&truth.fct, &est.samples.fct)));
+        print_q("flow-level", &fl_fct, Some(wasserstein1(&truth.fct, &fl_fct)));
+        if clusters != 2 {
+            print_q("small-scale", &small.fct, Some(wasserstein1(&truth.fct, &small.fct)));
+        }
+        println!("Throughput (B/s):");
+        print_q("ground truth", &truth.throughput, None);
+        print_q(
+            "MimicNet",
+            &est.samples.throughput,
+            Some(wasserstein1(&truth.throughput, &est.samples.throughput)),
+        );
+        print_q(
+            "flow-level",
+            &fl_tput,
+            Some(wasserstein1(&truth.throughput, &fl_tput)),
+        );
+        if clusters != 2 {
+            print_q(
+                "small-scale",
+                &small.throughput,
+                Some(wasserstein1(&truth.throughput, &small.throughput)),
+            );
+        }
+        println!("RTT (s): [flow-level cannot produce RTTs — as in the paper]");
+        print_q("ground truth", &truth.rtt, None);
+        print_q(
+            "MimicNet",
+            &est.samples.rtt,
+            Some(wasserstein1(&truth.rtt, &est.samples.rtt)),
+        );
+        if clusters != 2 {
+            print_q(
+                "small-scale",
+                &small.rtt,
+                Some(wasserstein1(&truth.rtt, &small.rtt)),
+            );
+        }
+    }
+    println!(
+        "\npaper shape: MimicNet hugs the truth CDFs at both sizes and keeps\n\
+         tail (p99) errors within a few percent; baselines drift with scale."
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 8: throughput-distribution accuracy vs. network size.
+//!
+//! Paper: W1 of the per-server throughput distribution for small-scale
+//! extrapolation vs MimicNet across 4–128 clusters; MimicNet averages 78%
+//! lower error and lower variance across workloads.
+
+use dcn_sim::cdf::wasserstein1;
+use mimicnet_bench::{header, pipeline_config, Scale};
+use mimicnet::pipeline::Pipeline;
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "Figure 8",
+        "W1(per-server throughput) to ground truth vs #clusters",
+    );
+    let mut pipe = Pipeline::new(pipeline_config(scale, 42));
+    let trained = pipe.train();
+    let (small, _, _) = pipe.run_ground_truth(2);
+
+    println!("{:>9} | {:>15} | {:>15}", "clusters", "small-scale", "MimicNet");
+    let (mut s_sum, mut m_sum, mut n) = (0.0, 0.0, 0);
+    for clusters in scale.cluster_sweep() {
+        let (truth, _, _) = pipe.run_ground_truth(clusters);
+        let est = pipe.estimate(&trained, clusters);
+        let w_small = wasserstein1(&truth.throughput, &small.throughput);
+        let w_mimic = wasserstein1(&truth.throughput, &est.samples.throughput);
+        println!("{clusters:>9} | {w_small:>15.0} | {w_mimic:>15.0}");
+        // Skip the degenerate 2-cluster point (small-scale == truth there).
+        if clusters > 2 {
+            s_sum += w_small;
+            m_sum += w_mimic;
+            n += 1;
+        }
+    }
+    println!("-------------------------------------------------");
+    println!(
+        "{:>9} | {:>15.0} | {:>15.0}   ({:.0}% lower)",
+        "mean>2",
+        s_sum / n as f64,
+        m_sum / n as f64,
+        (1.0 - (m_sum / s_sum)) * 100.0
+    );
+    println!("\npaper shape: MimicNet's W1 is consistently below the small-scale\nhypothesis (78% lower on average in the paper).");
+}

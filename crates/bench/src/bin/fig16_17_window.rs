@@ -1,0 +1,74 @@
+//! Figures 16 & 17 (Appendices C): impact of the LSTM window size on
+//! modeling accuracy and speed.
+//!
+//! Paper: "a window size of only 1 packet performs very poorly … training
+//! accuracy is quickly improved with additional packets, but this comes
+//! with diminishing returns after the window size reaches the BDP of the
+//! network (around 12 packets)"; training and inference latency grow with
+//! the window, so "using BDP as the window size strikes a good balance".
+
+use mimic_ml::train::{evaluate, TrainConfig};
+use mimicnet_bench::{header, pipeline_config, Scale};
+use mimicnet::datagen::{generate, DataGenConfig};
+use mimicnet::internal_model::InternalModel;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "Figures 16/17",
+        "training/validation loss and train/inference latency vs window size",
+    );
+    let mut dg = DataGenConfig {
+        sim: pipeline_config(scale, 31).base,
+        ..DataGenConfig::default()
+    };
+    // Window sweeps want a meaty trace; small-scale time is cheap.
+    dg.sim.duration_s *= 8.0;
+    dg.sim.traffic.inter_cluster_fraction = 0.7;
+    let td = generate(&dg);
+    let (train_set, val_set) = td.egress.split(0.75);
+    println!("trace: {} egress packets (train {} / val {})", td.egress.len(), train_set.len(), val_set.len());
+    println!(
+        "{:>7} | {:>12} | {:>12} | {:>13} | {:>15}",
+        "window", "train loss", "val loss", "train ms/ep", "infer us/pkt"
+    );
+    let windows: Vec<usize> = vec![1, 2, 5, 10, 12, 20];
+    for w in windows {
+        let tc = TrainConfig {
+            epochs: scale.epochs(),
+            window: w,
+            seed: 3,
+            ..TrainConfig::default()
+        };
+        let t0 = Instant::now();
+        let (model, report) = InternalModel::train_new(&train_set, td.egress_disc, 16, &tc);
+        let train_ms = t0.elapsed().as_secs_f64() * 1e3 / tc.epochs as f64;
+        let val = evaluate(&model.model, &val_set, &tc);
+        // Inference latency per packet, window-forward style (the paper's
+        // engine re-runs the window per packet; our simulator instead
+        // carries hidden state, which is O(1) in the window — we measure
+        // the windowed form here to reproduce the figure's shape).
+        let n = val_set.len().min(1000).max(w);
+        let t1 = Instant::now();
+        for i in 0..n {
+            let xs: Vec<mimic_ml::Matrix> = (0..w)
+                .map(|t| {
+                    let idx = (i + t).saturating_sub(w - 1).min(val_set.len() - 1);
+                    mimic_ml::Matrix::from_rows(&[val_set.features[idx].clone()])
+                })
+                .collect();
+            let _ = model.model.forward_window(&xs);
+        }
+        let infer_us = t1.elapsed().as_secs_f64() * 1e6 / n as f64;
+        println!(
+            "{w:>7} | {:>12.5} | {val:>12.5} | {train_ms:>13.1} | {infer_us:>15.2}",
+            report.epoch_losses.last().unwrap()
+        );
+    }
+    println!(
+        "\npaper shape: losses drop sharply from window=1 and plateau near\n\
+         the BDP (~12 packets paper / ~5-10 here); per-epoch training time\n\
+         grows with the window; inference cost rises past the BDP."
+    );
+}

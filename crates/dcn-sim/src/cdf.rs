@@ -1,0 +1,191 @@
+//! Empirical CDFs and the 1-Wasserstein distance.
+//!
+//! The paper compares distributions (FCT, throughput, RTT) between ground
+//! truth and each approximation using the `W1` metric — the Earth Mover's
+//! Distance, which for one-dimensional CDFs is
+//! `W1 = ∫ |CDF_real(x) − CDF_mimic(x)| dx` (§7.2). Lower is better;
+//! values are scale-dependent (they carry the units of the samples).
+
+/// An empirical cumulative distribution function over observed samples.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    /// Sorted samples.
+    samples: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (NaNs are rejected).
+    ///
+    /// # Panics
+    /// If any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Ecdf {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "ECDF samples must not be NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { samples }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `P[X <= x]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let idx = self.samples.partition_point(|&s| s <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// Inverse CDF at probability `u` (nearest rank).
+    pub fn quantile(&self, u: f64) -> f64 {
+        assert!(!self.samples.is_empty(), "quantile of empty ECDF");
+        let u = u.clamp(0.0, 1.0);
+        let idx = ((u * self.samples.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.samples.len() - 1);
+        self.samples[idx]
+    }
+
+    /// Borrow the sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// The 1-Wasserstein distance between the empirical distributions of two
+/// sample sets: the integral of the absolute difference of their ECDFs.
+///
+/// Computed exactly by sweeping the merged samples; `O((n+m) log(n+m))`.
+/// Returns 0.0 when both sets are empty; if exactly one is empty the
+/// distance is undefined and we return `f64::INFINITY` so callers notice.
+pub fn wasserstein1(a: &[f64], b: &[f64]) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+
+    let na = sa.len() as f64;
+    let nb = sb.len() as f64;
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let mut dist = 0.0;
+    let mut prev_x = f64::NEG_INFINITY;
+    while ia < sa.len() || ib < sb.len() {
+        let x = match (sa.get(ia), sb.get(ib)) {
+            (Some(&xa), Some(&xb)) => xa.min(xb),
+            (Some(&xa), None) => xa,
+            (None, Some(&xb)) => xb,
+            (None, None) => unreachable!(),
+        };
+        if prev_x.is_finite() && x > prev_x {
+            let fa = ia as f64 / na;
+            let fb = ib as f64 / nb;
+            dist += (fa - fb).abs() * (x - prev_x);
+        }
+        // Consume all samples equal to x from both sides.
+        while ia < sa.len() && sa[ia] == x {
+            ia += 1;
+        }
+        while ib < sb.len() && sb[ib] == x {
+            ib += 1;
+        }
+        prev_x = x;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_eval() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantile() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.25), 1.0);
+        assert_eq!(e.quantile(0.5), 2.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn w1_identical_is_zero() {
+        let a = vec![1.0, 2.0, 5.0, 9.0];
+        assert_eq!(wasserstein1(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn w1_point_masses() {
+        // Two unit point masses at 0 and at 3: W1 = 3.
+        assert!((wasserstein1(&[0.0], &[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w1_is_symmetric() {
+        let a = vec![0.0, 1.0, 2.0];
+        let b = vec![0.5, 1.5, 2.5, 3.5];
+        let d1 = wasserstein1(&a, &b);
+        let d2 = wasserstein1(&b, &a);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    fn w1_known_value() {
+        // a = {0, 1}, b = {0, 2}: CDFs differ by 0.5 on [1, 2) -> W1 = 0.5.
+        let d = wasserstein1(&[0.0, 1.0], &[0.0, 2.0]);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w1_shift_equals_offset() {
+        // Shifting a distribution by c moves it exactly c in W1.
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 2.5).collect();
+        let d = wasserstein1(&a, &b);
+        assert!((d - 2.5).abs() < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn w1_different_sizes() {
+        // {0,0} vs {0}: identical distributions despite different counts.
+        assert_eq!(wasserstein1(&[0.0, 0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn w1_empty_vs_nonempty_is_infinite() {
+        assert!(wasserstein1(&[], &[1.0]).is_infinite());
+        assert_eq!(wasserstein1(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn w1_triangle_inequality() {
+        let a = vec![0.0, 1.0, 4.0];
+        let b = vec![1.0, 2.0, 3.0];
+        let c = vec![0.5, 2.5, 5.0];
+        let ab = wasserstein1(&a, &b);
+        let bc = wasserstein1(&b, &c);
+        let ac = wasserstein1(&a, &c);
+        assert!(ac <= ab + bc + 1e-12);
+    }
+}

@@ -1,0 +1,263 @@
+//! The discrete-event core: events, deterministic ordering, and the event
+//! queue.
+//!
+//! Simulators "take a massive distributed system and serialize it into a
+//! single event queue" (§2.2). Correctness of that serialization — and the
+//! bit-equality of sequential and parallel executions — depends on a *total*
+//! order over simultaneous events. Events are therefore ordered by
+//! `(time, class, tag, seq)` where `class` fixes the relative order of event
+//! types, `tag` is a stable key derived from the event's structure (packet
+//! id, link id, timer identity) that is identical however the event was
+//! produced, and `seq` is a last-resort insertion tiebreak.
+
+use crate::link::Dir;
+use crate::packet::{FlowId, Packet};
+use crate::time::SimTime;
+use crate::topology::{LinkId, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The payload of a scheduled event.
+#[derive(Clone, Debug)]
+pub enum EventKind {
+    /// A transmitter finished serializing a packet; it may start the next.
+    TxDone { link: LinkId, dir: Dir },
+    /// A packet fully arrived at a node (after serialization + propagation).
+    Arrive { node: NodeId, packet: Packet },
+    /// A transport timer registered by a host's flow fired.
+    Timer {
+        host: NodeId,
+        flow: FlowId,
+        token: u64,
+    },
+    /// The traffic generator should start this host's next flow.
+    FlowArrival { host: NodeId },
+    /// A Mimic cluster's feeder model wants a wakeup.
+    FeederWake { cluster: u32 },
+}
+
+impl EventKind {
+    /// Class rank: fixes processing order among different event types that
+    /// share a timestamp. Transmitter completions run first so freed links
+    /// are observable by packets arriving at the same instant.
+    fn class(&self) -> u8 {
+        match self {
+            EventKind::TxDone { .. } => 0,
+            EventKind::Arrive { .. } => 1,
+            EventKind::Timer { .. } => 2,
+            EventKind::FlowArrival { .. } => 3,
+            EventKind::FeederWake { .. } => 4,
+        }
+    }
+
+    /// Structural tag: a stable u64 key independent of scheduling order.
+    fn tag(&self) -> u64 {
+        match self {
+            EventKind::TxDone { link, dir } => ((link.0 as u64) << 1) | dir.index() as u64,
+            EventKind::Arrive { node, packet } => {
+                // Packet ids are globally unique; include the node so a
+                // (theoretical) duplicate delivery still orders stably.
+                packet.id ^ ((node.0 as u64) << 48)
+            }
+            EventKind::Timer { host, flow, token } => {
+                ((host.0 as u64) << 40) ^ (flow.0 << 8) ^ token
+            }
+            EventKind::FlowArrival { host } => host.0 as u64,
+            EventKind::FeederWake { cluster } => *cluster as u64,
+        }
+    }
+}
+
+/// A scheduled event with its full ordering key.
+#[derive(Clone, Debug)]
+pub struct Event {
+    pub time: SimTime,
+    pub kind: EventKind,
+    class: u8,
+    tag: u64,
+    seq: u64,
+}
+
+impl Event {
+    pub fn new(time: SimTime, kind: EventKind, seq: u64) -> Event {
+        Event {
+            time,
+            class: kind.class(),
+            tag: kind.tag(),
+            kind,
+            seq,
+        }
+    }
+
+    fn key(&self) -> (SimTime, u8, u64, u64) {
+        (self.time, self.class, self.tag, self.seq)
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// The future event list.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    scheduled: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Event::new(time, kind, self.seq));
+    }
+
+    /// Pop the next event in deterministic order.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (the paper's "events/second" metric).
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), EventKind::FlowArrival { host: NodeId(1) });
+        q.schedule(t(10), EventKind::FlowArrival { host: NodeId(2) });
+        q.schedule(t(20), EventKind::FlowArrival { host: NodeId(3) });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.0).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn class_order_at_same_time() {
+        let mut q = EventQueue::new();
+        let time = t(5);
+        q.schedule(time, EventKind::FlowArrival { host: NodeId(1) });
+        q.schedule(
+            time,
+            EventKind::Timer {
+                host: NodeId(1),
+                flow: FlowId(1),
+                token: 0,
+            },
+        );
+        q.schedule(
+            time,
+            EventKind::TxDone {
+                link: LinkId(0),
+                dir: Dir::Up,
+            },
+        );
+        let classes: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::TxDone { .. } => 0,
+                EventKind::Arrive { .. } => 1,
+                EventKind::Timer { .. } => 2,
+                EventKind::FlowArrival { .. } => 3,
+                EventKind::FeederWake { .. } => 4,
+            })
+            .collect();
+        assert_eq!(classes, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn tag_breaks_ties_independent_of_insertion_order() {
+        // Two FlowArrival events at the same instant must pop in host order
+        // regardless of scheduling order.
+        for flip in [false, true] {
+            let mut q = EventQueue::new();
+            let (a, b) = if flip {
+                (NodeId(9), NodeId(3))
+            } else {
+                (NodeId(3), NodeId(9))
+            };
+            q.schedule(t(7), EventKind::FlowArrival { host: a });
+            q.schedule(t(7), EventKind::FlowArrival { host: b });
+            let hosts: Vec<u32> = std::iter::from_fn(|| q.pop())
+                .map(|e| match e.kind {
+                    EventKind::FlowArrival { host } => host.0,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(hosts, vec![3, 9]);
+        }
+    }
+
+    #[test]
+    fn counts_scheduled_events() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(i), EventKind::FlowArrival { host: NodeId(0) });
+        }
+        assert_eq!(q.total_scheduled(), 10);
+        assert_eq!(q.len(), 10);
+        q.pop();
+        assert_eq!(q.total_scheduled(), 10);
+        assert_eq!(q.len(), 9);
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(
+            SimTime::ZERO + SimDuration::from_millis(2),
+            EventKind::FeederWake { cluster: 0 },
+        );
+        q.schedule(
+            SimTime::ZERO + SimDuration::from_millis(1),
+            EventKind::FeederWake { cluster: 1 },
+        );
+        assert_eq!(q.peek_time(), Some(t(1_000_000)));
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, t(1_000_000));
+    }
+}

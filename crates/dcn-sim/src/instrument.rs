@@ -1,0 +1,445 @@
+//! Instrumentation: the measurements the paper's evaluation is built on.
+//!
+//! Three end-to-end metrics (§9 "Evaluation metrics"):
+//! * **FCT** — flow completion time, recorded when the sender has every
+//!   byte acknowledged.
+//! * **Per-server throughput** — application bytes delivered per host,
+//!   binned into 100 ms intervals.
+//! * **RTT** — per-packet round-trip samples measured at senders from
+//!   acknowledgment echoes.
+//!
+//! Plus the *boundary trace* (§5.1): for one designated cluster, a record
+//! of every external packet entering and leaving, which becomes MimicNet's
+//! training data after the matching step in `mimicnet::trace`.
+
+use crate::mimic::BoundaryDir;
+use crate::packet::{Ecn, FlowId, Packet, PacketKind};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Lifecycle record of one flow.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlowRecord {
+    pub flow: FlowId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub size_bytes: u64,
+    pub start: SimTime,
+    /// Set when the sender completes; `None` if still running at sim end.
+    pub end: Option<SimTime>,
+}
+
+impl FlowRecord {
+    /// Flow completion time, if the flow finished.
+    pub fn fct(&self) -> Option<SimDuration> {
+        self.end.map(|e| e.since(self.start))
+    }
+}
+
+/// One RTT sample observed by a sending host.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RttSample {
+    pub host: NodeId,
+    pub time: SimTime,
+    pub rtt: SimDuration,
+}
+
+/// Whether a boundary record is the packet entering or leaving the learned
+/// region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum BoundaryPhase {
+    Enter,
+    Exit,
+}
+
+/// One packet observation at a cluster boundary juncture.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BoundaryRecord {
+    pub pkt_id: u64,
+    pub flow: FlowId,
+    pub time: SimTime,
+    pub dir: BoundaryDir,
+    pub phase: BoundaryPhase,
+    pub wire_bytes: u32,
+    pub ecn: Ecn,
+    pub kind: PacketKind,
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// The core switch this packet traverses (deterministic under ECMP).
+    pub core: NodeId,
+    pub prio: u8,
+}
+
+impl BoundaryRecord {
+    pub fn from_packet(
+        pkt: &Packet,
+        time: SimTime,
+        dir: BoundaryDir,
+        phase: BoundaryPhase,
+        core: NodeId,
+    ) -> BoundaryRecord {
+        BoundaryRecord {
+            pkt_id: pkt.id,
+            flow: pkt.flow,
+            time,
+            dir,
+            phase,
+            wire_bytes: pkt.wire_bytes(),
+            ecn: pkt.ecn,
+            kind: pkt.kind,
+            src: pkt.src,
+            dst: pkt.dst,
+            core,
+            prio: pkt.prio,
+        }
+    }
+}
+
+/// Default throughput bin width (the paper bins into 100 ms intervals).
+pub const DEFAULT_BIN: SimDuration = SimDuration(100_000_000);
+
+/// Occupancy statistics of one directed port queue, sampled at every
+/// enqueue (§7.1: users "can add arbitrary instrumentation, e.g. by
+/// dumping pcaps or queue depths").
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Largest packet occupancy ever observed.
+    pub max_pkts: u32,
+    /// Histogram of occupancy at enqueue time, bucketed by log2:
+    /// bucket `i` counts enqueues that saw `2^i <= depth < 2^(i+1)`
+    /// packets already queued (bucket 0 counts depth 0 and 1).
+    pub depth_hist: [u64; 16],
+    /// Total enqueue observations.
+    pub samples: u64,
+}
+
+impl QueueStats {
+    /// Record an enqueue that found `depth` packets already queued.
+    pub fn observe(&mut self, depth: u32) {
+        self.max_pkts = self.max_pkts.max(depth);
+        let bucket = (32 - depth.max(1).leading_zeros() - 1).min(15) as usize;
+        self.depth_hist[bucket] += 1;
+        self.samples += 1;
+    }
+
+    /// Approximate occupancy quantile from the histogram (upper bucket
+    /// bound), e.g. `quantile(0.99)`.
+    pub fn quantile(&self, q: f64) -> u32 {
+        if self.samples == 0 {
+            return 0;
+        }
+        let target = (self.samples as f64 * q).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.depth_hist.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return 1u32 << (i + 1);
+            }
+        }
+        self.max_pkts
+    }
+}
+
+/// All measurements of one run.
+pub struct Metrics {
+    /// Per-flow lifecycle records.
+    pub flows: HashMap<FlowId, FlowRecord>,
+    /// RTT samples at senders.
+    pub rtt: Vec<RttSample>,
+    /// Delivered application bytes per host per bin; index = host id.
+    tput_bins: Vec<Vec<u64>>,
+    bin: SimDuration,
+    /// Boundary trace for the designated cluster (empty if none).
+    pub boundary: Vec<BoundaryRecord>,
+    /// Total packets dropped by queues.
+    pub queue_drops: u64,
+    /// Total packets dropped by mimic models.
+    pub mimic_drops: u64,
+    /// Total CE marks applied by queues.
+    pub ecn_marks: u64,
+    /// Packets lost to injected link faults (see
+    /// [`crate::config::LinkConfig::loss_prob`]).
+    pub fault_drops: u64,
+    /// Events processed by the engine.
+    pub events_processed: u64,
+    /// Packets forwarded by switches (hop count total).
+    pub hops_forwarded: u64,
+    /// Per-(link, direction) queue occupancy statistics; indexed by link
+    /// id, `[up, down]`. Empty unless the engine enabled them.
+    pub queue_stats: Vec<[QueueStats; 2]>,
+}
+
+impl Metrics {
+    pub fn new(num_hosts: u32) -> Metrics {
+        Metrics {
+            flows: HashMap::new(),
+            rtt: Vec::new(),
+            tput_bins: vec![Vec::new(); num_hosts as usize],
+            bin: DEFAULT_BIN,
+            boundary: Vec::new(),
+            queue_drops: 0,
+            mimic_drops: 0,
+            ecn_marks: 0,
+            fault_drops: 0,
+            events_processed: 0,
+            hops_forwarded: 0,
+            queue_stats: Vec::new(),
+        }
+    }
+
+    /// Allocate queue-depth tracking for `n_links` links.
+    pub fn enable_queue_stats(&mut self, n_links: u32) {
+        self.queue_stats = vec![[QueueStats::default(), QueueStats::default()]; n_links as usize];
+    }
+
+    /// Record an enqueue observation (no-op unless enabled).
+    pub fn record_queue_depth(&mut self, link: u32, dir_index: usize, depth: u32) {
+        if let Some(entry) = self.queue_stats.get_mut(link as usize) {
+            entry[dir_index].observe(depth);
+        }
+    }
+
+    /// Largest queue occupancy observed anywhere (packets).
+    pub fn max_queue_depth(&self) -> u32 {
+        self.queue_stats
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|s| s.max_pkts)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Record `bytes` delivered to `host`'s application at `now`.
+    pub fn record_delivery(&mut self, host: NodeId, now: SimTime, bytes: u64) {
+        let idx = (now.as_nanos() / self.bin.as_nanos()) as usize;
+        let bins = &mut self.tput_bins[host.0 as usize];
+        if bins.len() <= idx {
+            bins.resize(idx + 1, 0);
+        }
+        bins[idx] += bytes;
+    }
+
+    /// Number of flows that completed.
+    pub fn flows_completed(&self) -> usize {
+        self.flows.values().filter(|f| f.end.is_some()).count()
+    }
+
+    /// Total flows started.
+    pub fn flows_started(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// FCT samples (seconds) over completed flows passing `filter`.
+    pub fn fct_samples(&self, filter: impl Fn(&FlowRecord) -> bool) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .flows
+            .values()
+            .filter(|f| filter(f))
+            .filter_map(|f| f.fct().map(|d| d.as_secs_f64()))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    /// Per-(host, bin) throughput samples in bytes/second for hosts passing
+    /// `filter`. Bins after the last delivery of a host are not reported.
+    pub fn throughput_samples(&self, filter: impl Fn(NodeId) -> bool) -> Vec<f64> {
+        let bin_s = self.bin.as_secs_f64();
+        let mut v = Vec::new();
+        for (h, bins) in self.tput_bins.iter().enumerate() {
+            if !filter(NodeId(h as u32)) {
+                continue;
+            }
+            for &b in bins {
+                v.push(b as f64 / bin_s);
+            }
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    /// RTT samples in seconds for hosts passing `filter`.
+    pub fn rtt_samples(&self, filter: impl Fn(NodeId) -> bool) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .rtt
+            .iter()
+            .filter(|s| filter(s.host))
+            .map(|s| s.rtt.as_secs_f64())
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    /// Total application bytes delivered across all hosts.
+    pub fn total_delivered_bytes(&self) -> u64 {
+        self.tput_bins.iter().flatten().sum()
+    }
+
+    /// Merge another partition's metrics into this one (PDES join).
+    ///
+    /// Flow records are disjoint by construction (a flow is recorded by its
+    /// sender's partition); throughput bins are summed element-wise.
+    pub fn merge(&mut self, other: Metrics) {
+        for (id, rec) in other.flows {
+            let prev = self.flows.insert(id, rec);
+            debug_assert!(prev.is_none(), "flow recorded by two partitions");
+        }
+        self.rtt.extend(other.rtt);
+        if self.tput_bins.len() < other.tput_bins.len() {
+            self.tput_bins.resize(other.tput_bins.len(), Vec::new());
+        }
+        for (mine, theirs) in self.tput_bins.iter_mut().zip(other.tput_bins) {
+            if mine.len() < theirs.len() {
+                mine.resize(theirs.len(), 0);
+            }
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+        self.boundary.extend(other.boundary);
+        self.boundary.sort_by_key(|r| (r.time, r.pkt_id));
+        self.queue_drops += other.queue_drops;
+        self.mimic_drops += other.mimic_drops;
+        self.ecn_marks += other.ecn_marks;
+        self.fault_drops += other.fault_drops;
+        self.events_processed += other.events_processed;
+        self.hops_forwarded += other.hops_forwarded;
+        if self.queue_stats.len() < other.queue_stats.len() {
+            self.queue_stats
+                .resize_with(other.queue_stats.len(), Default::default);
+        }
+        for (mine, theirs) in self.queue_stats.iter_mut().zip(&other.queue_stats) {
+            for d in 0..2 {
+                mine[d].max_pkts = mine[d].max_pkts.max(theirs[d].max_pkts);
+                mine[d].samples += theirs[d].samples;
+                for (a, b) in mine[d].depth_hist.iter_mut().zip(&theirs[d].depth_hist) {
+                    *a += b;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fct_of_incomplete_flow_is_none() {
+        let r = FlowRecord {
+            flow: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: 1000,
+            start: SimTime::from_secs_f64(1.0),
+            end: None,
+        };
+        assert!(r.fct().is_none());
+    }
+
+    #[test]
+    fn fct_computed_from_start_end() {
+        let r = FlowRecord {
+            flow: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: 1000,
+            start: SimTime::from_secs_f64(1.0),
+            end: Some(SimTime::from_secs_f64(1.5)),
+        };
+        assert_eq!(r.fct().unwrap(), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn delivery_binning() {
+        let mut m = Metrics::new(2);
+        m.record_delivery(NodeId(0), SimTime::from_secs_f64(0.05), 1000);
+        m.record_delivery(NodeId(0), SimTime::from_secs_f64(0.09), 500);
+        m.record_delivery(NodeId(0), SimTime::from_secs_f64(0.15), 2000);
+        m.record_delivery(NodeId(1), SimTime::from_secs_f64(0.25), 300);
+        // Host 0: bin0 = 1500 B -> 15_000 B/s, bin1 = 2000 -> 20_000 B/s.
+        let all = m.throughput_samples(|_| true);
+        assert_eq!(all.len(), 2 + 3); // host0: 2 bins; host1: 3 bins (two empty)
+        assert!(all.contains(&15_000.0));
+        assert!(all.contains(&20_000.0));
+        assert!(all.contains(&3_000.0));
+        let only0 = m.throughput_samples(|h| h.0 == 0);
+        assert_eq!(only0.len(), 2);
+        assert_eq!(m.total_delivered_bytes(), 3_800);
+    }
+
+    #[test]
+    fn fct_samples_sorted_and_filtered() {
+        let mut m = Metrics::new(1);
+        for (i, (start, end)) in [(0.0, 0.5), (0.0, 0.2), (0.0, 0.9)].iter().enumerate() {
+            m.flows.insert(
+                FlowId(i as u64),
+                FlowRecord {
+                    flow: FlowId(i as u64),
+                    src: NodeId(i as u32),
+                    dst: NodeId(0),
+                    size_bytes: 1,
+                    start: SimTime::from_secs_f64(*start),
+                    end: Some(SimTime::from_secs_f64(*end)),
+                },
+            );
+        }
+        let all = m.fct_samples(|_| true);
+        assert_eq!(all.len(), 3);
+        assert!(all.windows(2).all(|w| w[0] <= w[1]));
+        let some = m.fct_samples(|f| f.src.0 < 2);
+        assert_eq!(some.len(), 2);
+    }
+
+    #[test]
+    fn queue_stats_histogram_and_quantiles() {
+        let mut s = QueueStats::default();
+        for d in [0u32, 1, 1, 3, 7, 64] {
+            s.observe(d);
+        }
+        assert_eq!(s.max_pkts, 64);
+        assert_eq!(s.samples, 6);
+        // Depths 0 and 1 land in bucket 0; 3 in bucket 1; 7 in bucket 2;
+        // 64 in bucket 6.
+        assert_eq!(s.depth_hist[0], 3);
+        assert_eq!(s.depth_hist[1], 1);
+        assert_eq!(s.depth_hist[2], 1);
+        assert_eq!(s.depth_hist[6], 1);
+        // Median falls in bucket 0 -> bound 2.
+        assert_eq!(s.quantile(0.5), 2);
+        assert!(s.quantile(1.0) >= 64);
+    }
+
+    #[test]
+    fn metrics_queue_depth_recording() {
+        let mut m = Metrics::new(1);
+        m.enable_queue_stats(3);
+        m.record_queue_depth(1, 0, 5);
+        m.record_queue_depth(1, 0, 9);
+        m.record_queue_depth(2, 1, 1);
+        assert_eq!(m.max_queue_depth(), 9);
+        assert_eq!(m.queue_stats[1][0].samples, 2);
+        assert_eq!(m.queue_stats[2][1].samples, 1);
+        // Out-of-range link ids are ignored, not panics.
+        m.record_queue_depth(99, 0, 100);
+        assert_eq!(m.max_queue_depth(), 9);
+    }
+
+    #[test]
+    fn rtt_filtering() {
+        let mut m = Metrics::new(2);
+        m.rtt.push(RttSample {
+            host: NodeId(0),
+            time: SimTime::ZERO,
+            rtt: SimDuration::from_millis(1),
+        });
+        m.rtt.push(RttSample {
+            host: NodeId(1),
+            time: SimTime::ZERO,
+            rtt: SimDuration::from_millis(2),
+        });
+        assert_eq!(m.rtt_samples(|h| h.0 == 1), vec![0.002]);
+    }
+}

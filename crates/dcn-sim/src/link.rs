@@ -1,0 +1,135 @@
+//! Full-duplex links.
+//!
+//! A link connects a lower-tier node to an upper-tier node (host→ToR,
+//! ToR→Agg, Agg→Core). Each direction has its own transmitter: an output
+//! queue (at the sending node's port) plus a busy flag modelling
+//! serialization. Propagation delay is applied after serialization
+//! completes, so a packet of `B` bytes arrives `B·8/bw + latency` after
+//! transmission begins — exactly the OMNeT++/INET channel model the paper's
+//! simulations use.
+
+use crate::queue::{PortQueue, QueueConfig};
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Direction of travel over a link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Dir {
+    /// From the lower-tier endpoint toward the upper tier (e.g. host→ToR).
+    Up,
+    /// From the upper-tier endpoint toward the lower tier.
+    Down,
+}
+
+impl Dir {
+    pub fn index(self) -> usize {
+        match self {
+            Dir::Up => 0,
+            Dir::Down => 1,
+        }
+    }
+
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::Up => Dir::Down,
+            Dir::Down => Dir::Up,
+        }
+    }
+}
+
+/// Static link properties.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+}
+
+impl LinkSpec {
+    /// Serialization time for `bytes` on this link.
+    pub fn serialization(&self, bytes: u32) -> SimDuration {
+        SimDuration::serialization(bytes as u64, self.bandwidth_bps)
+    }
+}
+
+/// One direction's transmitter: output queue plus serialization state.
+#[derive(Debug)]
+pub struct Transmitter {
+    /// The output queue feeding this transmitter.
+    pub queue: PortQueue,
+    /// True while a packet is being serialized onto the wire.
+    pub busy: bool,
+}
+
+impl Transmitter {
+    pub fn new(queue_cfg: QueueConfig) -> Transmitter {
+        Transmitter {
+            queue: PortQueue::new(queue_cfg),
+            busy: false,
+        }
+    }
+}
+
+/// A full-duplex link instance owned by the engine.
+#[derive(Debug)]
+pub struct DuplexLink {
+    pub spec: LinkSpec,
+    /// Transmitters indexed by [`Dir::index`].
+    pub tx: [Transmitter; 2],
+}
+
+impl DuplexLink {
+    pub fn new(spec: LinkSpec, up_queue: QueueConfig, down_queue: QueueConfig) -> DuplexLink {
+        DuplexLink {
+            spec,
+            tx: [Transmitter::new(up_queue), Transmitter::new(down_queue)],
+        }
+    }
+
+    pub fn tx_mut(&mut self, dir: Dir) -> &mut Transmitter {
+        &mut self.tx[dir.index()]
+    }
+
+    pub fn tx(&self, dir: Dir) -> &Transmitter {
+        &self.tx[dir.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_roundtrip() {
+        assert_eq!(Dir::Up.opposite(), Dir::Down);
+        assert_eq!(Dir::Down.opposite(), Dir::Up);
+        assert_eq!(Dir::Up.index(), 0);
+        assert_eq!(Dir::Down.index(), 1);
+    }
+
+    #[test]
+    fn serialization_uses_wire_bytes() {
+        let spec = LinkSpec {
+            bandwidth_bps: 10_000_000, // 10 Mbps
+            latency: SimDuration::from_micros(20),
+        };
+        // 1500 B at 10 Mbps = 1.2 ms.
+        assert_eq!(spec.serialization(1500).as_nanos(), 1_200_000);
+    }
+
+    #[test]
+    fn transmitters_are_independent() {
+        let mut l = DuplexLink::new(
+            LinkSpec {
+                bandwidth_bps: 1_000_000,
+                latency: SimDuration::from_micros(1),
+            },
+            QueueConfig::drop_tail(10_000),
+            QueueConfig::drop_tail(10_000),
+        );
+        l.tx_mut(Dir::Up).busy = true;
+        assert!(l.tx(Dir::Up).busy);
+        assert!(!l.tx(Dir::Down).busy);
+    }
+}

@@ -1,0 +1,138 @@
+//! The seam where learned cluster models plug into the simulator.
+//!
+//! A cluster in the simulation is either *full fidelity* (its ToR and
+//! aggregation switches process packets normally) or *mimic'ed*: packets
+//! crossing the cluster boundary are handed to a [`ClusterModel`], which
+//! predicts the cluster's effects — drop, latency, ECN marking — without
+//! simulating its internals (§4.1 of the paper). The `mimicnet` crate
+//! provides the learned LSTM-based implementation; this module only defines
+//! the interface plus a trivial reference model used in tests.
+//!
+//! Boundary semantics (matching the instrumentation junctures of §5.1):
+//!
+//! * **Egress**: invoked when a packet from a host of the mimic'ed cluster
+//!   arrives at its ToR. The predicted latency spans everything up to and
+//!   including arrival at the chosen core switch.
+//! * **Ingress**: invoked when a packet arrives at the cluster's
+//!   aggregation switch from a core. The predicted latency spans everything
+//!   up to and including arrival at the destination host.
+
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which way a packet is crossing the cluster boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum BoundaryDir {
+    /// Entering the cluster from a core switch, heading to a local host.
+    Ingress,
+    /// Leaving the cluster from a local host, heading to a core switch.
+    Egress,
+}
+
+/// A model's prediction of the cluster's effect on one packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// The cluster's queues would have dropped this packet.
+    Drop,
+    /// The packet survives and exits `latency` later, optionally CE-marked.
+    Deliver {
+        latency: SimDuration,
+        mark_ce: bool,
+    },
+}
+
+/// A stand-in for a cluster's internal network.
+pub trait ClusterModel {
+    /// Predict the effect on a packet crossing the boundary at `now`.
+    fn on_packet(&mut self, dir: BoundaryDir, pkt: &Packet, now: SimTime) -> Verdict;
+
+    /// When the model next wants a wakeup (feeder injection), if ever.
+    /// Called after construction and after every [`ClusterModel::on_wake`].
+    fn next_wake(&mut self, _now: SimTime) -> Option<SimTime> {
+        None
+    }
+
+    /// A requested wakeup fired (MimicNet feeds synthetic inter-Mimic
+    /// feature vectors here; outputs are discarded by design, §6).
+    fn on_wake(&mut self, _now: SimTime) {}
+}
+
+/// A reference model with constant latency and Bernoulli drops. Useful for
+/// engine tests and as a degenerate baseline ("what if the Mimic learned
+/// only averages?").
+pub struct ConstModel {
+    /// Latency applied to every surviving packet.
+    pub latency: SimDuration,
+    /// Independent drop probability.
+    pub drop_prob: f64,
+    rng: crate::rng::SplitMix64,
+}
+
+impl ConstModel {
+    pub fn new(latency: SimDuration, drop_prob: f64, seed: u64) -> ConstModel {
+        ConstModel {
+            latency,
+            drop_prob,
+            rng: crate::rng::SplitMix64::derive(seed, 0x6100),
+        }
+    }
+}
+
+impl ClusterModel for ConstModel {
+    fn on_packet(&mut self, _dir: BoundaryDir, _pkt: &Packet, _now: SimTime) -> Verdict {
+        if self.drop_prob > 0.0 && self.rng.bernoulli(self.drop_prob) {
+            Verdict::Drop
+        } else {
+            Verdict::Deliver {
+                latency: self.latency,
+                mark_ce: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+    use crate::topology::NodeId;
+
+    fn pkt() -> Packet {
+        Packet::data(1, FlowId(1), NodeId(0), NodeId(9), 0, 1000, false, SimTime::ZERO)
+    }
+
+    #[test]
+    fn const_model_fixed_latency() {
+        let mut m = ConstModel::new(SimDuration::from_micros(300), 0.0, 1);
+        match m.on_packet(BoundaryDir::Egress, &pkt(), SimTime::ZERO) {
+            Verdict::Deliver { latency, mark_ce } => {
+                assert_eq!(latency, SimDuration::from_micros(300));
+                assert!(!mark_ce);
+            }
+            Verdict::Drop => panic!("should not drop"),
+        }
+    }
+
+    #[test]
+    fn const_model_drop_rate() {
+        let mut m = ConstModel::new(SimDuration::ZERO, 0.25, 42);
+        let n = 10_000;
+        let drops = (0..n)
+            .filter(|_| {
+                matches!(
+                    m.on_packet(BoundaryDir::Ingress, &pkt(), SimTime::ZERO),
+                    Verdict::Drop
+                )
+            })
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn default_model_never_wakes() {
+        let mut m = ConstModel::new(SimDuration::ZERO, 0.0, 1);
+        assert!(m.next_wake(SimTime::ZERO).is_none());
+    }
+}

@@ -1,0 +1,228 @@
+//! Packets and their headers.
+//!
+//! Packets are plain values; the simulator moves them between components by
+//! scheduling events. Fields mirror what MimicNet's feature extraction needs
+//! to see at cluster boundaries: sizes, ECN codepoints, priorities, TTL, and
+//! the identifiers required to match a packet entering a cluster with the
+//! same packet leaving it (§5.1 of the paper).
+
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a flow (a transport connection).
+///
+/// Flow ids are allocated deterministically per source host so that runs are
+/// reproducible regardless of event interleaving.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct FlowId(pub u64);
+
+/// IP ECN codepoints (RFC 3168), as MimicNet must predict CE re-marking.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Ecn {
+    /// Not ECN-capable transport.
+    NotEct,
+    /// ECN-capable, not marked.
+    Ect,
+    /// Congestion experienced — marked by a queue.
+    Ce,
+}
+
+impl Ecn {
+    /// True if the packet may be CE-marked instead of dropped.
+    pub fn is_capable(self) -> bool {
+        !matches!(self, Ecn::NotEct)
+    }
+}
+
+/// The role a packet plays in its transport protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Payload-carrying segment.
+    Data,
+    /// Acknowledgment (cumulative; `seq` is the ack number).
+    Ack,
+    /// Homa-style grant; `seq` is the granted byte offset.
+    Grant,
+}
+
+/// Transport flag bits carried in the header.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug, Serialize, Deserialize)]
+pub struct PacketFlags {
+    /// Connection-opening segment.
+    pub syn: bool,
+    /// Final segment of the flow.
+    pub fin: bool,
+    /// ECN-echo: receiver saw CE (DCTCP feedback).
+    pub ece: bool,
+}
+
+/// Combined IP + transport header size we charge to the wire, in bytes.
+pub const HEADER_BYTES: u32 = 40;
+
+/// Default maximum payload per segment (MTU 1500 minus headers).
+pub const MSS_BYTES: u32 = 1460;
+
+/// Default TTL at the sending host.
+pub const INITIAL_TTL: u8 = 64;
+
+/// A simulated packet.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally unique, deterministically allocated id (host id in high
+    /// bits, per-host counter in low bits).
+    pub id: u64,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Originating host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Role of the packet.
+    pub kind: PacketKind,
+    /// Data: byte offset of the first payload byte. Ack: cumulative ack.
+    /// Grant: granted offset.
+    pub seq: u64,
+    /// Payload bytes carried (0 for pure acks/grants).
+    pub payload: u32,
+    /// ECN codepoint, mutable by queues along the path.
+    pub ecn: Ecn,
+    /// Transport flags.
+    pub flags: PacketFlags,
+    /// Priority class (0 = highest). Used by Homa's priority queues.
+    pub prio: u8,
+    /// Remaining time-to-live; decremented per switch hop.
+    pub ttl: u8,
+    /// When the sender emitted this packet (echoed in acks for RTT).
+    pub sent_at: SimTime,
+    /// Timestamp echoed by the receiver (acks only): `sent_at` of the data
+    /// packet being acknowledged. Used for RTT sampling.
+    pub echo: SimTime,
+    /// Total application bytes of the flow, carried in every data packet's
+    /// header (as in Homa's message-size field). Lets a receiving host
+    /// instantiate the receiver endpoint on first contact, which keeps
+    /// flow setup strictly local to each side — a requirement for the
+    /// parallel (PDES) execution mode.
+    pub flow_size: u64,
+    /// Protocol-specific scratch word (e.g. Homa grants carry the
+    /// receiver's cumulative received prefix here). Zero for protocols
+    /// that don't use it.
+    pub meta: u64,
+}
+
+impl Packet {
+    /// Total bytes this packet occupies on the wire.
+    pub fn wire_bytes(&self) -> u32 {
+        self.payload + HEADER_BYTES
+    }
+
+    /// A data segment for `flow` from `src` to `dst`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn data(
+        id: u64,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        seq: u64,
+        payload: u32,
+        ecn_capable: bool,
+        now: SimTime,
+    ) -> Packet {
+        Packet {
+            id,
+            flow,
+            src,
+            dst,
+            kind: PacketKind::Data,
+            seq,
+            payload,
+            ecn: if ecn_capable { Ecn::Ect } else { Ecn::NotEct },
+            flags: PacketFlags::default(),
+            prio: 0,
+            ttl: INITIAL_TTL,
+            sent_at: now,
+            echo: SimTime::ZERO,
+            flow_size: 0,
+            meta: 0,
+        }
+    }
+
+    /// A pure ack from `src` (the data receiver) back to `dst`.
+    pub fn ack(
+        id: u64,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        ack_no: u64,
+        ece: bool,
+        echo: SimTime,
+        now: SimTime,
+    ) -> Packet {
+        Packet {
+            id,
+            flow,
+            src,
+            dst,
+            kind: PacketKind::Ack,
+            seq: ack_no,
+            payload: 0,
+            ecn: Ecn::NotEct,
+            flags: PacketFlags {
+                ece,
+                ..PacketFlags::default()
+            },
+            prio: 0,
+            ttl: INITIAL_TTL,
+            sent_at: now,
+            echo,
+            flow_size: 0,
+            meta: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeId;
+
+    #[test]
+    fn wire_bytes_includes_header() {
+        let p = Packet::data(
+            1,
+            FlowId(1),
+            NodeId(0),
+            NodeId(1),
+            0,
+            MSS_BYTES,
+            true,
+            SimTime::ZERO,
+        );
+        assert_eq!(p.wire_bytes(), 1500);
+    }
+
+    #[test]
+    fn ack_has_no_payload() {
+        let a = Packet::ack(
+            2,
+            FlowId(1),
+            NodeId(1),
+            NodeId(0),
+            1460,
+            true,
+            SimTime::from_secs_f64(0.001),
+            SimTime::from_secs_f64(0.002),
+        );
+        assert_eq!(a.payload, 0);
+        assert_eq!(a.wire_bytes(), HEADER_BYTES);
+        assert!(a.flags.ece);
+        assert_eq!(a.echo, SimTime::from_secs_f64(0.001));
+    }
+
+    #[test]
+    fn ecn_capability() {
+        assert!(!Ecn::NotEct.is_capable());
+        assert!(Ecn::Ect.is_capable());
+        assert!(Ecn::Ce.is_capable());
+    }
+}

@@ -1,0 +1,182 @@
+//! Conservative parallel discrete-event simulation (PDES).
+//!
+//! The paper's §2.2 observes that parallelizing a tightly coupled data
+//! center simulation often *hurts*: logical processes (LPs) must
+//! synchronize whenever simulated time advances past the inter-LP
+//! lookahead, and in a FatTree that lookahead is a single link latency.
+//! This module implements the classic conservative approach so the claim
+//! can be reproduced (Figure 2) and so Mimic compositions — which remove
+//! most cross-LP traffic — can demonstrate their better parallel behaviour.
+//!
+//! Design: *barrier-synchronous conservative windows.* The network is
+//! partitioned by cluster (core switches round-robin). Every LP runs the
+//! ordinary [`Simulation`] engine restricted to its nodes. Because every
+//! cross-partition packet needs at least one link latency `Δ` to arrive,
+//! each LP can safely process the window `[T, T+Δ)` in isolation; at the
+//! barrier, exported arrivals are exchanged and the window advances. With
+//! the engine's structural event ordering, the result is **bit-identical**
+//! to the sequential execution (asserted by integration tests).
+
+use crate::config::SimConfig;
+use crate::instrument::Metrics;
+use crate::simulator::Simulation;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{FatTree, NodeId, NodeKind};
+use crate::transport::TransportFactory;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// Map every node to a partition: clusters round-robin, cores round-robin.
+pub fn partition_by_cluster(topo: &FatTree, partitions: usize) -> Vec<u8> {
+    assert!(partitions >= 1 && partitions <= u8::MAX as usize);
+    let p = partitions as u32;
+    (0..topo.params.num_nodes())
+        .map(|n| {
+            let n = NodeId(n);
+            match topo.kind(n) {
+                NodeKind::Core => {
+                    let (a, j) = topo.core_coords(n);
+                    ((a * topo.params.cores_per_agg + j) % p) as u8
+                }
+                _ => (topo.cluster_of(n).expect("cluster-tier node") % p) as u8,
+            }
+        })
+        .collect()
+}
+
+type RemoteMsg = (SimTime, NodeId, crate::packet::Packet);
+
+/// Run `cfg` across `partitions` logical processes on OS threads and return
+/// the merged metrics. `make_factory` is invoked once per LP.
+///
+/// With `partitions == 1` this degenerates to (and exactly matches) the
+/// sequential engine.
+pub fn run_partitioned(
+    cfg: SimConfig,
+    partitions: usize,
+    make_factory: &(dyn Fn() -> Box<dyn TransportFactory> + Sync),
+) -> Metrics {
+    assert!(partitions >= 1);
+    let topo = FatTree::new(cfg.topo);
+    let owner = Arc::new(partition_by_cluster(&topo, partitions));
+
+    // Lookahead: every cross-partition hop takes at least one propagation
+    // latency.
+    let window = cfg.link.latency;
+    assert!(window > SimDuration::ZERO, "zero-latency links break lookahead");
+    let end = SimTime::from_secs_f64(cfg.duration_s) + SimDuration::from_nanos(1);
+
+    let channels: Vec<(Sender<RemoteMsg>, Receiver<RemoteMsg>)> =
+        (0..partitions).map(|_| unbounded()).collect();
+    let senders: Vec<Sender<RemoteMsg>> = channels.iter().map(|(s, _)| s.clone()).collect();
+    let mut receivers: Vec<Option<Receiver<RemoteMsg>>> =
+        channels.into_iter().map(|(_, r)| Some(r)).collect();
+
+    let barrier = Arc::new(Barrier::new(partitions));
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(partitions);
+        for part in 0..partitions {
+            let owner = owner.clone();
+            let senders = senders.clone();
+            let rx = receivers[part].take().expect("receiver taken once");
+            let barrier = barrier.clone();
+            handles.push(scope.spawn(move || {
+                let mut sim = Simulation::with_transport(cfg, make_factory());
+                sim.set_partition(owner.clone(), part as u8);
+                let mut t = SimTime::ZERO;
+                while t < end {
+                    let t_next = (t + window).min(end);
+                    let outbox = sim.run_window(t_next);
+                    for (time, node, pkt) in outbox {
+                        let dest = owner[node.0 as usize] as usize;
+                        senders[dest].send((time, node, pkt)).expect("LP alive");
+                    }
+                    barrier.wait();
+                    while let Ok((time, node, pkt)) = rx.try_recv() {
+                        sim.inject_arrival(time, node, pkt);
+                    }
+                    barrier.wait();
+                    t = t_next;
+                }
+                sim.take_metrics()
+            }));
+        }
+        let mut merged: Option<Metrics> = None;
+        for h in handles {
+            let m = h.join().expect("LP panicked");
+            match &mut merged {
+                None => merged = Some(m),
+                Some(acc) => acc.merge(m),
+            }
+        }
+        merged.expect("at least one partition")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::testing::FixedWindowFactory;
+
+    fn cfg() -> SimConfig {
+        let mut c = SimConfig::small_scale();
+        c.topo.clusters = 4;
+        c.duration_s = 0.2;
+        c.seed = 11;
+        c
+    }
+
+    fn factory() -> Box<dyn TransportFactory> {
+        Box::new(FixedWindowFactory::default())
+    }
+
+    #[test]
+    fn partition_map_covers_all_nodes() {
+        let topo = FatTree::new(cfg().topo);
+        let owner = partition_by_cluster(&topo, 3);
+        assert_eq!(owner.len(), topo.params.num_nodes() as usize);
+        assert!(owner.iter().all(|&p| p < 3));
+        // All nodes of the same cluster share a partition.
+        for c in 0..4 {
+            let expect = owner[topo.tor(c, 0).0 as usize];
+            assert_eq!(owner[topo.host(c, 1, 1).0 as usize], expect);
+            assert_eq!(owner[topo.agg(c, 1).0 as usize], expect);
+        }
+    }
+
+    #[test]
+    fn single_partition_matches_sequential() {
+        let mut seq = Simulation::new(cfg());
+        let m_seq = seq.run();
+        let m_par = run_partitioned(cfg(), 1, &factory);
+        assert_eq!(m_seq.flows_completed(), m_par.flows_completed());
+        assert_eq!(m_seq.total_delivered_bytes(), m_par.total_delivered_bytes());
+        assert_eq!(m_seq.queue_drops, m_par.queue_drops);
+    }
+
+    #[test]
+    fn two_partitions_match_sequential_exactly() {
+        let mut seq = Simulation::new(cfg());
+        let m_seq = seq.run();
+        let m_par = run_partitioned(cfg(), 2, &factory);
+        assert_eq!(m_seq.flows_started(), m_par.flows_started());
+        assert_eq!(m_seq.flows_completed(), m_par.flows_completed());
+        assert_eq!(m_seq.total_delivered_bytes(), m_par.total_delivered_bytes());
+        assert_eq!(m_seq.queue_drops, m_par.queue_drops);
+        // Per-flow completion times must agree bit-for-bit.
+        for (id, rec) in &m_seq.flows {
+            let other = m_par.flows.get(id).expect("flow missing in parallel run");
+            assert_eq!(rec.end, other.end, "FCT mismatch for {id:?}");
+        }
+    }
+
+    #[test]
+    fn four_partitions_match_sequential() {
+        let mut seq = Simulation::new(cfg());
+        let m_seq = seq.run();
+        let m_par = run_partitioned(cfg(), 4, &factory);
+        assert_eq!(m_seq.total_delivered_bytes(), m_par.total_delivered_bytes());
+        assert_eq!(m_seq.flows_completed(), m_par.flows_completed());
+    }
+}

@@ -1,0 +1,913 @@
+//! The simulation engine.
+//!
+//! [`Simulation`] owns the entire network state (links, hosts, metrics),
+//! drains the event queue, and dispatches each event to the component
+//! logic in the sibling modules. It supports three execution shapes:
+//!
+//! * **Full fidelity** — every cluster's switches are simulated; this is
+//!   the ground truth the paper evaluates against.
+//! * **Mimic composition** — clusters replaced by [`ClusterModel`]s via
+//!   [`Simulation::set_cluster_model`]; packets crossing their boundaries
+//!   take the learned path instead of the queue/switch path (§7.1).
+//! * **Partitioned** — the same engine restricted to a subset of nodes,
+//!   exporting cross-partition packet arrivals; the [`crate::pdes`] driver
+//!   composes several of these into a conservative parallel simulation.
+
+use crate::config::SimConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::host::{HostState, Role};
+use crate::instrument::{BoundaryPhase, BoundaryRecord, FlowRecord, Metrics, RttSample};
+use crate::link::{Dir, DuplexLink, LinkSpec};
+use crate::mimic::{BoundaryDir, ClusterModel, Verdict};
+use crate::packet::{Ecn, FlowId, Packet, PacketKind};
+use crate::routing::Router;
+use crate::switch::process_hop;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{FatTree, LinkId, NodeId, NodeKind};
+use crate::traffic::TrafficGen;
+use crate::transport::{Actions, FlowSpec, TransportCtx, TransportFactory};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// How one cluster is executed.
+pub enum ClusterMode {
+    /// Simulate all switches and queues.
+    Full,
+    /// Replace internals with a model. `ingress`/`egress` select which
+    /// directions the model handles (both for a real Mimic; one for the
+    /// paper's Appendix B hybrid debug clusters).
+    Mimic {
+        model: Box<dyn ClusterModel>,
+        ingress: bool,
+        egress: bool,
+    },
+}
+
+impl ClusterMode {
+    fn models_ingress(&self) -> bool {
+        matches!(self, ClusterMode::Mimic { ingress: true, .. })
+    }
+    fn models_egress(&self) -> bool {
+        matches!(self, ClusterMode::Mimic { egress: true, .. })
+    }
+    /// Does this cluster still generate its own full workload?
+    /// Full and hybrid (partially modeled) clusters do; full Mimics do not.
+    fn full_fidelity_traffic(&self) -> bool {
+        match self {
+            ClusterMode::Full => true,
+            ClusterMode::Mimic {
+                ingress, egress, ..
+            } => !(*ingress && *egress),
+        }
+    }
+}
+
+/// The discrete-event simulation engine.
+pub struct Simulation {
+    cfg: SimConfig,
+    topo: FatTree,
+    router: Router,
+    queue: EventQueue,
+    now: SimTime,
+    end: SimTime,
+    links: Vec<DuplexLink>,
+    hosts: Vec<HostState>,
+    /// Flows a host has finished with (for TIME_WAIT-style re-acking).
+    done: Vec<HashSet<FlowId>>,
+    cluster_modes: Vec<ClusterMode>,
+    traffic: TrafficGen,
+    factory: Box<dyn TransportFactory>,
+    metrics: Metrics,
+    trace_cluster: Option<u32>,
+    scratch: Actions,
+    initialized: bool,
+    /// Per-(link, dir) fault streams; `None` when loss injection is off.
+    fault: Option<Vec<[crate::rng::SplitMix64; 2]>>,
+    // --- partitioning (None = own everything) ---
+    owner_of_node: Option<Arc<Vec<u8>>>,
+    my_partition: u8,
+    outbox: Vec<(SimTime, NodeId, Packet)>,
+}
+
+impl Simulation {
+    /// Build an engine with the default (testing) transport. Use
+    /// [`Simulation::with_transport`] for real protocols.
+    pub fn new(cfg: SimConfig) -> Simulation {
+        Simulation::with_transport(
+            cfg,
+            Box::new(crate::transport::testing::FixedWindowFactory::default()),
+        )
+    }
+
+    /// Build an engine running the given transport protocol.
+    pub fn with_transport(cfg: SimConfig, factory: Box<dyn TransportFactory>) -> Simulation {
+        let topo = FatTree::new(cfg.topo);
+        let router = Router::new(topo.clone());
+        let qc = cfg.queue.to_queue_config();
+        let mut links = Vec::with_capacity(cfg.topo.num_links() as usize);
+        for l in 0..cfg.topo.num_links() {
+            let l = LinkId(l);
+            let bw = if topo.is_host_link(l) {
+                cfg.link.host_bw_bps
+            } else {
+                cfg.link.fabric_bw_bps
+            };
+            links.push(DuplexLink::new(
+                LinkSpec {
+                    bandwidth_bps: bw,
+                    latency: cfg.link.latency,
+                },
+                qc,
+                qc,
+            ));
+        }
+        let hosts = (0..cfg.topo.num_hosts())
+            .map(|h| HostState::new(NodeId(h)))
+            .collect();
+        let traffic = TrafficGen::new(topo.clone(), cfg.traffic, cfg.link.host_bw_bps, cfg.seed);
+        let cluster_modes = (0..cfg.topo.clusters).map(|_| ClusterMode::Full).collect();
+        let mut metrics = Metrics::new(cfg.topo.num_hosts());
+        metrics.enable_queue_stats(cfg.topo.num_links());
+        let fault = (cfg.link.loss_prob > 0.0).then(|| {
+            (0..cfg.topo.num_links())
+                .map(|l| {
+                    [
+                        crate::rng::SplitMix64::derive(cfg.seed, 0xFA00_0000 | (l as u64) << 1),
+                        crate::rng::SplitMix64::derive(
+                            cfg.seed,
+                            0xFA00_0000 | ((l as u64) << 1 | 1),
+                        ),
+                    ]
+                })
+                .collect()
+        });
+        Simulation {
+            fault,
+            end: SimTime::from_secs_f64(cfg.duration_s),
+            metrics,
+            done: vec![HashSet::new(); cfg.topo.num_hosts() as usize],
+            cfg,
+            topo,
+            router,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            links,
+            hosts,
+            cluster_modes,
+            traffic,
+            factory,
+            trace_cluster: None,
+            scratch: Actions::default(),
+            initialized: false,
+            owner_of_node: None,
+            my_partition: 0,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Record the boundary trace of `cluster` (the paper's §5.1
+    /// instrumentation of one full-fidelity cluster).
+    pub fn trace_cluster(&mut self, cluster: u32) {
+        assert!(cluster < self.cfg.topo.clusters);
+        self.trace_cluster = Some(cluster);
+    }
+
+    /// Replace `cluster`'s internals with a model for both directions.
+    pub fn set_cluster_model(&mut self, cluster: u32, model: Box<dyn ClusterModel>) {
+        self.set_cluster_model_dirs(cluster, model, true, true);
+    }
+
+    /// Replace `cluster`'s internals for selected directions only (hybrid
+    /// testing clusters, paper Appendix B).
+    pub fn set_cluster_model_dirs(
+        &mut self,
+        cluster: u32,
+        model: Box<dyn ClusterModel>,
+        ingress: bool,
+        egress: bool,
+    ) {
+        assert!(cluster < self.cfg.topo.clusters);
+        assert!(!self.initialized, "cannot add models after the run started");
+        self.cluster_modes[cluster as usize] = ClusterMode::Mimic {
+            model,
+            ingress,
+            egress,
+        };
+    }
+
+    /// Restrict this engine to the nodes mapped to `mine` in `owner`;
+    /// arrivals at foreign nodes are exported instead of processed. Used by
+    /// the PDES driver.
+    pub fn set_partition(&mut self, owner: Arc<Vec<u8>>, mine: u8) {
+        assert_eq!(owner.len(), self.cfg.topo.num_nodes() as usize);
+        assert!(!self.initialized);
+        self.owner_of_node = Some(owner);
+        self.my_partition = mine;
+    }
+
+    /// The topology being simulated.
+    pub fn topo(&self) -> &FatTree {
+        &self.topo
+    }
+
+    /// The router (exposed for feature extraction: "core switch traversed"
+    /// is a deterministic function of the flow).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Configured end of the run.
+    pub fn end_time(&self) -> SimTime {
+        self.end
+    }
+
+    /// Total events scheduled so far (for events/second reporting).
+    pub fn events_scheduled(&self) -> u64 {
+        self.queue.total_scheduled()
+    }
+
+    /// Read metrics mid-run.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn owned(&self, node: NodeId) -> bool {
+        match &self.owner_of_node {
+            None => true,
+            Some(owner) => owner[node.0 as usize] == self.my_partition,
+        }
+    }
+
+    fn init_schedule(&mut self) {
+        if self.initialized {
+            return;
+        }
+        self.initialized = true;
+        for h in 0..self.cfg.topo.num_hosts() {
+            let host = NodeId(h);
+            if !self.owned(host) {
+                continue;
+            }
+            let t = self.traffic.first_arrival(host);
+            if t <= self.end {
+                self.queue.schedule(t, EventKind::FlowArrival { host });
+            }
+        }
+        // Feeder wakeups for mimic'ed clusters we own (cluster ownership is
+        // keyed off the cluster's first ToR).
+        for c in 0..self.cfg.topo.clusters {
+            let tor0 = self.topo.tor(c, 0);
+            if !self.owned(tor0) {
+                continue;
+            }
+            if let ClusterMode::Mimic { model, .. } = &mut self.cluster_modes[c as usize] {
+                if let Some(t) = model.next_wake(SimTime::ZERO) {
+                    self.queue
+                        .schedule(t, EventKind::FeederWake { cluster: c });
+                }
+            }
+        }
+    }
+
+    /// Run to the configured end and return all metrics.
+    pub fn run(&mut self) -> Metrics {
+        let end = self.end;
+        let leftover = self.run_window(end + SimDuration::from_nanos(1));
+        debug_assert!(
+            leftover.is_empty(),
+            "unpartitioned run exported remote events"
+        );
+        std::mem::replace(&mut self.metrics, Metrics::new(0))
+    }
+
+    /// Process all events strictly before `until`; return packet arrivals
+    /// destined for nodes owned by other partitions.
+    pub fn run_window(&mut self, until: SimTime) -> Vec<(SimTime, NodeId, Packet)> {
+        self.init_schedule();
+        let until = until.min(self.end + SimDuration::from_nanos(1));
+        while let Some(t) = self.queue.peek_time() {
+            if t >= until {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            self.now = ev.time;
+            self.metrics.events_processed += 1;
+            match ev.kind {
+                EventKind::TxDone { link, dir } => self.handle_tx_done(link, dir),
+                EventKind::Arrive { node, packet } => self.handle_arrive(node, packet),
+                EventKind::Timer { host, flow, token } => self.handle_timer(host, flow, token),
+                EventKind::FlowArrival { host } => self.handle_flow_arrival(host),
+                EventKind::FeederWake { cluster } => self.handle_feeder(cluster),
+            }
+        }
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Inject an event from another partition.
+    pub fn inject_arrival(&mut self, time: SimTime, node: NodeId, packet: Packet) {
+        debug_assert!(self.owned(node));
+        self.queue
+            .schedule(time, EventKind::Arrive { node, packet });
+    }
+
+    /// Extract metrics after the run (partitioned mode).
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::replace(&mut self.metrics, Metrics::new(0))
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn handle_flow_arrival(&mut self, host: NodeId) {
+        let gf = self.traffic.next(host, self.now);
+        if gf.next_arrival <= self.end {
+            self.queue
+                .schedule(gf.next_arrival, EventKind::FlowArrival { host });
+        }
+        if !self.should_create(&gf.spec) {
+            return;
+        }
+        let spec = gf.spec;
+        self.metrics.flows.insert(
+            spec.id,
+            FlowRecord {
+                flow: spec.id,
+                src: spec.src,
+                dst: spec.dst,
+                size_bytes: spec.size_bytes,
+                start: spec.start,
+                end: None,
+            },
+        );
+        let sender = self.factory.sender(&spec);
+        let h = &mut self.hosts[spec.src.0 as usize];
+        h.add_endpoint(spec.id, sender, Role::Sender);
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        {
+            let h = &mut self.hosts[spec.src.0 as usize];
+            let ep = h.flows.get_mut(&spec.id).expect("just inserted");
+            let mut ctx = TransportCtx {
+                now: self.now,
+                ids: &mut h.ids,
+            };
+            ep.transport.on_start(&mut ctx, &mut out);
+        }
+        self.apply_actions(spec.src, spec.id, &mut out);
+        self.scratch = out;
+    }
+
+    /// A flow is instantiated only if at least one endpoint lives in a
+    /// cluster that still runs full-fidelity traffic; everything else is
+    /// Mimic-Mimic traffic whose effect the feeders supply (§6).
+    fn should_create(&self, spec: &FlowSpec) -> bool {
+        let src_c = self.topo.cluster_of(spec.src).expect("hosts have clusters");
+        let dst_c = self.topo.cluster_of(spec.dst).expect("hosts have clusters");
+        self.cluster_modes[src_c as usize].full_fidelity_traffic()
+            || self.cluster_modes[dst_c as usize].full_fidelity_traffic()
+    }
+
+    fn handle_tx_done(&mut self, link: LinkId, dir: Dir) {
+        self.links[link.0 as usize].tx_mut(dir).busy = false;
+        self.try_start_tx(link, dir);
+    }
+
+    fn try_start_tx(&mut self, link_id: LinkId, dir: Dir) {
+        let link = &mut self.links[link_id.0 as usize];
+        if link.tx(dir).busy {
+            return;
+        }
+        let Some(pkt) = link.tx_mut(dir).queue.dequeue() else {
+            return;
+        };
+        link.tx_mut(dir).busy = true;
+        let ser = link.spec.serialization(pkt.wire_bytes());
+        let latency = link.spec.latency;
+        let (lo, hi) = self.topo.link_ends(link_id);
+        let peer = match dir {
+            Dir::Up => hi,
+            Dir::Down => lo,
+        };
+        self.queue
+            .schedule(self.now + ser, EventKind::TxDone { link: link_id, dir });
+        // Injected link faults: the packet occupies the wire (TxDone still
+        // fires) but never arrives.
+        if let Some(streams) = &mut self.fault {
+            if streams[link_id.0 as usize][dir.index()].bernoulli(self.cfg.link.loss_prob) {
+                self.metrics.fault_drops += 1;
+                return;
+            }
+        }
+        self.schedule_arrival(self.now + ser + latency, peer, pkt);
+    }
+
+    /// Schedule a packet arrival, exporting it if the node is foreign.
+    fn schedule_arrival(&mut self, time: SimTime, node: NodeId, packet: Packet) {
+        if self.owned(node) {
+            self.queue
+                .schedule(time, EventKind::Arrive { node, packet });
+        } else {
+            self.outbox.push((time, node, packet));
+        }
+    }
+
+    fn handle_arrive(&mut self, node: NodeId, pkt: Packet) {
+        match self.topo.kind(node) {
+            NodeKind::Host => self.arrive_at_host(node, pkt),
+            NodeKind::Tor => self.arrive_at_tor(node, pkt),
+            NodeKind::Agg => self.arrive_at_agg(node, pkt),
+            NodeKind::Core => self.arrive_at_core(node, pkt),
+        }
+    }
+
+    fn arrive_at_host(&mut self, node: NodeId, pkt: Packet) {
+        let cluster = self.topo.cluster_of(node).expect("host has cluster");
+        let src_cluster = self.topo.cluster_of(pkt.src);
+        if Some(cluster) == self.trace_cluster && src_cluster != Some(cluster) {
+            // Ingress exit juncture: external packet delivered to a host of
+            // the traced cluster.
+            let core = self.router.core_for_flow(pkt.flow);
+            self.metrics.boundary.push(BoundaryRecord::from_packet(
+                &pkt,
+                self.now,
+                BoundaryDir::Ingress,
+                BoundaryPhase::Exit,
+                core,
+            ));
+        }
+        self.deliver_to_endpoint(node, pkt);
+    }
+
+    fn arrive_at_tor(&mut self, node: NodeId, mut pkt: Packet) {
+        let (cluster, _) = self.topo.tor_coords(node);
+        let from_host = self.topo.tor_of_host(pkt.src) == node;
+        let dst_cluster = self.topo.cluster_of(pkt.dst).expect("hosts have clusters");
+        let leaving = dst_cluster != cluster;
+
+        if from_host && leaving && self.cluster_modes[cluster as usize].models_egress() {
+            self.mimic_boundary(cluster, BoundaryDir::Egress, pkt);
+            return;
+        }
+        if process_hop(&mut pkt).is_err() {
+            self.metrics.queue_drops += 1;
+            return;
+        }
+        if from_host && leaving && Some(cluster) == self.trace_cluster {
+            // Egress enter juncture.
+            let core = self.router.core_for_flow(pkt.flow);
+            self.metrics.boundary.push(BoundaryRecord::from_packet(
+                &pkt,
+                self.now,
+                BoundaryDir::Egress,
+                BoundaryPhase::Enter,
+                core,
+            ));
+        }
+        self.forward(node, pkt);
+    }
+
+    fn arrive_at_agg(&mut self, node: NodeId, mut pkt: Packet) {
+        let (cluster, _) = self.topo.agg_coords(node);
+        let dst_cluster = self.topo.cluster_of(pkt.dst).expect("hosts have clusters");
+        let src_cluster = self.topo.cluster_of(pkt.src).expect("hosts have clusters");
+        let from_core = dst_cluster == cluster && src_cluster != cluster;
+
+        if from_core && self.cluster_modes[cluster as usize].models_ingress() {
+            self.mimic_boundary(cluster, BoundaryDir::Ingress, pkt);
+            return;
+        }
+        if process_hop(&mut pkt).is_err() {
+            self.metrics.queue_drops += 1;
+            return;
+        }
+        if from_core && Some(cluster) == self.trace_cluster {
+            // Ingress enter juncture.
+            let core = self.router.core_for_flow(pkt.flow);
+            self.metrics.boundary.push(BoundaryRecord::from_packet(
+                &pkt,
+                self.now,
+                BoundaryDir::Ingress,
+                BoundaryPhase::Enter,
+                core,
+            ));
+        }
+        self.forward(node, pkt);
+    }
+
+    fn arrive_at_core(&mut self, node: NodeId, mut pkt: Packet) {
+        let src_cluster = self.topo.cluster_of(pkt.src);
+        if self.trace_cluster.is_some() && src_cluster == self.trace_cluster {
+            // Egress exit juncture: the packet left the traced cluster.
+            self.metrics.boundary.push(BoundaryRecord::from_packet(
+                &pkt,
+                self.now,
+                BoundaryDir::Egress,
+                BoundaryPhase::Exit,
+                node,
+            ));
+        }
+        if process_hop(&mut pkt).is_err() {
+            self.metrics.queue_drops += 1;
+            return;
+        }
+        self.forward(node, pkt);
+    }
+
+    fn forward(&mut self, node: NodeId, pkt: Packet) {
+        let hop = self.router.route(node, pkt.flow, pkt.dst);
+        self.metrics.hops_forwarded += 1;
+        let tx = self.links[hop.link.0 as usize].tx_mut(hop.dir);
+        let depth = tx.queue.len_pkts();
+        self.metrics
+            .record_queue_depth(hop.link.0, hop.dir.index(), depth);
+        let tx = self.links[hop.link.0 as usize].tx_mut(hop.dir);
+        match tx.queue.enqueue(pkt) {
+            crate::queue::EnqueueOutcome::Dropped => {
+                self.metrics.queue_drops += 1;
+            }
+            crate::queue::EnqueueOutcome::Enqueued { marked } => {
+                if marked {
+                    self.metrics.ecn_marks += 1;
+                }
+                self.try_start_tx(hop.link, hop.dir);
+            }
+        }
+    }
+
+    /// Run a packet through a mimic'ed cluster's model and schedule its
+    /// reappearance on the other side.
+    fn mimic_boundary(&mut self, cluster: u32, dir: BoundaryDir, mut pkt: Packet) {
+        let verdict = {
+            let ClusterMode::Mimic { model, .. } = &mut self.cluster_modes[cluster as usize]
+            else {
+                unreachable!("mimic_boundary called on full cluster")
+            };
+            model.on_packet(dir, &pkt, self.now)
+        };
+        match verdict {
+            Verdict::Drop => {
+                self.metrics.mimic_drops += 1;
+            }
+            Verdict::Deliver { latency, mark_ce } => {
+                if mark_ce && pkt.ecn.is_capable() {
+                    pkt.ecn = Ecn::Ce;
+                }
+                let target = match dir {
+                    // Egress: reappear at the flow's ECMP core switch.
+                    BoundaryDir::Egress => self.router.core_for_flow(pkt.flow),
+                    // Ingress: delivered to the destination host.
+                    BoundaryDir::Ingress => pkt.dst,
+                };
+                self.schedule_arrival(self.now + latency, target, pkt);
+            }
+        }
+    }
+
+    fn handle_feeder(&mut self, cluster: u32) {
+        let next = {
+            let ClusterMode::Mimic { model, .. } = &mut self.cluster_modes[cluster as usize]
+            else {
+                return;
+            };
+            model.on_wake(self.now);
+            model.next_wake(self.now)
+        };
+        if let Some(t) = next {
+            let t = t.max(self.now + SimDuration::from_nanos(1));
+            if t <= self.end {
+                self.queue.schedule(t, EventKind::FeederWake { cluster });
+            }
+        }
+    }
+
+    fn deliver_to_endpoint(&mut self, host: NodeId, pkt: Packet) {
+        let idx = host.0 as usize;
+        if !self.hosts[idx].flows.contains_key(&pkt.flow) {
+            if self.done[idx].contains(&pkt.flow) {
+                // TIME_WAIT-style responder: re-ack retransmits of flows we
+                // already finished so lost final acks cannot livelock the
+                // sender.
+                if pkt.kind == PacketKind::Data {
+                    let ack = Packet::ack(
+                        self.hosts[idx].ids.next(),
+                        pkt.flow,
+                        host,
+                        pkt.src,
+                        pkt.flow_size,
+                        false,
+                        pkt.sent_at,
+                        self.now,
+                    );
+                    self.send_from_host(host, ack);
+                }
+                return;
+            }
+            if pkt.kind != PacketKind::Data {
+                // Stray control packet for an unknown flow (e.g. a dup ack
+                // racing the sender's completion); drop it.
+                return;
+            }
+            // First contact: instantiate the receiver endpoint.
+            let spec = FlowSpec {
+                id: pkt.flow,
+                src: pkt.src,
+                dst: pkt.dst,
+                size_bytes: pkt.flow_size,
+                start: self.now,
+            };
+            let recv = self.factory.receiver(&spec);
+            self.hosts[idx].add_endpoint(pkt.flow, recv, Role::Receiver);
+        }
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        {
+            let h = &mut self.hosts[idx];
+            let ep = h.flows.get_mut(&pkt.flow).expect("endpoint exists");
+            let mut ctx = TransportCtx {
+                now: self.now,
+                ids: &mut h.ids,
+            };
+            ep.transport.on_packet(&pkt, &mut ctx, &mut out);
+        }
+        self.apply_actions(host, pkt.flow, &mut out);
+        self.scratch = out;
+    }
+
+    fn handle_timer(&mut self, host: NodeId, flow: FlowId, token: u64) {
+        let idx = host.0 as usize;
+        if !self.hosts[idx].flows.contains_key(&flow) {
+            return; // flow completed; stale timer
+        }
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        {
+            let h = &mut self.hosts[idx];
+            let ep = h.flows.get_mut(&flow).expect("endpoint exists");
+            let mut ctx = TransportCtx {
+                now: self.now,
+                ids: &mut h.ids,
+            };
+            ep.transport.on_timer(token, &mut ctx, &mut out);
+        }
+        self.apply_actions(host, flow, &mut out);
+        self.scratch = out;
+    }
+
+    /// Apply a transport's requested actions on behalf of `host`.
+    fn apply_actions(&mut self, host: NodeId, flow: FlowId, out: &mut Actions) {
+        for rtt in out.rtt_samples.drain(..) {
+            self.metrics.rtt.push(RttSample {
+                host,
+                time: self.now,
+                rtt,
+            });
+        }
+        if out.delivered > 0 {
+            self.metrics.record_delivery(host, self.now, out.delivered);
+        }
+        for (delay, token) in out.timers.drain(..) {
+            let t = self.now + delay;
+            if t <= self.end {
+                self.queue.schedule(t, EventKind::Timer { host, flow, token });
+            }
+        }
+        for pkt in out.sends.drain(..) {
+            self.send_from_host(host, pkt);
+        }
+        if out.completed {
+            let idx = host.0 as usize;
+            let role = self.hosts[idx].flows.get(&flow).map(|e| e.role);
+            self.hosts[idx].remove_endpoint(flow);
+            self.done[idx].insert(flow);
+            if role == Some(Role::Sender) {
+                if let Some(rec) = self.metrics.flows.get_mut(&flow) {
+                    rec.end = Some(self.now);
+                }
+            }
+        }
+    }
+
+    fn send_from_host(&mut self, host: NodeId, pkt: Packet) {
+        let link = self.topo.host_link(host);
+        let depth = self.links[link.0 as usize].tx(Dir::Up).queue.len_pkts();
+        self.metrics
+            .record_queue_depth(link.0, Dir::Up.index(), depth);
+        let tx = self.links[link.0 as usize].tx_mut(Dir::Up);
+        match tx.queue.enqueue(pkt) {
+            crate::queue::EnqueueOutcome::Dropped => {
+                self.metrics.queue_drops += 1;
+            }
+            crate::queue::EnqueueOutcome::Enqueued { marked } => {
+                if marked {
+                    self.metrics.ecn_marks += 1;
+                }
+                self.try_start_tx(link, Dir::Up);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FlowSizeDist, SimConfig};
+    use crate::mimic::ConstModel;
+
+    fn quick_cfg() -> SimConfig {
+        let mut cfg = SimConfig::small_scale();
+        cfg.duration_s = 0.3;
+        cfg.seed = 42;
+        cfg
+    }
+
+    #[test]
+    fn flows_complete_end_to_end() {
+        let mut sim = Simulation::new(quick_cfg());
+        let m = sim.run();
+        assert!(m.flows_started() > 0, "no flows started");
+        assert!(m.flows_completed() > 0, "no flows completed");
+        assert!(m.total_delivered_bytes() > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = Simulation::new(quick_cfg());
+            let m = sim.run();
+            (
+                m.flows_completed(),
+                m.total_delivered_bytes(),
+                m.events_processed,
+                m.queue_drops,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut cfg = quick_cfg();
+            cfg.seed = seed;
+            let mut sim = Simulation::new(cfg);
+            sim.run().total_delivered_bytes()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn fcts_are_positive_and_bounded() {
+        let mut sim = Simulation::new(quick_cfg());
+        let m = sim.run();
+        for f in m.fct_samples(|_| true) {
+            assert!(f > 0.0 && f <= 0.3 + 1e-9, "fct {f}");
+        }
+    }
+
+    #[test]
+    fn rtt_samples_exceed_propagation_floor() {
+        let mut sim = Simulation::new(quick_cfg());
+        let m = sim.run();
+        let rtts = m.rtt_samples(|_| true);
+        assert!(!rtts.is_empty());
+        // Minimum RTT: 2 links each way at 500 us = 2 ms, plus serialization.
+        for r in rtts {
+            assert!(r >= 0.002, "rtt {r} below propagation floor");
+        }
+    }
+
+    #[test]
+    fn boundary_trace_matches_directionality() {
+        let mut cfg = quick_cfg();
+        cfg.traffic.inter_cluster_fraction = 0.8;
+        let mut sim = Simulation::new(cfg);
+        sim.trace_cluster(1);
+        let m = sim.run();
+        assert!(!m.boundary.is_empty(), "no boundary records");
+        let topo = FatTree::new(cfg.topo);
+        for r in &m.boundary {
+            match (r.dir, r.phase) {
+                (BoundaryDir::Egress, _) => {
+                    assert_eq!(topo.cluster_of(r.src), Some(1), "egress src must be local")
+                }
+                (BoundaryDir::Ingress, _) => {
+                    assert_eq!(topo.cluster_of(r.dst), Some(1), "ingress dst must be local")
+                }
+            }
+        }
+        // Every exit must come at or after its enter.
+        use std::collections::HashMap;
+        let mut enters: HashMap<u64, SimTime> = HashMap::new();
+        for r in &m.boundary {
+            match r.phase {
+                BoundaryPhase::Enter => {
+                    enters.insert(r.pkt_id, r.time);
+                }
+                BoundaryPhase::Exit => {
+                    if let Some(&tin) = enters.get(&r.pkt_id) {
+                        assert!(r.time > tin, "exit not after enter");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mimic_cluster_carries_traffic() {
+        let mut cfg = quick_cfg();
+        cfg.traffic.inter_cluster_fraction = 1.0;
+        let mut sim = Simulation::new(cfg);
+        sim.set_cluster_model(
+            1,
+            Box::new(ConstModel::new(SimDuration::from_millis(2), 0.0, 7)),
+        );
+        let m = sim.run();
+        // Flows between cluster 0 and cluster 1 still complete.
+        assert!(m.flows_completed() > 0);
+        let topo = FatTree::new(cfg.topo);
+        // Flows wholly inside the mimic cluster were never created.
+        for f in m.flows.values() {
+            let sc = topo.cluster_of(f.src).unwrap();
+            let dc = topo.cluster_of(f.dst).unwrap();
+            assert!(sc == 0 || dc == 0, "mimic-mimic flow was created");
+        }
+    }
+
+    #[test]
+    fn mimic_model_drops_reduce_completions() {
+        let mut cfg = quick_cfg();
+        cfg.traffic.inter_cluster_fraction = 1.0;
+        let run = |drop_prob: f64| {
+            let mut sim = Simulation::new(cfg);
+            sim.set_cluster_model(
+                1,
+                Box::new(ConstModel::new(SimDuration::from_millis(2), drop_prob, 7)),
+            );
+            let m = sim.run();
+            (m.mimic_drops, m.flows_completed())
+        };
+        let (drops_none, done_none) = run(0.0);
+        let (drops_heavy, done_heavy) = run(0.5);
+        assert_eq!(drops_none, 0);
+        assert!(drops_heavy > 0);
+        assert!(done_heavy < done_none, "heavy drops should slow flows");
+    }
+
+    #[test]
+    fn ecn_marks_appear_with_marking_queues() {
+        let mut cfg = quick_cfg();
+        cfg.queue.ecn_k = Some(2);
+        cfg.traffic.load = 1.2; // overload to force queues
+        cfg.traffic.size = FlowSizeDist::Fixed { bytes: 100_000 };
+        let mut sim = Simulation::new(cfg);
+        let m = sim.run();
+        // The testing transport is not ECN-capable, so marks require
+        // capable packets — there should be none.
+        assert_eq!(m.ecn_marks, 0);
+    }
+
+    #[test]
+    fn overload_causes_queue_drops() {
+        let mut cfg = quick_cfg();
+        cfg.traffic.load = 1.5;
+        cfg.traffic.size = FlowSizeDist::Fixed { bytes: 200_000 };
+        cfg.queue.capacity_bytes = 15_000;
+        let mut sim = Simulation::new(cfg);
+        let m = sim.run();
+        assert!(m.queue_drops > 0, "expected drops under overload");
+    }
+
+    #[test]
+    fn link_faults_drop_packets_but_tcp_recovers() {
+        let mut cfg = quick_cfg();
+        cfg.link.loss_prob = 0.02;
+        let mut sim = Simulation::new(cfg);
+        let m = sim.run();
+        assert!(m.fault_drops > 0, "no injected losses at 2%");
+        assert!(m.flows_completed() > 0, "retransmission should recover");
+        // Loss rate sanity: ~2% of transmissions.
+        let rate = m.fault_drops as f64 / (m.fault_drops + m.hops_forwarded).max(1) as f64;
+        assert!(rate < 0.1, "implausible injected loss rate {rate}");
+        // Without injection there are none.
+        cfg.link.loss_prob = 0.0;
+        let m0 = Simulation::new(cfg).run();
+        assert_eq!(m0.fault_drops, 0);
+    }
+
+    #[test]
+    fn conservation_no_spontaneous_bytes() {
+        let mut sim = Simulation::new(quick_cfg());
+        let m = sim.run();
+        let offered: u64 = m.flows.values().map(|f| f.size_bytes).sum();
+        assert!(
+            m.total_delivered_bytes() <= offered,
+            "delivered more than offered"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Per-hop switch processing that is independent of queues and routing:
+//! TTL handling and per-node drop accounting.
+//!
+//! Switches in this simulator are output-queued: the forwarding decision
+//! (in [`crate::routing`]) selects an egress transmitter, and all buffering
+//! happens in that transmitter's [`crate::queue::PortQueue`]. What remains
+//! here is the header manipulation a real switch performs per hop.
+
+use crate::packet::Packet;
+
+/// Why a switch refused to forward a packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HopDrop {
+    /// TTL reached zero.
+    TtlExpired,
+}
+
+/// Apply per-hop header processing (TTL decrement). Returns `Err` when the
+/// packet must be dropped instead of forwarded.
+pub fn process_hop(pkt: &mut Packet) -> Result<(), HopDrop> {
+    if pkt.ttl == 0 {
+        return Err(HopDrop::TtlExpired);
+    }
+    pkt.ttl -= 1;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+    use crate::time::SimTime;
+    use crate::topology::NodeId;
+
+    #[test]
+    fn ttl_decrements_per_hop() {
+        let mut p = Packet::data(1, FlowId(1), NodeId(0), NodeId(1), 0, 100, false, SimTime::ZERO);
+        let start = p.ttl;
+        assert!(process_hop(&mut p).is_ok());
+        assert_eq!(p.ttl, start - 1);
+    }
+
+    #[test]
+    fn ttl_zero_drops() {
+        let mut p = Packet::data(1, FlowId(1), NodeId(0), NodeId(1), 0, 100, false, SimTime::ZERO);
+        p.ttl = 0;
+        assert_eq!(process_hop(&mut p), Err(HopDrop::TtlExpired));
+    }
+
+    #[test]
+    fn fat_tree_diameter_fits_in_initial_ttl() {
+        let mut p = Packet::data(1, FlowId(1), NodeId(0), NodeId(1), 0, 100, false, SimTime::ZERO);
+        // Longest path in a FatTree is 5 switch hops (tor-agg-core-agg-tor).
+        for _ in 0..5 {
+            assert!(process_hop(&mut p).is_ok());
+        }
+        assert!(p.ttl > 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! RFC 6298 retransmission-timeout estimation.
+//!
+//! Shared by every TCP variant. RTT samples come from acknowledgment
+//! timestamp echoes (so Karn's problem of retransmission ambiguity does not
+//! arise: the echo always reflects the copy that actually triggered the
+//! ack).
+
+use dcn_sim::time::SimDuration;
+
+/// Smoothed RTT / RTO state per RFC 6298.
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: f64,
+    min_rto: f64,
+    max_rto: f64,
+    backoff: u32,
+    /// Lowest RTT ever observed (used by Vegas/Westwood).
+    min_rtt: Option<f64>,
+}
+
+impl RttEstimator {
+    /// `initial` is the RTO before any sample; `min`/`max` clamp the RTO.
+    pub fn new(initial: SimDuration, min: SimDuration, max: SimDuration) -> RttEstimator {
+        RttEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            rto: initial.as_secs_f64(),
+            min_rto: min.as_secs_f64(),
+            max_rto: max.as_secs_f64(),
+            backoff: 0,
+            min_rtt: None,
+        }
+    }
+
+    /// Data-center-scaled defaults: 10 ms minimum RTO (as DC stacks use),
+    /// 200 ms initial, 4 s cap.
+    pub fn dc_default() -> RttEstimator {
+        RttEstimator::new(
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(10),
+            SimDuration::from_secs_f64(4.0),
+        )
+    }
+
+    /// Incorporate a new RTT sample.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        let r = rtt.as_secs_f64();
+        self.min_rtt = Some(self.min_rtt.map_or(r, |m: f64| m.min(r)));
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(srtt) => {
+                // RFC 6298 with alpha = 1/8, beta = 1/4.
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - r).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * r);
+            }
+        }
+        self.rto = (self.srtt.unwrap() + 4.0 * self.rttvar).clamp(self.min_rto, self.max_rto);
+        self.backoff = 0;
+    }
+
+    /// Current RTO including exponential backoff.
+    pub fn rto(&self) -> SimDuration {
+        let v = (self.rto * (1u64 << self.backoff.min(16)) as f64).min(self.max_rto);
+        SimDuration::from_secs_f64(v)
+    }
+
+    /// Double the RTO after a timeout (Karn backoff).
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+    }
+
+    /// Smoothed RTT, if sampled.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt.map(SimDuration::from_secs_f64)
+    }
+
+    /// Minimum observed RTT (a proxy for the uncongested path RTT).
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt.map(SimDuration::from_secs_f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::dc_default();
+        assert!(e.srtt().is_none());
+        e.sample(ms(4));
+        assert_eq!(e.srtt().unwrap(), ms(4));
+        // RTO = srtt + 4*rttvar = 4 + 8 = 12 ms.
+        assert_eq!(e.rto(), ms(12));
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = RttEstimator::dc_default();
+        for _ in 0..200 {
+            e.sample(ms(5));
+        }
+        let srtt = e.srtt().unwrap().as_secs_f64();
+        assert!((srtt - 0.005).abs() < 1e-4);
+        // With zero variance the RTO clamps to the minimum (10 ms).
+        assert_eq!(e.rto(), ms(10));
+    }
+
+    #[test]
+    fn rto_floor_and_cap() {
+        let mut e = RttEstimator::dc_default();
+        e.sample(SimDuration::from_micros(100));
+        assert!(e.rto() >= ms(10), "floor violated");
+        for _ in 0..20 {
+            e.on_timeout();
+        }
+        assert!(e.rto() <= SimDuration::from_secs_f64(4.0), "cap violated");
+    }
+
+    #[test]
+    fn backoff_doubles_until_sample_resets() {
+        let mut e = RttEstimator::dc_default();
+        e.sample(ms(20));
+        let base = e.rto();
+        e.on_timeout();
+        assert_eq!(e.rto().as_nanos(), base.as_nanos() * 2);
+        e.on_timeout();
+        assert_eq!(e.rto().as_nanos(), base.as_nanos() * 4);
+        // A fresh sample resets the backoff (and shrinks the variance term,
+        // so the RTO lands at or below the pre-backoff value).
+        e.sample(ms(20));
+        assert!(e.rto() <= base);
+    }
+
+    #[test]
+    fn min_rtt_tracks_minimum() {
+        let mut e = RttEstimator::dc_default();
+        e.sample(ms(8));
+        e.sample(ms(3));
+        e.sample(ms(12));
+        assert_eq!(e.min_rtt().unwrap(), ms(3));
+    }
+
+    #[test]
+    fn variance_raises_rto() {
+        let mut e = RttEstimator::dc_default();
+        for i in 0..100 {
+            e.sample(if i % 2 == 0 { ms(2) } else { ms(20) });
+        }
+        // Noisy RTTs should give an RTO well above the mean RTT.
+        assert!(e.rto() > ms(20));
+    }
+}

@@ -1,0 +1,503 @@
+//! # flow-sim — a max-min fair fluid flow-level simulator
+//!
+//! The paper's flow-level baseline is SimGrid v3.25 with its built-in
+//! `FatTreeZone` (§9 "Methodology"). This crate reproduces that class of
+//! simulator: flows are fluids, links are pipes, and at every flow arrival
+//! or departure the simulator re-solves for the **max-min fair** allocation
+//! of link bandwidth (progressive filling), then fast-forwards to the next
+//! event. No packets, no queues, no RTTs — which is exactly why the paper
+//! finds flow-level FCT distributions badly mismatched with packet-level
+//! ground truth (Figures 1, 7) while still being expensive at scale
+//! (it "must still track all of the Mimic-Mimic connections").
+//!
+//! Workloads come from the *same* [`dcn_sim::traffic::TrafficGen`] with the
+//! same seed as the packet simulator, so comparisons are apples-to-apples
+//! per the paper's methodology ("the topology and traffic pattern were
+//! kept consistent").
+
+use dcn_sim::config::SimConfig;
+use dcn_sim::link::Dir;
+use dcn_sim::packet::FlowId;
+use dcn_sim::routing::Router;
+use dcn_sim::time::{SimDuration, SimTime};
+use dcn_sim::topology::{FatTree, LinkId, NodeId};
+use dcn_sim::traffic::TrafficGen;
+
+/// One flow's lifecycle in the fluid simulation.
+#[derive(Clone, Debug)]
+pub struct FluidFlowRecord {
+    pub flow: FlowId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub size_bytes: u64,
+    pub start: SimTime,
+    /// `None` if still active at simulation end.
+    pub end: Option<SimTime>,
+}
+
+impl FluidFlowRecord {
+    pub fn fct(&self) -> Option<f64> {
+        self.end.map(|e| e.since(self.start).as_secs_f64())
+    }
+}
+
+/// Results of a fluid simulation.
+pub struct FlowMetrics {
+    pub flows: Vec<FluidFlowRecord>,
+    /// Delivered bytes per host per 100 ms bin.
+    tput_bins: Vec<Vec<f64>>,
+    bin_s: f64,
+    /// Rate recomputations performed (the fluid analogue of event count).
+    pub recomputes: u64,
+}
+
+impl FlowMetrics {
+    /// Sorted FCT samples (seconds) over completed flows passing `filter`.
+    pub fn fct_samples(&self, filter: impl Fn(&FluidFlowRecord) -> bool) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .flows
+            .iter()
+            .filter(|f| filter(f))
+            .filter_map(|f| f.fct())
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    /// Sorted per-(host, bin) throughput samples in bytes/second.
+    pub fn throughput_samples(&self, filter: impl Fn(NodeId) -> bool) -> Vec<f64> {
+        let mut v = Vec::new();
+        for (h, bins) in self.tput_bins.iter().enumerate() {
+            if !filter(NodeId(h as u32)) {
+                continue;
+            }
+            for &b in bins {
+                v.push(b / self.bin_s);
+            }
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    pub fn flows_completed(&self) -> usize {
+        self.flows.iter().filter(|f| f.end.is_some()).count()
+    }
+}
+
+struct ActiveFlow {
+    record_idx: usize,
+    /// Directed links the fluid traverses.
+    route: Vec<dcn_sim::routing::Hop>,
+    remaining: f64,
+    rate: f64,
+    dst: NodeId,
+}
+
+/// The fluid simulator.
+pub struct FlowSim {
+    cfg: SimConfig,
+    topo: FatTree,
+    router: Router,
+    /// Per-(link, dir) capacity in bytes/second.
+    caps: Vec<[f64; 2]>,
+}
+
+impl FlowSim {
+    pub fn new(cfg: SimConfig) -> FlowSim {
+        let topo = FatTree::new(cfg.topo);
+        let router = Router::new(topo.clone());
+        let caps = (0..cfg.topo.num_links())
+            .map(|l| {
+                let bw = if topo.is_host_link(LinkId(l)) {
+                    cfg.link.host_bw_bps
+                } else {
+                    cfg.link.fabric_bw_bps
+                };
+                let bytes_per_s = bw as f64 / 8.0;
+                [bytes_per_s, bytes_per_s]
+            })
+            .collect();
+        FlowSim {
+            cfg,
+            topo,
+            router,
+            caps,
+        }
+    }
+
+    /// Max-min fair allocation by progressive filling. Rates are written
+    /// into `flows[..].rate`.
+    fn recompute_rates(&self, flows: &mut [ActiveFlow]) {
+        for f in flows.iter_mut() {
+            f.rate = 0.0;
+        }
+        let n = flows.len();
+        if n == 0 {
+            return;
+        }
+        let mut frozen = vec![false; n];
+        // Remaining capacity and unfrozen-flow count per directed link.
+        let mut cap: Vec<[f64; 2]> = self.caps.clone();
+        let mut count: Vec<[u32; 2]> = vec![[0, 0]; self.caps.len()];
+        for f in flows.iter() {
+            for h in &f.route {
+                count[h.link.0 as usize][h.dir.index()] += 1;
+            }
+        }
+        let mut remaining = n;
+        while remaining > 0 {
+            // Find the directed link with the smallest fair share.
+            let mut best: Option<(f64, usize, usize)> = None;
+            for (li, (c, k)) in cap.iter().zip(&count).enumerate() {
+                for d in 0..2 {
+                    if k[d] > 0 {
+                        let share = c[d] / k[d] as f64;
+                        if best.map_or(true, |(s, _, _)| share < s) {
+                            best = Some((share, li, d));
+                        }
+                    }
+                }
+            }
+            let Some((share, bl, bd)) = best else {
+                // No constrained links left (cannot happen: every flow
+                // crosses at least its access links).
+                break;
+            };
+            let bottleneck = dcn_sim::routing::Hop {
+                link: LinkId(bl as u32),
+                dir: [Dir::Up, Dir::Down][bd],
+            };
+            // Freeze every unfrozen flow crossing that link at `share`.
+            for (fi, f) in flows.iter_mut().enumerate() {
+                if frozen[fi] || !f.route.contains(&bottleneck) {
+                    continue;
+                }
+                f.rate = share;
+                frozen[fi] = true;
+                remaining -= 1;
+                for h in &f.route {
+                    cap[h.link.0 as usize][h.dir.index()] -= share;
+                    count[h.link.0 as usize][h.dir.index()] -= 1;
+                }
+            }
+            // The bottleneck link itself may retain zero flows now; loop.
+        }
+    }
+
+    /// Run the fluid simulation to `cfg.duration_s`.
+    pub fn run(&mut self) -> FlowMetrics {
+        let end = SimTime::from_secs_f64(self.cfg.duration_s);
+        let bin = SimDuration(100_000_000); // 100 ms, as the paper bins
+        let mut traffic = TrafficGen::new(
+            self.topo.clone(),
+            self.cfg.traffic,
+            self.cfg.link.host_bw_bps,
+            self.cfg.seed,
+        );
+        let num_hosts = self.cfg.topo.num_hosts();
+        // Next arrival per host.
+        let mut next_arrival: Vec<SimTime> = (0..num_hosts)
+            .map(|h| traffic.first_arrival(NodeId(h)))
+            .collect();
+
+        let mut records: Vec<FluidFlowRecord> = Vec::new();
+        let mut active: Vec<ActiveFlow> = Vec::new();
+        let mut tput_bins: Vec<Vec<f64>> = vec![Vec::new(); num_hosts as usize];
+        let mut recomputes = 0u64;
+        let mut now = SimTime::ZERO;
+
+        loop {
+            // Next arrival over all hosts.
+            let (host_idx, &t_arr) = next_arrival
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                .expect("at least one host");
+            // Next completion among active flows. Round the duration *up*
+            // to a whole nanosecond: rounding down would leave a sliver of
+            // fluid behind and re-trigger the same completion time forever.
+            let t_done = active
+                .iter()
+                .filter(|f| f.rate > 0.0)
+                .map(|f| now + SimDuration((f.remaining / f.rate * 1e9).ceil() as u64))
+                .min();
+
+            let t_next = match t_done {
+                Some(td) if td < t_arr => td,
+                _ => t_arr,
+            };
+            if t_next > end {
+                // Drain fluid up to `end` and stop.
+                Self::advance(&mut active, &mut tput_bins, now, end, bin);
+                break;
+            }
+            Self::advance(&mut active, &mut tput_bins, now, t_next, bin);
+            now = t_next;
+
+            if t_next == t_arr {
+                // New flow at `host_idx`.
+                let gf = traffic.next(NodeId(host_idx as u32), now);
+                next_arrival[host_idx] = gf.next_arrival;
+                let spec = gf.spec;
+                let route = self.router.link_path(spec.id, spec.src, spec.dst);
+                records.push(FluidFlowRecord {
+                    flow: spec.id,
+                    src: spec.src,
+                    dst: spec.dst,
+                    size_bytes: spec.size_bytes,
+                    start: now,
+                    end: None,
+                });
+                active.push(ActiveFlow {
+                    record_idx: records.len() - 1,
+                    route,
+                    remaining: spec.size_bytes as f64,
+                    rate: 0.0,
+                    dst: spec.dst,
+                });
+            } else {
+                // Complete every flow that hit zero (within a tolerance
+                // covering sub-nanosecond rounding residue).
+                let mut i = 0;
+                while i < active.len() {
+                    if active[i].remaining <= 1e-2 {
+                        let f = active.swap_remove(i);
+                        records[f.record_idx].end = Some(now);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            self.recompute_rates(&mut active);
+            recomputes += 1;
+        }
+
+        FlowMetrics {
+            flows: records,
+            tput_bins,
+            bin_s: bin.as_secs_f64(),
+            recomputes,
+        }
+    }
+
+    /// Move fluid from `from` to `to`, crediting delivered bytes into the
+    /// destination hosts' throughput bins (split across bin boundaries).
+    fn advance(
+        active: &mut [ActiveFlow],
+        bins: &mut [Vec<f64>],
+        from: SimTime,
+        to: SimTime,
+        bin: SimDuration,
+    ) {
+        if to <= from {
+            return;
+        }
+        let dt = to.since(from).as_secs_f64();
+        for f in active.iter_mut() {
+            if f.rate <= 0.0 {
+                continue;
+            }
+            let moved = (f.rate * dt).min(f.remaining);
+            f.remaining -= moved;
+            // Credit into bins, splitting at bin boundaries.
+            let host_bins = &mut bins[f.dst.0 as usize];
+            let mut t0 = from.as_nanos();
+            let t1 = to.as_nanos();
+            let bytes_per_ns = moved / (t1 - t0) as f64;
+            while t0 < t1 {
+                let idx = (t0 / bin.as_nanos()) as usize;
+                let bin_end = ((idx as u64 + 1) * bin.as_nanos()).min(t1);
+                if host_bins.len() <= idx {
+                    host_bins.resize(idx + 1, 0.0);
+                }
+                host_bins[idx] += bytes_per_ns * (bin_end - t0) as f64;
+                t0 = bin_end;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_sim::config::FlowSizeDist;
+
+    fn cfg() -> SimConfig {
+        let mut c = SimConfig::small_scale();
+        c.duration_s = 1.0;
+        c.seed = 5;
+        c
+    }
+
+    #[test]
+    fn flows_complete_with_reasonable_fcts() {
+        let mut sim = FlowSim::new(cfg());
+        let m = sim.run();
+        assert!(m.flows_completed() > 0);
+        // FCTs cannot beat line rate: fct >= size * 8 / bw.
+        for f in &m.flows {
+            if let Some(fct) = f.fct() {
+                let min_fct = f.size_bytes as f64 * 8.0 / 10e6;
+                assert!(
+                    fct >= min_fct * 0.999,
+                    "fct {fct} below line rate bound {min_fct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_flow_runs_at_line_rate() {
+        // With a tiny load there is effectively no sharing, so FCT should
+        // approach size/bandwidth exactly.
+        let mut c = cfg();
+        c.traffic.load = 0.01;
+        c.traffic.size = FlowSizeDist::Fixed { bytes: 125_000 }; // 0.1 s at 10 Mbps
+        c.duration_s = 5.0;
+        let mut sim = FlowSim::new(c);
+        let m = sim.run();
+        let fcts = m.fct_samples(|_| true);
+        assert!(!fcts.is_empty());
+        let median = fcts[fcts.len() / 2];
+        assert!(
+            (median - 0.1).abs() < 0.01,
+            "median {median} should be ~0.1 s"
+        );
+    }
+
+    #[test]
+    fn sharing_halves_rates() {
+        // Two hosts sending to the same destination share its access link.
+        let sim = FlowSim::new(cfg());
+        let topo = FatTree::new(cfg().topo);
+        let router = Router::new(topo.clone());
+        let a = topo.host(0, 0, 0);
+        let b = topo.host(0, 0, 1);
+        let dst = topo.host(0, 1, 0);
+        let mut flows = vec![
+            ActiveFlow {
+                record_idx: 0,
+                route: router.link_path(FlowId(1), a, dst),
+                remaining: 1e9,
+                rate: 0.0,
+                dst,
+            },
+            ActiveFlow {
+                record_idx: 1,
+                route: router.link_path(FlowId(2), b, dst),
+                remaining: 1e9,
+                rate: 0.0,
+                dst,
+            },
+        ];
+        sim.recompute_rates(&mut flows);
+        let line = 10e6 / 8.0;
+        assert!((flows[0].rate - line / 2.0).abs() < 1.0);
+        assert!((flows[1].rate - line / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn max_min_gives_unshared_flow_a_fair_rate() {
+        let sim = FlowSim::new(cfg());
+        let topo = FatTree::new(cfg().topo);
+        let router = Router::new(topo.clone());
+        // Flows 1 and 2 share dst1's access link; flow 3 is alone at dst2.
+        let dst1 = topo.host(1, 0, 0);
+        let dst2 = topo.host(1, 1, 1);
+        let mut flows = vec![
+            ActiveFlow {
+                record_idx: 0,
+                route: router.link_path(FlowId(1), topo.host(0, 0, 0), dst1),
+                remaining: 1e9,
+                rate: 0.0,
+                dst: dst1,
+            },
+            ActiveFlow {
+                record_idx: 1,
+                route: router.link_path(FlowId(2), topo.host(0, 0, 1), dst1),
+                remaining: 1e9,
+                rate: 0.0,
+                dst: dst1,
+            },
+            ActiveFlow {
+                record_idx: 2,
+                route: router.link_path(FlowId(3), topo.host(0, 1, 0), dst2),
+                remaining: 1e9,
+                rate: 0.0,
+                dst: dst2,
+            },
+        ];
+        sim.recompute_rates(&mut flows);
+        let line = 10e6 / 8.0;
+        assert!((flows[0].rate - line / 2.0).abs() < 1.0);
+        assert!((flows[1].rate - line / 2.0).abs() < 1.0);
+        // Flow 3 may share fabric links with 1/2 depending on ECMP, but
+        // never gets less than a 3-way share.
+        assert!(flows[2].rate >= line / 3.0 - 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = FlowSim::new(cfg());
+            let m = sim.run();
+            (m.flows.len(), m.flows_completed(), m.recomputes)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn workload_matches_packet_simulator() {
+        // Same seed -> same flow ids/sizes as dcn-sim's generator.
+        let mut sim = FlowSim::new(cfg());
+        let fluid = sim.run();
+        let mut packet = dcn_sim::simulator::Simulation::new(cfg());
+        let pm = packet.run();
+        let started: std::collections::HashSet<_> = pm.flows.keys().collect();
+        let matched = fluid
+            .flows
+            .iter()
+            .filter(|f| started.contains(&f.flow))
+            .count();
+        assert!(
+            matched as f64 / fluid.flows.len() as f64 > 0.95,
+            "only {matched}/{} flows matched",
+            fluid.flows.len()
+        );
+    }
+
+    #[test]
+    fn throughput_bins_account_all_bytes() {
+        let mut sim = FlowSim::new(cfg());
+        let m = sim.run();
+        let binned: f64 = m.tput_bins.iter().flatten().sum();
+        let completed: f64 = m
+            .flows
+            .iter()
+            .filter(|f| f.end.is_some())
+            .map(|f| f.size_bytes as f64)
+            .sum();
+        // Binned bytes >= completed bytes (active flows also contribute).
+        assert!(binned >= completed * 0.999, "binned {binned} < {completed}");
+    }
+
+    #[test]
+    fn fluid_fcts_are_optimistic_vs_packet_level() {
+        // Flow-level simulation ignores RTT, slow start, and losses, so its
+        // mean FCT should undercut the packet simulator's — the systematic
+        // bias Figures 1/7 of the paper show.
+        let mut fluid = FlowSim::new(cfg());
+        let fm = fluid.run();
+        let mut packet = dcn_sim::simulator::Simulation::with_transport(
+            cfg(),
+            Box::new(dcn_sim::transport::testing::FixedWindowFactory::default()),
+        );
+        let pm = packet.run();
+        let f_mean = dcn_sim::stats::mean(&fm.fct_samples(|_| true));
+        let p_mean = dcn_sim::stats::mean(&pm.fct_samples(|_| true));
+        assert!(
+            f_mean < p_mean,
+            "fluid mean {f_mean} should undercut packet mean {p_mean}"
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Packet-window datasets for training internal models.
+//!
+//! A sample is a window of `W` consecutive packet feature vectors with the
+//! supervision target of the window's *last* packet. Windows shorter than
+//! `W` (at the start of the trace) are left-padded with the first vector.
+//! The paper's Appendix C finds the best `W` to be the network's BDP in
+//! packets.
+
+use crate::loss::Target;
+use crate::matrix::Matrix;
+use crate::rng::MlRng;
+
+/// A time-ordered supervised packet trace.
+#[derive(Clone, Debug, Default)]
+pub struct PacketDataset {
+    /// Feature vectors, one per packet, in trace order.
+    pub features: Vec<Vec<f32>>,
+    /// Targets aligned with `features`.
+    pub targets: Vec<Target>,
+}
+
+impl PacketDataset {
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    pub fn push(&mut self, features: Vec<f32>, target: Target) {
+        debug_assert!(
+            self.features.is_empty() || self.features[0].len() == features.len(),
+            "inconsistent feature width"
+        );
+        self.features.push(features);
+        self.targets.push(target);
+    }
+
+    /// Feature width.
+    pub fn width(&self) -> usize {
+        self.features.first().map_or(0, |f| f.len())
+    }
+
+    /// Split chronologically into train/test at `train_frac`.
+    pub fn split(&self, train_frac: f64) -> (PacketDataset, PacketDataset) {
+        assert!((0.0..=1.0).contains(&train_frac));
+        let cut = (self.len() as f64 * train_frac) as usize;
+        (
+            PacketDataset {
+                features: self.features[..cut].to_vec(),
+                targets: self.targets[..cut].to_vec(),
+            },
+            PacketDataset {
+                features: self.features[cut..].to_vec(),
+                targets: self.targets[cut..].to_vec(),
+            },
+        )
+    }
+
+    /// Fraction of samples with `dropped == 1` (class-imbalance reporting).
+    pub fn drop_rate(&self) -> f64 {
+        if self.targets.is_empty() {
+            return 0.0;
+        }
+        self.targets.iter().filter(|t| t.dropped > 0.5).count() as f64 / self.targets.len() as f64
+    }
+}
+
+/// A batcher producing `(xs, targets)` mini-batches of windows.
+pub struct WindowBatcher<'a> {
+    data: &'a PacketDataset,
+    window: usize,
+    order: Vec<usize>,
+}
+
+impl<'a> WindowBatcher<'a> {
+    /// `window` ≥ 1; order is shuffled with `rng`.
+    pub fn new(data: &'a PacketDataset, window: usize, rng: &mut MlRng) -> WindowBatcher<'a> {
+        assert!(window >= 1);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        rng.shuffle(&mut order);
+        WindowBatcher {
+            data,
+            window,
+            order,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Assemble the window of sample `i` as one row per timestep.
+    fn window_rows(&self, i: usize) -> Vec<&'a [f32]> {
+        (0..self.window)
+            .map(|t| {
+                let idx = (i + t).saturating_sub(self.window - 1);
+                self.data.features[idx].as_slice()
+            })
+            .collect()
+    }
+
+    /// Iterate mini-batches: each is (per-timestep `B × F` matrices,
+    /// targets of the final packets).
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = (Vec<Matrix>, Vec<Target>)> + '_ {
+        assert!(batch_size >= 1);
+        let width = self.data.width();
+        self.order.chunks(batch_size).map(move |chunk| {
+            let mut xs: Vec<Matrix> = (0..self.window)
+                .map(|_| Matrix::zeros(chunk.len(), width))
+                .collect();
+            let mut targets = Vec::with_capacity(chunk.len());
+            for (b, &i) in chunk.iter().enumerate() {
+                for (t, row) in self.window_rows(i).into_iter().enumerate() {
+                    xs[t].data[b * width..(b + 1) * width].copy_from_slice(row);
+                }
+                targets.push(self.data.targets[i]);
+            }
+            (xs, targets)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> PacketDataset {
+        let mut d = PacketDataset::default();
+        for i in 0..n {
+            d.push(
+                vec![i as f32, 2.0 * i as f32],
+                Target {
+                    latency: i as f32,
+                    dropped: if i % 10 == 0 { 1.0 } else { 0.0 },
+                    ecn: 0.0,
+                },
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn split_is_chronological() {
+        let d = toy(100);
+        let (train, test) = d.split(0.8);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        assert_eq!(test.features[0][0], 80.0);
+    }
+
+    #[test]
+    fn drop_rate_counts_positives() {
+        let d = toy(100);
+        assert!((d.drop_rate() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_are_left_padded() {
+        let d = toy(5);
+        let mut rng = MlRng::new(1);
+        let b = WindowBatcher::new(&d, 3, &mut rng);
+        let rows = b.window_rows(0);
+        // Sample 0 repeats the first packet.
+        assert_eq!(rows, vec![&[0.0, 0.0][..], &[0.0, 0.0], &[0.0, 0.0]]);
+        let rows = b.window_rows(4);
+        assert_eq!(rows, vec![&[2.0, 4.0][..], &[3.0, 6.0], &[4.0, 8.0]]);
+    }
+
+    #[test]
+    fn batches_cover_all_samples_once() {
+        let d = toy(23);
+        let mut rng = MlRng::new(2);
+        let b = WindowBatcher::new(&d, 2, &mut rng);
+        let mut seen = 0;
+        for (xs, ts) in b.batches(8) {
+            assert_eq!(xs.len(), 2, "window length");
+            assert_eq!(xs[0].rows, ts.len());
+            seen += ts.len();
+        }
+        assert_eq!(seen, 23);
+    }
+
+    #[test]
+    fn batch_rows_align_with_targets() {
+        let d = toy(10);
+        let mut rng = MlRng::new(3);
+        let b = WindowBatcher::new(&d, 1, &mut rng);
+        for (xs, ts) in b.batches(4) {
+            for (row, t) in (0..xs[0].rows).zip(&ts) {
+                // Feature[0] equals the sample index; target latency too.
+                assert_eq!(xs[0].get(row, 0), t.latency);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let d = toy(50);
+        let order = |seed| {
+            let mut rng = MlRng::new(seed);
+            WindowBatcher::new(&d, 1, &mut rng).order.clone()
+        };
+        assert_eq!(order(7), order(7));
+        assert_ne!(order(7), order(8));
+    }
+}

@@ -1,0 +1,110 @@
+//! Linear discretization of latency targets (paper §5.2).
+//!
+//! "MimicNet quantizes the values using a linear strategy:
+//! `f(y) = ⌊(y − L_min) / (L_max − L_min) × D⌋` where `D` is the
+//! hyperparameter that controls the degree of discretization. By varying
+//! `D`, we can trade off the ease of modeling and the recovery precision."
+//!
+//! Dropped packets are encoded at the top of the range (`L_max + ε`), so a
+//! single regression head covers both outcomes and the drop classifier can
+//! disambiguate.
+
+use serde::{Deserialize, Serialize};
+
+/// A linear quantizer over `[min, max]` with `d` levels.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Discretizer {
+    pub min: f64,
+    pub max: f64,
+    pub d: u32,
+}
+
+impl Discretizer {
+    /// # Panics
+    /// If the range is empty or `d == 0`.
+    pub fn new(min: f64, max: f64, d: u32) -> Discretizer {
+        assert!(max > min, "empty discretization range");
+        assert!(d > 0, "need at least one level");
+        Discretizer { min, max, d }
+    }
+
+    /// Quantize a raw value to a bucket index in `[0, d]`.
+    pub fn bucket(&self, y: f64) -> u32 {
+        let y = y.clamp(self.min, self.max);
+        (((y - self.min) / (self.max - self.min)) * self.d as f64).floor() as u32
+    }
+
+    /// Normalized model target in `[0, 1]`: the bucket scaled by `d`.
+    /// This is what the regression head trains on.
+    pub fn normalize(&self, y: f64) -> f32 {
+        (self.bucket(y) as f64 / self.d as f64) as f32
+    }
+
+    /// Recover a raw value from a normalized model output (bucket
+    /// midpoint), clamped to the valid range.
+    pub fn recover(&self, norm: f32) -> f64 {
+        let norm = (norm as f64).clamp(0.0, 1.0);
+        let bucket = (norm * self.d as f64).round().min(self.d as f64);
+        let width = (self.max - self.min) / self.d as f64;
+        // Midpoint of the bucket (top bucket maps to max).
+        (self.min + bucket * width + width / 2.0).min(self.max)
+    }
+
+    /// Maximum round-trip error introduced by quantization.
+    pub fn quantization_error(&self) -> f64 {
+        (self.max - self.min) / self.d as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        let q = Discretizer::new(0.0, 10.0, 10);
+        assert_eq!(q.bucket(0.0), 0);
+        assert_eq!(q.bucket(0.99), 0);
+        assert_eq!(q.bucket(1.0), 1);
+        assert_eq!(q.bucket(9.99), 9);
+        assert_eq!(q.bucket(10.0), 10);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let q = Discretizer::new(1.0, 2.0, 4);
+        assert_eq!(q.bucket(-5.0), 0);
+        assert_eq!(q.bucket(100.0), 4);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        let q = Discretizer::new(0.0, 1.0, 100);
+        for i in 0..1000 {
+            let y = i as f64 / 1000.0;
+            let rec = q.recover(q.normalize(y));
+            assert!(
+                (rec - y).abs() <= q.quantization_error(),
+                "y {y} -> {rec}"
+            );
+        }
+    }
+
+    #[test]
+    fn finer_d_means_less_error() {
+        let coarse = Discretizer::new(0.0, 1.0, 10);
+        let fine = Discretizer::new(0.0, 1.0, 1000);
+        assert!(fine.quantization_error() < coarse.quantization_error());
+    }
+
+    #[test]
+    fn normalize_is_monotone() {
+        let q = Discretizer::new(0.0, 5.0, 50);
+        let mut prev = -1.0f32;
+        for i in 0..100 {
+            let n = q.normalize(i as f64 * 0.05);
+            assert!(n >= prev);
+            prev = n;
+        }
+    }
+}

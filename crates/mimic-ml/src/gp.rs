@@ -1,0 +1,232 @@
+//! Gaussian-process regression with an RBF kernel.
+//!
+//! The engine behind MimicNet's Bayesian hyper-parameter optimization
+//! (§7.2): the GP models "end-to-end accuracy as a function of
+//! hyper-parameters", and the acquisition function (in
+//! [`crate::bayesopt`]) picks the next configuration by expected
+//! improvement. Kernel math in `f64` with a Cholesky solve — observation
+//! counts here are tens, not thousands.
+
+/// Squared-exponential kernel with signal variance, length scale, and
+/// observation noise.
+#[derive(Clone, Copy, Debug)]
+pub struct RbfKernel {
+    pub signal_var: f64,
+    pub length_scale: f64,
+    pub noise_var: f64,
+}
+
+impl Default for RbfKernel {
+    fn default() -> Self {
+        RbfKernel {
+            signal_var: 1.0,
+            length_scale: 0.3, // inputs are normalized to [0,1]^d
+            noise_var: 1e-4,
+        }
+    }
+}
+
+impl RbfKernel {
+    /// `k(a, b)` without the noise term.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        self.signal_var * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+}
+
+/// Cholesky decomposition of a symmetric positive-definite matrix
+/// (row-major, `n × n`). Returns the lower factor `L` or `None` if the
+/// matrix is not positive definite.
+pub fn cholesky(a: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[i * n + j];
+            for k in 0..j {
+                s -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return None;
+                }
+                l[i * n + i] = s.sqrt();
+            } else {
+                l[i * n + j] = s / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `L·x = b` (forward substitution).
+pub fn solve_lower(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let mut x = b.to_vec();
+    for i in 0..n {
+        for k in 0..i {
+            let v = x[k];
+            x[i] -= l[i * n + k] * v;
+        }
+        x[i] /= l[i * n + i];
+    }
+    x
+}
+
+/// Solve `Lᵀ·x = b` (back substitution).
+pub fn solve_upper_t(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        for k in (i + 1)..n {
+            let v = x[k];
+            x[i] -= l[k * n + i] * v;
+        }
+        x[i] /= l[i * n + i];
+    }
+    x
+}
+
+/// A fitted Gaussian process.
+pub struct Gp {
+    kernel: RbfKernel,
+    xs: Vec<Vec<f64>>,
+    /// Cholesky factor of `K + σn² I`.
+    l: Vec<f64>,
+    /// `(K + σn² I)⁻¹ y`.
+    alpha: Vec<f64>,
+    /// Mean of the training targets (the GP models residuals).
+    y_mean: f64,
+}
+
+impl Gp {
+    /// Fit on observations `(xs, ys)`.
+    ///
+    /// # Panics
+    /// If inputs are empty or mismatched.
+    pub fn fit(xs: Vec<Vec<f64>>, ys: &[f64], kernel: RbfKernel) -> Gp {
+        assert!(!xs.is_empty() && xs.len() == ys.len());
+        let n = xs.len();
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let resid: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let mut k = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i * n + j] = kernel.eval(&xs[i], &xs[j]);
+                if i == j {
+                    k[i * n + j] += kernel.noise_var;
+                }
+            }
+        }
+        // Jitter escalation if the kernel matrix is near-singular.
+        let mut jitter = 0.0;
+        let l = loop {
+            let mut kj = k.clone();
+            if jitter > 0.0 {
+                for i in 0..n {
+                    kj[i * n + i] += jitter;
+                }
+            }
+            if let Some(l) = cholesky(&kj, n) {
+                break l;
+            }
+            jitter = if jitter == 0.0 { 1e-8 } else { jitter * 10.0 };
+            assert!(jitter < 1.0, "kernel matrix irreparably singular");
+        };
+        let tmp = solve_lower(&l, n, &resid);
+        let alpha = solve_upper_t(&l, n, &tmp);
+        Gp {
+            kernel,
+            xs,
+            l,
+            alpha,
+            y_mean,
+        }
+    }
+
+    /// Posterior mean and variance at `x`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let n = self.xs.len();
+        let kstar: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean = self.y_mean
+            + kstar
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
+        let v = solve_lower(&self.l, n, &kstar);
+        let var = self.kernel.eval(x, x) - v.iter().map(|vi| vi * vi).sum::<f64>();
+        (mean, var.max(1e-12))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_known() {
+        // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+        let l = cholesky(&[4.0, 2.0, 2.0, 3.0], 2).unwrap();
+        assert!((l[0] - 2.0).abs() < 1e-12);
+        assert!((l[2] - 1.0).abs() < 1e-12);
+        assert!((l[3] - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        assert!(cholesky(&[1.0, 2.0, 2.0, 1.0], 2).is_none());
+    }
+
+    #[test]
+    fn triangular_solves_invert() {
+        let a = [4.0, 2.0, 2.0, 3.0];
+        let l = cholesky(&a, 2).unwrap();
+        // Solve A x = b via L then L^T.
+        let b = [10.0, 8.0];
+        let t = solve_lower(&l, 2, &b);
+        let x = solve_upper_t(&l, 2, &t);
+        // Check A x = b.
+        assert!((4.0 * x[0] + 2.0 * x[1] - 10.0).abs() < 1e-10);
+        assert!((2.0 * x[0] + 3.0 * x[1] - 8.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gp_interpolates_observations() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = [1.0, 0.0, 1.0];
+        let gp = Gp::fit(xs, &ys, RbfKernel::default());
+        for (x, y) in [(0.0, 1.0), (0.5, 0.0), (1.0, 1.0)] {
+            let (m, v) = gp.predict(&[x]);
+            assert!((m - y).abs() < 0.05, "mean at {x}: {m}");
+            assert!(v < 0.01, "variance at observation: {v}");
+        }
+    }
+
+    #[test]
+    fn gp_uncertainty_grows_away_from_data() {
+        let xs = vec![vec![0.0], vec![0.1]];
+        let ys = [0.0, 0.0];
+        let gp = Gp::fit(xs, &ys, RbfKernel::default());
+        let (_, v_near) = gp.predict(&[0.05]);
+        let (_, v_far) = gp.predict(&[1.0]);
+        assert!(v_far > v_near * 10.0, "near {v_near}, far {v_far}");
+    }
+
+    #[test]
+    fn gp_reverts_to_mean_far_away() {
+        let xs = vec![vec![0.0], vec![0.2]];
+        let ys = [2.0, 4.0];
+        let gp = Gp::fit(xs, &ys, RbfKernel::default());
+        let (m, _) = gp.predict(&[100.0]);
+        assert!((m - 3.0).abs() < 1e-6, "prior mean should dominate: {m}");
+    }
+
+    #[test]
+    fn gp_smooth_between_points() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = [0.0, 1.0];
+        let gp = Gp::fit(xs, &ys, RbfKernel { length_scale: 0.6, ..RbfKernel::default() });
+        let (m, _) = gp.predict(&[0.5]);
+        assert!(m > 0.2 && m < 0.8, "midpoint mean {m}");
+    }
+}

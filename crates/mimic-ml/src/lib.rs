@@ -1,0 +1,48 @@
+//! # mimic-ml — a small CPU neural-network library for MimicNet
+//!
+//! The paper trains its Mimic internal models with PyTorch 0.4.1 + CUDA and
+//! serves them through a custom C++/ATen inference engine (§8). This crate
+//! is the from-scratch Rust substitute: everything needed to train and run
+//! the paper's LSTM models on a CPU, plus the Gaussian-process Bayesian
+//! optimization used for hyper-parameter tuning (§7.2).
+//!
+//! Contents:
+//!
+//! * [`matrix`] — dense row-major `f32` matrices with the handful of BLAS
+//!   operations an LSTM needs.
+//! * [`lstm`] / [`linear`] — layers with full backpropagation (BPTT for the
+//!   LSTM), gradient-checked against finite differences.
+//! * [`model`] — [`model::SeqModel`]: an LSTM stack plus a linear head
+//!   emitting the paper's three predictions (latency, drop, ECN), with a
+//!   stateful single-step inference mode for use inside simulations.
+//! * [`loss`] — the DCN-friendly loss functions of §5.4: Huber for
+//!   latencies (heavy-tailed outliers), weighted binary cross-entropy for
+//!   drops (severe class imbalance), and their combination.
+//! * [`optim`] — SGD and Adam.
+//! * [`discretize`] — the linear quantization of §5.2.
+//! * [`dataset`] — packet-window datasets and deterministic shuffling.
+//! * [`train`] — a mini-batch training loop.
+//! * [`gp`] / [`bayesopt`] — Gaussian-process regression and Expected
+//!   Improvement for hyper-parameter search.
+//! * [`flops`] — analytic FLOP accounting (paper Appendix G).
+//!
+//! Determinism: all randomness (init, shuffling, BO candidates) flows from
+//! caller-provided seeds through a SplitMix64; training the same data with
+//! the same seed yields bit-identical models.
+
+pub mod bayesopt;
+pub mod dataset;
+pub mod discretize;
+pub mod flops;
+pub mod gp;
+pub mod linear;
+pub mod loss;
+pub mod lstm;
+pub mod matrix;
+pub mod model;
+pub mod optim;
+pub mod rng;
+pub mod train;
+
+pub use matrix::Matrix;
+pub use model::SeqModel;

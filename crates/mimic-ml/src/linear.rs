@@ -1,0 +1,141 @@
+//! A fully connected layer with backprop.
+
+use crate::matrix::Matrix;
+use crate::rng::MlRng;
+use serde::{Deserialize, Serialize};
+
+/// `y = x·W + b` with accumulated gradients.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Linear {
+    pub w: Matrix,
+    pub b: Vec<f32>,
+    pub gw: Matrix,
+    pub gb: Vec<f32>,
+}
+
+impl Linear {
+    /// Xavier-uniform initialization.
+    pub fn new(input: usize, output: usize, rng: &mut MlRng) -> Linear {
+        let a = (6.0 / (input + output) as f64).sqrt();
+        Linear {
+            w: Matrix::from_fn(input, output, |_, _| rng.uniform_sym(a) as f32),
+            b: vec![0.0; output],
+            gw: Matrix::zeros(input, output),
+            gb: vec![0.0; output],
+        }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.w.rows
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.w.cols
+    }
+
+    /// Forward pass for a batch `x` (B×I) → (B×O).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        y.add_row_broadcast(&self.b);
+        y
+    }
+
+    /// Accumulate gradients given the forward input and `dL/dy`;
+    /// returns `dL/dx`.
+    pub fn backward(&mut self, x: &Matrix, dy: &Matrix) -> Matrix {
+        self.gw.add_assign(&x.t_matmul(dy));
+        for (g, d) in self.gb.iter_mut().zip(dy.sum_rows()) {
+            *g += d;
+        }
+        dy.matmul_t(&self.w)
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.gw.data.fill(0.0);
+        self.gb.fill(0.0);
+    }
+
+    /// Visit `(params, grads)` slices in a fixed order (for optimizers).
+    pub fn visit(&mut self, f: &mut impl FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.w.data, &mut self.gw.data);
+        f(&mut self.b, &mut self.gb);
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.data.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut l = Linear::new(2, 2, &mut MlRng::new(1));
+        l.w = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
+        l.b = vec![0.5, -0.5];
+        let x = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        let y = l.forward(&x);
+        assert_eq!(y.row(0), &[3.5, 7.5]);
+    }
+
+    #[test]
+    fn gradient_check_finite_difference() {
+        let mut rng = MlRng::new(7);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Matrix::from_fn(4, 3, |_, _| rng.uniform_sym(1.0) as f32);
+        // Loss = 0.5 * sum(y^2)  =>  dL/dy = y.
+        let loss = |l: &Linear, x: &Matrix| -> f64 {
+            l.forward(x).data.iter().map(|&v| 0.5 * v as f64 * v as f64).sum()
+        };
+        let y = l.forward(&x);
+        l.zero_grad();
+        let _ = l.backward(&x, &y);
+        let eps = 1e-3_f32;
+        for idx in [0usize, 2, 5] {
+            let orig = l.w.data[idx];
+            l.w.data[idx] = orig + eps;
+            let up = loss(&l, &x);
+            l.w.data[idx] = orig - eps;
+            let dn = loss(&l, &x);
+            l.w.data[idx] = orig;
+            let fd = ((up - dn) / (2.0 * eps as f64)) as f32;
+            let an = l.gw.data[idx];
+            assert!(
+                (fd - an).abs() / (fd.abs() + an.abs()).max(1e-3) < 0.05,
+                "w[{idx}]: fd {fd} vs analytic {an}"
+            );
+        }
+        // Bias gradient: column sums of dy.
+        let col0: f32 = (0..4).map(|i| y.get(i, 0)).sum();
+        assert!((l.gb[0] - col0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn backward_input_gradient() {
+        let mut rng = MlRng::new(9);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.w = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let x = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        let dy = Matrix::from_rows(&[vec![1.0, 0.0]]);
+        let dx = l.backward(&x, &dy);
+        // dx = dy · W^T = [1*1 + 0*2, 1*3 + 0*4].
+        assert_eq!(dx.row(0), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn grads_accumulate_until_zeroed() {
+        let mut rng = MlRng::new(3);
+        let mut l = Linear::new(2, 1, &mut rng);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let dy = Matrix::from_rows(&[vec![1.0]]);
+        l.backward(&x, &dy);
+        let g1 = l.gw.data.clone();
+        l.backward(&x, &dy);
+        assert!(l.gw.data.iter().zip(&g1).all(|(a, b)| (*a - 2.0 * b).abs() < 1e-6));
+        l.zero_grad();
+        assert!(l.gw.data.iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,258 @@
+//! DCN-friendly loss functions (paper §5.4).
+//!
+//! Two domain problems break the textbook losses:
+//!
+//! * **Class imbalance** — drops and ECN marks are rare (99.7% of the
+//!   paper's example trace is delivered), so plain BCE learns "never
+//!   drop". The fix is cost-sensitive *weighted* BCE with weight `w` on
+//!   the positive (drop) class, tuned in 0.6–0.8.
+//! * **Latency outliers** — tail latencies carry the signal; MAE ignores
+//!   them and MSE overreacts. The Huber loss interpolates: squared near
+//!   zero error, absolute beyond `δ`.
+//!
+//! Every function returns `(loss, dL/dŷ)` pairs so they can drive
+//! backprop directly; classification losses operate on logits (the
+//! sigmoid is folded in for numerical stability).
+
+/// Numerically stable `log(1 + e^x)`.
+fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        0.0
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Mean squared error: `(loss, grad)` for one prediction.
+pub fn mse(pred: f32, target: f32) -> (f32, f32) {
+    let e = pred - target;
+    (e * e, 2.0 * e)
+}
+
+/// Mean absolute error: `(loss, grad)`.
+pub fn mae(pred: f32, target: f32) -> (f32, f32) {
+    let e = pred - target;
+    (e.abs(), e.signum())
+}
+
+/// Huber loss with threshold `delta`: quadratic inside, linear outside.
+pub fn huber(pred: f32, target: f32, delta: f32) -> (f32, f32) {
+    debug_assert!(delta > 0.0);
+    let e = pred - target;
+    if e.abs() <= delta {
+        (0.5 * e * e, e)
+    } else {
+        (delta * e.abs() - 0.5 * delta * delta, delta * e.signum())
+    }
+}
+
+/// Binary cross-entropy on a logit: `(loss, dL/dlogit)`.
+pub fn bce_logits(logit: f32, target: f32) -> (f32, f32) {
+    debug_assert!((0.0..=1.0).contains(&target));
+    // loss = softplus(logit) - target * logit
+    let loss = softplus(logit) - target * logit;
+    let grad = sigmoid(logit) - target;
+    (loss, grad)
+}
+
+/// Weighted BCE (paper's WBCE): weight `w` on the positive class,
+/// `1 − w` on the negative class. `w > 0.5` counteracts drop rarity.
+pub fn wbce_logits(logit: f32, target: f32, w: f32) -> (f32, f32) {
+    debug_assert!((0.0..=1.0).contains(&w));
+    let p = sigmoid(logit);
+    // loss = -w·t·log p − (1−w)(1−t)·log(1−p)
+    let loss = w * target * softplus(-logit) + (1.0 - w) * (1.0 - target) * softplus(logit);
+    let grad = -w * target * (1.0 - p) + (1.0 - w) * (1.0 - target) * p;
+    (loss, grad)
+}
+
+/// Which regression loss to use for latency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RegLoss {
+    Mae,
+    Mse,
+    Huber { delta: f32 },
+}
+
+impl RegLoss {
+    pub fn eval(&self, pred: f32, target: f32) -> (f32, f32) {
+        match *self {
+            RegLoss::Mae => mae(pred, target),
+            RegLoss::Mse => mse(pred, target),
+            RegLoss::Huber { delta } => huber(pred, target, delta),
+        }
+    }
+}
+
+/// Which classification loss to use for drops.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClsLoss {
+    Bce,
+    Wbce { w: f32 },
+}
+
+impl ClsLoss {
+    pub fn eval(&self, logit: f32, target: f32) -> (f32, f32) {
+        match *self {
+            ClsLoss::Bce => bce_logits(logit, target),
+            ClsLoss::Wbce { w } => wbce_logits(logit, target, w),
+        }
+    }
+}
+
+/// The combined multi-task loss over the model's three outputs
+/// `[latency, drop logit, ecn logit]` (paper: "Both regression and
+/// classification tasks are modeled together with a unified loss
+/// function", normalized and weighted by hyperparameters; "a weight that
+/// favors latency over other metrics is preferable").
+#[derive(Clone, Copy, Debug)]
+pub struct CombinedLoss {
+    pub latency: RegLoss,
+    pub drop: ClsLoss,
+    pub ecn: ClsLoss,
+    /// Task weights.
+    pub w_latency: f32,
+    pub w_drop: f32,
+    pub w_ecn: f32,
+}
+
+impl Default for CombinedLoss {
+    fn default() -> Self {
+        CombinedLoss {
+            // Latency targets are normalized to [0,1]; the Huber knee must
+            // sit inside the error range to differ from MSE (a knee at 1.0
+            // would be squared loss everywhere).
+            latency: RegLoss::Huber { delta: 0.25 },
+            drop: ClsLoss::Wbce { w: 0.7 },
+            ecn: ClsLoss::Bce,
+            w_latency: 1.0,
+            w_drop: 0.5,
+            w_ecn: 0.25,
+        }
+    }
+}
+
+/// Supervision targets for one packet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Target {
+    /// Normalized (discretized) latency.
+    pub latency: f32,
+    /// 1.0 if dropped.
+    pub dropped: f32,
+    /// 1.0 if CE-marked on exit.
+    pub ecn: f32,
+}
+
+impl CombinedLoss {
+    /// Evaluate on a 3-wide prediction row; returns total loss and the
+    /// gradient per output.
+    pub fn eval(&self, pred: &[f32], target: &Target) -> (f32, [f32; 3]) {
+        assert!(pred.len() >= 3, "model must emit 3 outputs");
+        let (ll, gl) = self.latency.eval(pred[0], target.latency);
+        let (ld, gd) = self.drop.eval(pred[1], target.dropped);
+        let (le, ge) = self.ecn.eval(pred[2], target.ecn);
+        (
+            self.w_latency * ll + self.w_drop * ld + self.w_ecn * le,
+            [
+                self.w_latency * gl,
+                self.w_drop * gd,
+                self.w_ecn * ge,
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_check(f: impl Fn(f32) -> (f32, f32), x: f32) {
+        let eps = 1e-3;
+        let (_, g) = f(x);
+        let (up, _) = f(x + eps);
+        let (dn, _) = f(x - eps);
+        let fd = (up - dn) / (2.0 * eps);
+        assert!((fd - g).abs() < 2e-2, "fd {fd} vs grad {g} at {x}");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        for x in [-2.0f32, -0.3, 0.0, 0.7, 3.0] {
+            fd_check(|p| mse(p, 0.5), x);
+            fd_check(|p| huber(p, 0.5, 1.0), x);
+            fd_check(|p| bce_logits(p, 1.0), x);
+            fd_check(|p| bce_logits(p, 0.0), x);
+            fd_check(|p| wbce_logits(p, 1.0, 0.7), x);
+            fd_check(|p| wbce_logits(p, 0.0, 0.7), x);
+        }
+    }
+
+    #[test]
+    fn huber_is_mse_inside_and_mae_outside() {
+        // Inside delta: quadratic (0.5 e^2).
+        let (l, _) = huber(0.5, 0.0, 1.0);
+        assert!((l - 0.125).abs() < 1e-6);
+        // Far outside delta: slope equals delta.
+        let (_, g) = huber(10.0, 0.0, 1.0);
+        assert_eq!(g, 1.0);
+        let (_, g2) = huber(-10.0, 0.0, 1.0);
+        assert_eq!(g2, -1.0);
+    }
+
+    #[test]
+    fn wbce_upweights_positive_class() {
+        // Same logit, positive target: higher w -> larger |gradient|.
+        let (_, g_low) = wbce_logits(-1.0, 1.0, 0.5);
+        let (_, g_high) = wbce_logits(-1.0, 1.0, 0.9);
+        assert!(g_high.abs() > g_low.abs());
+        // w = 0.5 is plain BCE halved.
+        let (l_w, g_w) = wbce_logits(0.3, 1.0, 0.5);
+        let (l_b, g_b) = bce_logits(0.3, 1.0);
+        assert!((l_w - 0.5 * l_b).abs() < 1e-6);
+        assert!((g_w - 0.5 * g_b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_loss_is_low_when_confident_correct() {
+        let (l_good, _) = bce_logits(5.0, 1.0);
+        let (l_bad, _) = bce_logits(-5.0, 1.0);
+        assert!(l_good < 0.01);
+        assert!(l_bad > 4.0);
+    }
+
+    #[test]
+    fn softplus_extremes_are_stable() {
+        assert_eq!(bce_logits(100.0, 1.0).0, 0.0);
+        assert!(bce_logits(-100.0, 0.0).0.abs() < 1e-6);
+        assert!(bce_logits(100.0, 0.0).0 >= 99.0);
+    }
+
+    #[test]
+    fn combined_loss_weights_tasks() {
+        let cl = CombinedLoss {
+            w_latency: 2.0,
+            w_drop: 0.0,
+            w_ecn: 0.0,
+            ..CombinedLoss::default()
+        };
+        let t = Target {
+            latency: 0.0,
+            dropped: 1.0,
+            ecn: 1.0,
+        };
+        let (loss, grads) = cl.eval(&[0.5, -3.0, -3.0], &t);
+        // Only latency contributes (same regression loss as the default).
+        let (hl, hg) = cl.latency.eval(0.5, 0.0);
+        assert!((loss - 2.0 * hl).abs() < 1e-6);
+        assert!((grads[0] - 2.0 * hg).abs() < 1e-6);
+        assert_eq!(grads[1], 0.0);
+        assert_eq!(grads[2], 0.0);
+    }
+}

@@ -1,0 +1,367 @@
+//! An LSTM layer with full backpropagation through time.
+//!
+//! The paper's internal models are LSTMs: "For each direction of traffic,
+//! the LSTMs consist of an input layer and a stack of flattened,
+//! one-dimensional hidden layers" (§5.5), chosen for "their ability to
+//! learn complex underlying relationships in sequences of data". This is a
+//! standard LSTM cell:
+//!
+//! ```text
+//! z = x·Wx + h₋₁·Wh + b          (z split into i | f | g | o)
+//! i = σ(zᵢ)  f = σ(z_f)  g = tanh(z_g)  o = σ(z_o)
+//! c = f∘c₋₁ + i∘g                h = o∘tanh(c)
+//! ```
+//!
+//! with the forget-gate bias initialized to 1 (the usual trick so memory
+//! survives early training).
+
+use crate::matrix::Matrix;
+use crate::rng::MlRng;
+use serde::{Deserialize, Serialize};
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// The recurrent state carried between steps.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LstmState {
+    pub h: Matrix,
+    pub c: Matrix,
+}
+
+impl LstmState {
+    pub fn zeros(batch: usize, hidden: usize) -> LstmState {
+        LstmState {
+            h: Matrix::zeros(batch, hidden),
+            c: Matrix::zeros(batch, hidden),
+        }
+    }
+}
+
+/// Everything the backward pass needs from one forward step.
+#[derive(Clone, Debug)]
+pub struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    tanh_c: Matrix,
+}
+
+/// The LSTM layer parameters and accumulated gradients.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Lstm {
+    pub input: usize,
+    pub hidden: usize,
+    /// Input weights, `input × 4·hidden`, gate order `i|f|g|o`.
+    pub wx: Matrix,
+    /// Recurrent weights, `hidden × 4·hidden`.
+    pub wh: Matrix,
+    /// Bias, length `4·hidden`.
+    pub b: Vec<f32>,
+    pub gwx: Matrix,
+    pub gwh: Matrix,
+    pub gb: Vec<f32>,
+}
+
+impl Lstm {
+    pub fn new(input: usize, hidden: usize, rng: &mut MlRng) -> Lstm {
+        let a_x = (6.0 / (input + hidden) as f64).sqrt();
+        let a_h = (6.0 / (2 * hidden) as f64).sqrt();
+        let mut b = vec![0.0; 4 * hidden];
+        // Forget gate bias = 1.
+        for v in b.iter_mut().skip(hidden).take(hidden) {
+            *v = 1.0;
+        }
+        Lstm {
+            input,
+            hidden,
+            wx: Matrix::from_fn(input, 4 * hidden, |_, _| rng.uniform_sym(a_x) as f32),
+            wh: Matrix::from_fn(hidden, 4 * hidden, |_, _| rng.uniform_sym(a_h) as f32),
+            b,
+            gwx: Matrix::zeros(input, 4 * hidden),
+            gwh: Matrix::zeros(hidden, 4 * hidden),
+            gb: vec![0.0; 4 * hidden],
+        }
+    }
+
+    /// Slice columns `[from, to)` of a `B × 4H` pre-activation matrix.
+    fn slice_cols(z: &Matrix, from: usize, to: usize) -> Matrix {
+        let mut out = Matrix::zeros(z.rows, to - from);
+        for r in 0..z.rows {
+            out.data[r * (to - from)..(r + 1) * (to - from)]
+                .copy_from_slice(&z.row(r)[from..to]);
+        }
+        out
+    }
+
+    /// One forward step for a batch. Returns the new state and the cache
+    /// for backprop.
+    pub fn forward_step(&self, x: &Matrix, state: &LstmState) -> (LstmState, StepCache) {
+        assert_eq!(x.cols, self.input, "input width mismatch");
+        let h = self.hidden;
+        let mut z = x.matmul(&self.wx);
+        z.add_assign(&state.h.matmul(&self.wh));
+        z.add_row_broadcast(&self.b);
+        let i = Self::slice_cols(&z, 0, h).map(sigmoid);
+        let f = Self::slice_cols(&z, h, 2 * h).map(sigmoid);
+        let g = Self::slice_cols(&z, 2 * h, 3 * h).map(f32::tanh);
+        let o = Self::slice_cols(&z, 3 * h, 4 * h).map(sigmoid);
+        let mut c = f.hadamard(&state.c);
+        c.add_assign(&i.hadamard(&g));
+        let tanh_c = c.map(f32::tanh);
+        let h_new = o.hadamard(&tanh_c);
+        (
+            LstmState { h: h_new, c },
+            StepCache {
+                x: x.clone(),
+                h_prev: state.h.clone(),
+                c_prev: state.c.clone(),
+                i,
+                f,
+                g,
+                o,
+                tanh_c,
+            },
+        )
+    }
+
+    /// Allocation-light single-sample forward step for inference: updates
+    /// `state` (batch 1) in place. Numerically identical to
+    /// [`Lstm::forward_step`] (same accumulation order), but ~an order of
+    /// magnitude cheaper — this is the per-packet cost inside a running
+    /// Mimic, the analogue of the paper's custom C++/ATen inference engine.
+    pub fn step_inplace(&self, x: &[f32], state: &mut LstmState) {
+        assert_eq!(x.len(), self.input, "input width mismatch");
+        assert_eq!(state.h.rows, 1, "step_inplace is single-sample");
+        let h = self.hidden;
+        let mut z = vec![0.0f32; 4 * h];
+        // z = x · Wx  (same k-ordering as Matrix::matmul)
+        for (k, &a) in x.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let row = &self.wx.data[k * 4 * h..(k + 1) * 4 * h];
+            for (zv, &w) in z.iter_mut().zip(row) {
+                *zv += a * w;
+            }
+        }
+        // z += h_prev · Wh
+        for (k, &a) in state.h.data.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let row = &self.wh.data[k * 4 * h..(k + 1) * 4 * h];
+            for (zv, &w) in z.iter_mut().zip(row) {
+                *zv += a * w;
+            }
+        }
+        // z += b
+        for (zv, &b) in z.iter_mut().zip(&self.b) {
+            *zv += b;
+        }
+        for j in 0..h {
+            let i_g = sigmoid(z[j]);
+            let f_g = sigmoid(z[h + j]);
+            let g_g = z[2 * h + j].tanh();
+            let o_g = sigmoid(z[3 * h + j]);
+            let c = f_g * state.c.data[j] + i_g * g_g;
+            state.c.data[j] = c;
+            state.h.data[j] = o_g * c.tanh();
+        }
+    }
+
+    /// One BPTT step: given `dL/dh` and `dL/dc` flowing in from the future,
+    /// accumulate parameter gradients and return
+    /// `(dL/dx, dL/dh_prev, dL/dc_prev)`.
+    pub fn backward_step(
+        &mut self,
+        cache: &StepCache,
+        dh: &Matrix,
+        dc_in: &Matrix,
+    ) -> (Matrix, Matrix, Matrix) {
+        let h = self.hidden;
+        let one_minus = |m: &Matrix| m.map(|v| 1.0 - v);
+        // Output gate and cell.
+        let do_ = dh.hadamard(&cache.tanh_c);
+        let mut dc = dh
+            .hadamard(&cache.o)
+            .hadamard(&cache.tanh_c.map(|v| 1.0 - v * v));
+        dc.add_assign(dc_in);
+        // Gates.
+        let di = dc.hadamard(&cache.g);
+        let df = dc.hadamard(&cache.c_prev);
+        let dg = dc.hadamard(&cache.i);
+        let dc_prev = dc.hadamard(&cache.f);
+        // Pre-activations.
+        let dzi = di.hadamard(&cache.i).hadamard(&one_minus(&cache.i));
+        let dzf = df.hadamard(&cache.f).hadamard(&one_minus(&cache.f));
+        let dzg = dg.hadamard(&cache.g.map(|v| 1.0 - v * v));
+        let dzo = do_.hadamard(&cache.o).hadamard(&one_minus(&cache.o));
+        // Concatenate into B × 4H.
+        let batch = dh.rows;
+        let mut dz = Matrix::zeros(batch, 4 * h);
+        for r in 0..batch {
+            dz.data[r * 4 * h..r * 4 * h + h].copy_from_slice(dzi.row(r));
+            dz.data[r * 4 * h + h..r * 4 * h + 2 * h].copy_from_slice(dzf.row(r));
+            dz.data[r * 4 * h + 2 * h..r * 4 * h + 3 * h].copy_from_slice(dzg.row(r));
+            dz.data[r * 4 * h + 3 * h..r * 4 * h + 4 * h].copy_from_slice(dzo.row(r));
+        }
+        // Parameter gradients.
+        self.gwx.add_assign(&cache.x.t_matmul(&dz));
+        self.gwh.add_assign(&cache.h_prev.t_matmul(&dz));
+        for (g, d) in self.gb.iter_mut().zip(dz.sum_rows()) {
+            *g += d;
+        }
+        // Upstream gradients.
+        let dx = dz.matmul_t(&self.wx);
+        let dh_prev = dz.matmul_t(&self.wh);
+        (dx, dh_prev, dc_prev)
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.gwx.data.fill(0.0);
+        self.gwh.data.fill(0.0);
+        self.gb.fill(0.0);
+    }
+
+    /// Visit `(params, grads)` slices in a fixed order.
+    pub fn visit(&mut self, f: &mut impl FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.wx.data, &mut self.gwx.data);
+        f(&mut self.wh.data, &mut self.gwh.data);
+        f(&mut self.b, &mut self.gb);
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.wx.data.len() + self.wh.data.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = MlRng::new(1);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let x = Matrix::zeros(2, 3);
+        let s = LstmState::zeros(2, 5);
+        let (s2, _) = lstm.forward_step(&x, &s);
+        assert_eq!((s2.h.rows, s2.h.cols), (2, 5));
+        assert_eq!((s2.c.rows, s2.c.cols), (2, 5));
+    }
+
+    #[test]
+    fn zero_input_zero_state_gives_bounded_output() {
+        let mut rng = MlRng::new(2);
+        let lstm = Lstm::new(3, 4, &mut rng);
+        let (s, _) = lstm.forward_step(&Matrix::zeros(1, 3), &LstmState::zeros(1, 4));
+        for &v in &s.h.data {
+            assert!(v.abs() < 1.0, "h out of tanh-sigmoid range: {v}");
+        }
+    }
+
+    #[test]
+    fn memory_persists_across_steps() {
+        // Feeding a strong input once should leave a trace in the cell that
+        // persists with near-unit forget gates.
+        let mut rng = MlRng::new(3);
+        let lstm = Lstm::new(1, 4, &mut rng);
+        let mut s = LstmState::zeros(1, 4);
+        let strong = Matrix::from_rows(&[vec![5.0]]);
+        let silent = Matrix::from_rows(&[vec![0.0]]);
+        s = lstm.forward_step(&strong, &s).0;
+        let c_after = s.c.clone();
+        for _ in 0..3 {
+            s = lstm.forward_step(&silent, &s).0;
+        }
+        // Cell state decays but does not vanish instantly.
+        let corr: f32 = s
+            .c
+            .data
+            .iter()
+            .zip(&c_after.data)
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(corr > 0.0, "cell memory vanished");
+    }
+
+    #[test]
+    fn bptt_gradient_check() {
+        // Finite-difference check of dL/dWx, dL/dWh, dL/db over a 3-step
+        // unrolled sequence with L = 0.5·Σ h_T².
+        let mut rng = MlRng::new(11);
+        let (input, hidden, batch, steps) = (2usize, 3usize, 2usize, 3usize);
+        let mut lstm = Lstm::new(input, hidden, &mut rng);
+        let xs: Vec<Matrix> = (0..steps)
+            .map(|_| Matrix::from_fn(batch, input, |_, _| rng.uniform_sym(1.0) as f32))
+            .collect();
+
+        let loss = |l: &Lstm| -> f64 {
+            let mut s = LstmState::zeros(batch, hidden);
+            for x in &xs {
+                s = l.forward_step(x, &s).0;
+            }
+            s.h.data.iter().map(|&v| 0.5 * v as f64 * v as f64).sum()
+        };
+
+        // Analytic gradients.
+        let mut s = LstmState::zeros(batch, hidden);
+        let mut caches = Vec::new();
+        for x in &xs {
+            let (s2, cache) = lstm.forward_step(x, &s);
+            caches.push(cache);
+            s = s2;
+        }
+        lstm.zero_grad();
+        let mut dh = s.h.clone(); // dL/dh_T = h_T
+        let mut dc = Matrix::zeros(batch, hidden);
+        for cache in caches.iter().rev() {
+            let (_dx, dh_prev, dc_prev) = lstm.backward_step(cache, &dh, &dc);
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+
+        // Compare against central differences at a sample of parameters.
+        let gwx = lstm.gwx.data.clone();
+        let gwh = lstm.gwh.data.clone();
+        let gb = lstm.gb.clone();
+        let eps = 2e-3f32;
+        let mut check = |get: &dyn Fn(&Lstm) -> f32,
+                         set: &dyn Fn(&mut Lstm, f32),
+                         analytic: f32,
+                         label: &str| {
+            let orig = get(&lstm);
+            set(&mut lstm, orig + eps);
+            let up = loss(&lstm);
+            set(&mut lstm, orig - eps);
+            let dn = loss(&lstm);
+            set(&mut lstm, orig);
+            let fd = ((up - dn) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (fd - analytic).abs() / (fd.abs() + analytic.abs()).max(5e-3) < 0.08,
+                "{label}: fd {fd} vs analytic {analytic}"
+            );
+        };
+        for idx in [0usize, 7, 13] {
+            check(&|l| l.wx.data[idx], &|l, v| l.wx.data[idx] = v, gwx[idx], "wx");
+        }
+        for idx in [1usize, 5, 20] {
+            check(&|l| l.wh.data[idx], &|l, v| l.wh.data[idx] = v, gwh[idx], "wh");
+        }
+        for idx in [0usize, 4, 9] {
+            check(&|l| l.b[idx], &|l, v| l.b[idx] = v, gb[idx], "b");
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let lstm = Lstm::new(10, 8, &mut MlRng::new(1));
+        assert_eq!(lstm.param_count(), 10 * 32 + 8 * 32 + 32);
+    }
+}

@@ -1,0 +1,267 @@
+//! Dense row-major `f32` matrices.
+//!
+//! Deliberately minimal: the LSTM forward/backward passes need matrix
+//! multiplication (including the `Aᵀ·B` and `A·Bᵀ` forms for gradients),
+//! element-wise combination, and row-broadcast bias addition. Loops are
+//! ordered `i-k-j` so the inner loop walks both operands contiguously.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `rows × cols` matrix of `f32` in row-major order.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Matrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a generator over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.data[i * cols + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Build from rows of equal length.
+    ///
+    /// # Panics
+    /// If rows have unequal lengths or the input is empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Matrix {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow row `i`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `self · other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            let brow = other.row(r);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let mut s = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    s += a * b;
+                }
+                out.data[i * other.rows + j] = s;
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place: `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Add a row vector to every row.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(self.cols, bias.len());
+        for i in 0..self.rows {
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (r, &b) in row.iter_mut().zip(bias) {
+                *r += b;
+            }
+        }
+    }
+
+    /// Sum over rows, producing a row vector (bias gradients).
+    pub fn sum_rows(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(i)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Scale all entries.
+    pub fn scale(&mut self, k: f32) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Apply a function element-wise, producing a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise product (Hadamard), producing a new matrix.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// Frobenius norm (for gradient clipping / tests).
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[f32]]) -> Matrix {
+        Matrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = m(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, m(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let id = Matrix::from_fn(3, 3, |i, j| if i == j { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]); // 3x2
+        let b = m(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, 1.0], &[1.0, 1.0, 0.0]]); // 3x3
+        let at = Matrix::from_fn(2, 3, |i, j| a.get(j, i));
+        assert_eq!(a.t_matmul(&b), at.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let a = m(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]); // 2x3
+        let b = m(&[&[1.0, 0.0, 1.0], &[2.0, 1.0, 0.0]]); // 2x3
+        let bt = Matrix::from_fn(3, 2, |i, j| b.get(j, i));
+        assert_eq!(a.matmul_t(&b), a.matmul(&bt));
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows_are_adjoint() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(a.sum_rows(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn hadamard_and_map() {
+        let a = m(&[&[1.0, -2.0]]);
+        let b = m(&[&[3.0, 4.0]]);
+        assert_eq!(a.hadamard(&b), m(&[&[3.0, -8.0]]));
+        assert_eq!(a.map(f32::abs), m(&[&[1.0, 2.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_rejects_bad_dims() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn norm_known() {
+        let a = m(&[&[3.0, 4.0]]);
+        assert_eq!(a.norm(), 5.0);
+    }
+}

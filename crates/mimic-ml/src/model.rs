@@ -1,0 +1,422 @@
+//! The sequence model used inside Mimics: a stack of LSTM layers plus a
+//! linear head.
+//!
+//! Paper §5.5: "the LSTMs consist of an input layer and a stack of
+//! flattened, one-dimensional hidden layers"; the number of layers is one
+//! of the §7.2 tunables. Three outputs per packet, matching §5.2's
+//! modeling objectives:
+//!
+//! | index | meaning | head |
+//! |---|---|---|
+//! | 0 | normalized (discretized) latency | regression (Huber) |
+//! | 1 | drop logit | classification (WBCE) |
+//! | 2 | ECN-mark logit | classification (BCE) |
+//!
+//! Two usage modes:
+//! * **Windowed training** — [`SeqModel::forward_window`] /
+//!   [`SeqModel::backward_window`] unroll over a window of packets and
+//!   supervise the final step (the window defaults to the network BDP,
+//!   per Appendix C).
+//! * **Stateful inference** — [`SeqModel::step`] carries hidden state
+//!   packet-by-packet inside a running simulation; feeder packets update
+//!   the state the same way, with outputs discarded (§6).
+
+use crate::linear::Linear;
+use crate::lstm::{Lstm, LstmState, StepCache};
+use crate::matrix::Matrix;
+use crate::rng::MlRng;
+use serde::{Deserialize, Serialize};
+
+/// Output index: normalized latency.
+pub const OUT_LATENCY: usize = 0;
+/// Output index: drop logit.
+pub const OUT_DROP: usize = 1;
+/// Output index: ECN logit.
+pub const OUT_ECN: usize = 2;
+/// Number of model outputs.
+pub const OUTPUTS: usize = 3;
+
+/// Stacked LSTM + head, trained per direction (ingress/egress) per
+/// cluster.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SeqModel {
+    pub lstms: Vec<Lstm>,
+    pub head: Linear,
+}
+
+/// Recurrent state of the whole stack (one [`LstmState`] per layer).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelState {
+    pub layers: Vec<LstmState>,
+}
+
+/// Cache of one unrolled window for backprop: `steps[t][l]` is layer `l`'s
+/// cache at timestep `t`.
+pub struct WindowCache {
+    steps: Vec<Vec<StepCache>>,
+    final_h: Matrix,
+    batch: usize,
+}
+
+impl SeqModel {
+    /// A single-layer model reading `input` features with `hidden` units.
+    pub fn new(input: usize, hidden: usize, seed: u64) -> SeqModel {
+        SeqModel::new_stacked(input, hidden, 1, seed)
+    }
+
+    /// A `layers`-deep stack (layer 0 reads the features; deeper layers
+    /// read the previous layer's hidden sequence).
+    pub fn new_stacked(input: usize, hidden: usize, layers: usize, seed: u64) -> SeqModel {
+        assert!(layers >= 1, "need at least one LSTM layer");
+        let mut rng = MlRng::new(seed);
+        let lstms = (0..layers)
+            .map(|l| Lstm::new(if l == 0 { input } else { hidden }, hidden, &mut rng))
+            .collect();
+        SeqModel {
+            lstms,
+            head: Linear::new(hidden, OUTPUTS, &mut rng),
+        }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.lstms[0].input
+    }
+
+    pub fn hidden_dim(&self) -> usize {
+        self.lstms.last().expect("nonempty stack").hidden
+    }
+
+    pub fn num_layers(&self) -> usize {
+        self.lstms.len()
+    }
+
+    /// Unroll over `xs` (one `B × F` matrix per timestep) from a zero
+    /// state; predict at the final step. Returns `(B × 3)` predictions.
+    pub fn forward_window(&self, xs: &[Matrix]) -> (Matrix, WindowCache) {
+        assert!(!xs.is_empty(), "empty window");
+        let batch = xs[0].rows;
+        let hidden = self.hidden_dim();
+        let mut states: Vec<LstmState> = self
+            .lstms
+            .iter()
+            .map(|_| LstmState::zeros(batch, hidden))
+            .collect();
+        let mut steps = Vec::with_capacity(xs.len());
+        for x in xs {
+            let mut layer_input = x.clone();
+            let mut per_layer = Vec::with_capacity(self.lstms.len());
+            for (l, lstm) in self.lstms.iter().enumerate() {
+                let (s, cache) = lstm.forward_step(&layer_input, &states[l]);
+                layer_input = s.h.clone();
+                states[l] = s;
+                per_layer.push(cache);
+            }
+            steps.push(per_layer);
+        }
+        let final_h = states.last().expect("nonempty stack").h.clone();
+        let y = self.head.forward(&final_h);
+        (
+            y,
+            WindowCache {
+                steps,
+                final_h,
+                batch,
+            },
+        )
+    }
+
+    /// Backpropagate `dL/dy` (B × 3) through the window, accumulating
+    /// gradients in the layers (stacked BPTT).
+    pub fn backward_window(&mut self, cache: &WindowCache, dy: &Matrix) {
+        let layers = self.lstms.len();
+        let hidden = self.hidden_dim();
+        // Per-layer recurrent gradients flowing backward in time.
+        let mut dh_time: Vec<Matrix> = (0..layers)
+            .map(|_| Matrix::zeros(cache.batch, hidden))
+            .collect();
+        let mut dc_time: Vec<Matrix> = (0..layers)
+            .map(|_| Matrix::zeros(cache.batch, hidden))
+            .collect();
+        // The head contributes to the top layer at the final step.
+        dh_time[layers - 1].add_assign(&self.head.backward(&cache.final_h, dy));
+
+        for per_layer in cache.steps.iter().rev() {
+            // Gradient from the layer above w.r.t. this layer's output.
+            let mut dx_from_above: Option<Matrix> = None;
+            for l in (0..layers).rev() {
+                let mut dh_in = dh_time[l].clone();
+                if let Some(dx) = dx_from_above.take() {
+                    dh_in.add_assign(&dx);
+                }
+                let (dx, dh_prev, dc_prev) =
+                    self.lstms[l].backward_step(&per_layer[l], &dh_in, &dc_time[l]);
+                dh_time[l] = dh_prev;
+                dc_time[l] = dc_prev;
+                if l > 0 {
+                    dx_from_above = Some(dx);
+                }
+            }
+        }
+    }
+
+    pub fn zero_grad(&mut self) {
+        for lstm in &mut self.lstms {
+            lstm.zero_grad();
+        }
+        self.head.zero_grad();
+    }
+
+    /// Visit all `(params, grads)` pairs in canonical order.
+    pub fn visit_params(&mut self, f: &mut impl FnMut(&mut [f32], &mut [f32])) {
+        for lstm in &mut self.lstms {
+            lstm.visit(f);
+        }
+        self.head.visit(f);
+    }
+
+    /// Clip all gradients to a global norm (BPTT stability).
+    pub fn clip_gradients(&mut self, max_norm: f32) {
+        let mut total = 0.0f32;
+        self.visit_params(&mut |_, g| total += g.iter().map(|v| v * v).sum::<f32>());
+        let total = total.sqrt();
+        if total > max_norm {
+            let k = max_norm / total;
+            self.visit_params(&mut |_, g| g.iter_mut().for_each(|v| *v *= k));
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.lstms.iter().map(|l| l.param_count()).sum::<usize>() + self.head.param_count()
+    }
+
+    /// A fresh single-packet inference state.
+    pub fn init_state(&self) -> ModelState {
+        ModelState {
+            layers: self
+                .lstms
+                .iter()
+                .map(|l| LstmState::zeros(1, l.hidden))
+                .collect(),
+        }
+    }
+
+    /// Stateful single-packet inference: update `state` with the feature
+    /// vector `x` and return `[latency, drop_logit, ecn_logit]`.
+    pub fn step(&self, x: &[f32], state: &mut ModelState) -> [f32; OUTPUTS] {
+        self.step_state_only(x, state);
+        // Head: three dot products over the top layer's hidden vector.
+        let h = &state.layers.last().expect("nonempty stack").h.data;
+        let mut out = [0.0f32; OUTPUTS];
+        for (k, o) in out.iter_mut().enumerate() {
+            let mut s = self.head.b[k];
+            for (j, &hj) in h.iter().enumerate() {
+                s += hj * self.head.w.get(j, k);
+            }
+            *o = s;
+        }
+        out
+    }
+
+    /// Update `state` without computing outputs (feeder packets: "internal
+    /// models' hidden state is updated as if the packets were routed",
+    /// outputs discarded — §6).
+    pub fn step_state_only(&self, x: &[f32], state: &mut ModelState) {
+        assert_eq!(x.len(), self.lstms[0].input, "feature width mismatch");
+        assert_eq!(state.layers.len(), self.lstms.len(), "state depth mismatch");
+        self.lstms[0].step_inplace(x, &mut state.layers[0]);
+        for l in 1..self.lstms.len() {
+            // The borrow checker needs the previous layer's output copied
+            // out before the next layer's state is mutated.
+            let prev_h = state.layers[l - 1].h.data.clone();
+            self.lstms[l].step_inplace(&prev_h, &mut state.layers[l]);
+        }
+    }
+
+    /// Serialize to JSON (model persistence).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serializes")
+    }
+
+    /// Load from JSON.
+    pub fn from_json(s: &str) -> Result<SeqModel, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_forward_shapes() {
+        let m = SeqModel::new(4, 6, 1);
+        let xs: Vec<Matrix> = (0..5).map(|_| Matrix::zeros(3, 4)).collect();
+        let (y, _) = m.forward_window(&xs);
+        assert_eq!((y.rows, y.cols), (3, OUTPUTS));
+        let m2 = SeqModel::new_stacked(4, 6, 3, 1);
+        let (y2, _) = m2.forward_window(&xs);
+        assert_eq!((y2.rows, y2.cols), (3, OUTPUTS));
+        assert_eq!(m2.num_layers(), 3);
+    }
+
+    fn gradient_check(layers: usize) {
+        // L = 0.5 Σ y² through the full window; check head and lstm params.
+        let mut rng = MlRng::new(5);
+        let mut m = SeqModel::new_stacked(3, 4, layers, 2);
+        let xs: Vec<Matrix> = (0..3)
+            .map(|_| Matrix::from_fn(2, 3, |_, _| rng.uniform_sym(1.0) as f32))
+            .collect();
+        let loss = |m: &SeqModel| -> f64 {
+            let (y, _) = m.forward_window(&xs);
+            y.data.iter().map(|&v| 0.5 * v as f64 * v as f64).sum()
+        };
+        let (y, cache) = m.forward_window(&xs);
+        m.zero_grad();
+        m.backward_window(&cache, &y);
+        let eps = 2e-3f32;
+        for layer in 0..layers {
+            let grads = m.lstms[layer].gwx.data.clone();
+            for idx in [0usize, 7] {
+                let orig = m.lstms[layer].wx.data[idx];
+                m.lstms[layer].wx.data[idx] = orig + eps;
+                let up = loss(&m);
+                m.lstms[layer].wx.data[idx] = orig - eps;
+                let dn = loss(&m);
+                m.lstms[layer].wx.data[idx] = orig;
+                let fd = ((up - dn) / (2.0 * eps as f64)) as f32;
+                let an = grads[idx];
+                assert!(
+                    (fd - an).abs() / (fd.abs() + an.abs()).max(5e-3) < 0.08,
+                    "layer {layer} wx[{idx}]: fd {fd} vs {an}"
+                );
+            }
+        }
+        let head_grads = m.head.gw.data.clone();
+        for idx in [0usize, 5, 11] {
+            let orig = m.head.w.data[idx];
+            m.head.w.data[idx] = orig + eps;
+            let up = loss(&m);
+            m.head.w.data[idx] = orig - eps;
+            let dn = loss(&m);
+            m.head.w.data[idx] = orig;
+            let fd = ((up - dn) / (2.0 * eps as f64)) as f32;
+            let an = head_grads[idx];
+            assert!(
+                (fd - an).abs() / (fd.abs() + an.abs()).max(5e-3) < 0.08,
+                "head.w[{idx}]: fd {fd} vs {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_gradient_check_single_layer() {
+        gradient_check(1);
+    }
+
+    #[test]
+    fn end_to_end_gradient_check_two_layers() {
+        gradient_check(2);
+    }
+
+    #[test]
+    fn stateful_step_matches_window_forward() {
+        // Feeding the same sequence step-by-step from a zero state must
+        // produce the same final output as the windowed forward.
+        for layers in [1usize, 2] {
+            let m = SeqModel::new_stacked(3, 5, layers, 9);
+            let mut rng = MlRng::new(4);
+            let seq: Vec<Vec<f32>> = (0..6)
+                .map(|_| (0..3).map(|_| rng.uniform_sym(1.0) as f32).collect())
+                .collect();
+            let xs: Vec<Matrix> =
+                seq.iter().map(|r| Matrix::from_rows(&[r.clone()])).collect();
+            let (y_win, _) = m.forward_window(&xs);
+            let mut state = m.init_state();
+            let mut last = [0.0f32; OUTPUTS];
+            for r in &seq {
+                last = m.step(r, &mut state);
+            }
+            for k in 0..OUTPUTS {
+                assert!(
+                    (y_win.get(0, k) - last[k]).abs() < 1e-5,
+                    "layers={layers} output {k}: {} vs {}",
+                    y_win.get(0, k),
+                    last[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_only_step_advances_state() {
+        let m = SeqModel::new(2, 4, 3);
+        let mut s1 = m.init_state();
+        let mut s2 = m.init_state();
+        m.step_state_only(&[1.0, -1.0], &mut s1);
+        assert_ne!(s1.layers[0].h.data, s2.layers[0].h.data);
+        // Equivalent to a full step, state-wise.
+        m.step(&[1.0, -1.0], &mut s2);
+        assert_eq!(s1.layers[0].h.data, s2.layers[0].h.data);
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_norm() {
+        let mut m = SeqModel::new_stacked(3, 4, 2, 7);
+        m.visit_params(&mut |_, g| g.fill(10.0));
+        m.clip_gradients(1.0);
+        let mut total = 0.0f32;
+        m.visit_params(&mut |_, g| total += g.iter().map(|v| v * v).sum::<f32>());
+        assert!((total.sqrt() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_behavior() {
+        let m = SeqModel::new_stacked(4, 6, 2, 42);
+        let json = m.to_json();
+        let m2 = SeqModel::from_json(&json).unwrap();
+        let x = vec![0.3f32, -0.2, 0.9, 0.0];
+        let mut s1 = m.init_state();
+        let mut s2 = m2.init_state();
+        assert_eq!(m.step(&x, &mut s1), m2.step(&x, &mut s2));
+    }
+
+    #[test]
+    fn param_count_matches_dims() {
+        let m = SeqModel::new(10, 8, 1);
+        let lstm = 10 * 32 + 8 * 32 + 32;
+        let head = 8 * 3 + 3;
+        assert_eq!(m.param_count(), lstm + head);
+        let m2 = SeqModel::new_stacked(10, 8, 2, 1);
+        let lstm2 = 8 * 32 + 8 * 32 + 32;
+        assert_eq!(m2.param_count(), lstm + lstm2 + head);
+    }
+
+    #[test]
+    fn deeper_stacks_still_learn() {
+        // A 2-layer stack trained on a simple signal must fit it.
+        use crate::dataset::PacketDataset;
+        use crate::loss::Target;
+        use crate::train::{train, TrainConfig};
+        let mut d = PacketDataset::default();
+        for i in 0..400 {
+            let hot = (i / 10) % 2 == 0;
+            d.push(
+                vec![if hot { 1.0 } else { 0.0 }],
+                Target {
+                    latency: if hot { 0.8 } else { 0.2 },
+                    dropped: 0.0,
+                    ecn: 0.0,
+                },
+            );
+        }
+        let mut m = SeqModel::new_stacked(1, 8, 2, 3);
+        let cfg = TrainConfig {
+            epochs: 6,
+            window: 4,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut m, &d, &cfg);
+        assert!(report.epoch_losses.last().unwrap() < &report.epoch_losses[0]);
+    }
+}

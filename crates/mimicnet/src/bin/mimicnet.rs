@@ -1,0 +1,257 @@
+//! `mimicnet` — command-line driver for the MimicNet workflow.
+//!
+//! ```text
+//! mimicnet train    [--duration S] [--seed N] [--protocol P] [--k K]
+//!                   [--epochs E] [--hidden H] [--window W] --out model.json
+//! mimicnet estimate --model model.json --clusters N [--duration S] [--json]
+//! mimicnet validate --model model.json --clusters N [--duration S]
+//! mimicnet tune     [--evals E] [--scales 2,4] [--duration S]
+//! ```
+//!
+//! Protocols: newreno (default), dctcp (with `--k`), vegas, westwood, homa.
+//! All randomness derives from `--seed`; re-running a command reproduces
+//! its outputs bit-for-bit.
+
+use dcn_transport::Protocol;
+use mimicnet::mimic::TrainedMimic;
+use mimicnet::pipeline::{Pipeline, PipelineConfig};
+use mimicnet::tuning::{tune, TuningConfig};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mimicnet <train|estimate|validate|tune> [options]\n\
+         \n\
+         train    --out FILE [--duration S] [--seed N] [--protocol P] [--k K]\n\
+         \u{20}        [--epochs E] [--hidden H] [--layers L] [--window W]\n\
+         estimate --model FILE --clusters N [--duration S] [--json]\n\
+         validate --model FILE --clusters N [--duration S]\n\
+         tune     [--evals E] [--scales 2,4] [--duration S] [--seed N]\n\
+         \n\
+         protocols: newreno dctcp vegas westwood homa"
+    );
+    exit(2);
+}
+
+fn parse_args(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(key) = args[i].strip_prefix("--") else {
+            eprintln!("unexpected argument: {}", args[i]);
+            usage();
+        };
+        if key == "json" {
+            map.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("missing value for --{key}");
+            usage();
+        };
+        map.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    map
+}
+
+fn protocol_from(opts: &HashMap<String, String>) -> Protocol {
+    match opts.get("protocol").map(|s| s.as_str()).unwrap_or("newreno") {
+        "newreno" => Protocol::NewReno,
+        "dctcp" => Protocol::Dctcp {
+            k: opts
+                .get("k")
+                .map(|v| v.parse().expect("--k must be an integer"))
+                .unwrap_or(20),
+        },
+        "vegas" => Protocol::Vegas,
+        "westwood" => Protocol::Westwood,
+        "homa" => Protocol::Homa,
+        other => {
+            eprintln!("unknown protocol: {other}");
+            usage();
+        }
+    }
+}
+
+fn pipeline_from(opts: &HashMap<String, String>) -> PipelineConfig {
+    let mut cfg = PipelineConfig::default();
+    cfg.protocol = protocol_from(opts);
+    if let Some(d) = opts.get("duration") {
+        cfg.base.duration_s = d.parse().expect("--duration must be a number");
+    }
+    if let Some(s) = opts.get("seed") {
+        cfg.base.seed = s.parse().expect("--seed must be an integer");
+    }
+    if let Some(e) = opts.get("epochs") {
+        cfg.train.epochs = e.parse().expect("--epochs must be an integer");
+    }
+    if let Some(h) = opts.get("hidden") {
+        cfg.hidden = h.parse().expect("--hidden must be an integer");
+    }
+    if let Some(l) = opts.get("layers") {
+        cfg.layers = l.parse().expect("--layers must be an integer");
+    }
+    if let Some(w) = opts.get("window") {
+        cfg.train.window = w.parse().expect("--window must be an integer");
+    }
+    cfg
+}
+
+fn load_model(opts: &HashMap<String, String>) -> TrainedMimic {
+    let path = opts.get("model").unwrap_or_else(|| {
+        eprintln!("--model is required");
+        usage();
+    });
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    TrainedMimic::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    })
+}
+
+fn clusters_from(opts: &HashMap<String, String>) -> u32 {
+    opts.get("clusters")
+        .unwrap_or_else(|| {
+            eprintln!("--clusters is required");
+            usage();
+        })
+        .parse()
+        .expect("--clusters must be an integer")
+}
+
+fn cmd_train(opts: HashMap<String, String>) {
+    let out = opts.get("out").cloned().unwrap_or_else(|| {
+        eprintln!("--out is required");
+        usage();
+    });
+    let cfg = pipeline_from(&opts);
+    eprintln!(
+        "training {} on a {}-cluster x {:.2}s small-scale run (seed {})...",
+        cfg.protocol.name(),
+        cfg.base.topo.clusters,
+        cfg.base.duration_s * cfg.datagen_duration_factor,
+        cfg.base.seed
+    );
+    let mut pipe = Pipeline::new(cfg);
+    let trained = pipe.train();
+    std::fs::write(&out, trained.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    eprintln!(
+        "wrote {out} ({} params/direction; sim {:?}, training {:?})",
+        trained.ingress.model.param_count(),
+        pipe.timings.small_scale_sim,
+        pipe.timings.training
+    );
+}
+
+fn cmd_estimate(opts: HashMap<String, String>) {
+    let trained = load_model(&opts);
+    let n = clusters_from(&opts);
+    let mut pipe = Pipeline::new(pipeline_from(&opts));
+    let est = pipe.estimate(&trained, n);
+    if opts.contains_key("json") {
+        let out = serde_json::json!({
+            "clusters": n,
+            "wall_seconds": est.wall.as_secs_f64(),
+            "flows_completed": est.samples.fct.len(),
+            "fct_p50": dcn_sim::stats::percentile(&est.samples.fct, 50.0),
+            "fct_p90": dcn_sim::stats::percentile(&est.samples.fct, 90.0),
+            "fct_p99": est.fct_p99,
+            "throughput_p99": est.throughput_p99,
+            "rtt_p50": dcn_sim::stats::percentile(&est.samples.rtt, 50.0),
+            "rtt_p99": est.rtt_p99,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    } else {
+        println!("{n}-cluster estimate ({:?} wall):", est.wall);
+        println!("  flows completed: {}", est.samples.fct.len());
+        println!("  FCT  p50 {:.4}s  p99 {:.4}s", dcn_sim::stats::percentile(&est.samples.fct, 50.0), est.fct_p99);
+        println!("  RTT  p50 {:.4}s  p99 {:.4}s", dcn_sim::stats::percentile(&est.samples.rtt, 50.0), est.rtt_p99);
+        println!("  tput p99 {:.0} B/s", est.throughput_p99);
+    }
+}
+
+fn cmd_validate(opts: HashMap<String, String>) {
+    let trained = load_model(&opts);
+    let n = clusters_from(&opts);
+    let mut pipe = Pipeline::new(pipeline_from(&opts));
+    eprintln!("running MimicNet and full-fidelity at {n} clusters...");
+    let (report, mimic_wall, truth_wall) = pipe.validate(&trained, n);
+    println!("W1(FCT)        = {:.5}", report.w1_fct);
+    println!("W1(throughput) = {:.0}", report.w1_throughput);
+    println!("W1(RTT)        = {:.6}", report.w1_rtt);
+    println!(
+        "p99 FCT: truth {:.4}s vs mimic {:.4}s ({:.1}% off)",
+        report.fct_p99_truth,
+        report.fct_p99_approx,
+        report.fct_p99_rel_err() * 100.0
+    );
+    println!(
+        "wall: mimic {:.3}s vs truth {:.3}s ({:.1}x)",
+        mimic_wall.as_secs_f64(),
+        truth_wall.as_secs_f64(),
+        truth_wall.as_secs_f64() / mimic_wall.as_secs_f64().max(1e-9)
+    );
+}
+
+fn cmd_tune(opts: HashMap<String, String>) {
+    let cfg = pipeline_from(&opts);
+    let tcfg = TuningConfig {
+        evals: opts
+            .get("evals")
+            .map(|v| v.parse().expect("--evals must be an integer"))
+            .unwrap_or(8),
+        scales: opts
+            .get("scales")
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.parse().expect("--scales must be integers"))
+                    .collect()
+            })
+            .unwrap_or_else(|| vec![2, 4]),
+        seed: cfg.base.seed ^ 0x7A7E,
+    };
+    eprintln!(
+        "Bayesian-optimizing {} evaluations over scales {:?}...",
+        tcfg.evals, tcfg.scales
+    );
+    let result = tune(&cfg, &tcfg);
+    println!("best objective (sum of normalized W1(FCT)): {:.4}", result.best_objective);
+    println!(
+        "best params: wbce_w={:.3} huber_delta={:.3} lr={:.2e} hidden={} window={}",
+        result.best.wbce_w,
+        result.best.huber_delta,
+        result.best.lr,
+        result.best.hidden,
+        result.best.window
+    );
+    for (i, (p, obj)) in result.history.iter().enumerate() {
+        eprintln!(
+            "  eval {i}: objective {obj:.4} (w={:.2}, delta={:.2}, lr={:.1e}, hidden={}, window={})",
+            p.wbce_w, p.huber_delta, p.lr, p.hidden, p.window
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let opts = parse_args(rest);
+    match cmd.as_str() {
+        "train" => cmd_train(opts),
+        "estimate" => cmd_estimate(opts),
+        "validate" => cmd_validate(opts),
+        "tune" => cmd_tune(opts),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,220 @@
+//! Composing Mimics into a large-scale simulation (paper §7.1).
+//!
+//! "An N-cluster MimicNet simulation consists of a single real cluster,
+//! N−1 Mimic clusters, and a proportional number of Core switches. …
+//! Aside from the number of clusters, all other parameters are kept
+//! constant from the small-scale to the final simulation."
+
+use crate::mimic::{LearnedMimic, TrainedMimic};
+use dcn_sim::config::SimConfig;
+use dcn_sim::simulator::Simulation;
+use dcn_transport::Protocol;
+
+/// Cluster index of the observable cluster in compositions.
+pub const OBSERVABLE: u32 = 0;
+
+/// Build the `n_clusters` hybrid simulation: cluster [`OBSERVABLE`] (and
+/// the cores) at full fidelity, every other cluster a [`LearnedMimic`].
+///
+/// `base` is the *small-scale* configuration used for training — only its
+/// cluster count is changed, per the paper.
+pub fn compose(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+) -> Simulation {
+    assert!(n_clusters >= 2, "a composition needs at least two clusters");
+    let mut cfg = base;
+    cfg.topo.clusters = n_clusters;
+    cfg.queue = protocol.queue_setup(cfg.queue);
+    let mut sim = Simulation::with_transport(cfg, protocol.factory());
+    for c in 0..n_clusters {
+        if c == OBSERVABLE {
+            continue;
+        }
+        let mimic = LearnedMimic::new(
+            trained.clone(),
+            cfg.topo,
+            n_clusters,
+            cfg.seed ^ (0xC0DE_0000 + c as u64),
+        );
+        sim.set_cluster_model(c, Box::new(mimic));
+    }
+    sim
+}
+
+/// Heterogeneous composition (paper Appendix A's relaxation: "it may be
+/// possible to relax the symmetry assumption by training distinct models
+/// for different types of clusters, e.g., frontend clusters, Hadoop
+/// clusters, and storage clusters"): each non-observable cluster `c` uses
+/// `bundles[assign(c)]`.
+///
+/// # Panics
+/// If `assign` returns an out-of-range index.
+pub fn compose_heterogeneous(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    bundles: &[TrainedMimic],
+    assign: impl Fn(u32) -> usize,
+) -> Simulation {
+    assert!(n_clusters >= 2);
+    assert!(!bundles.is_empty());
+    let mut cfg = base;
+    cfg.topo.clusters = n_clusters;
+    cfg.queue = protocol.queue_setup(cfg.queue);
+    let mut sim = Simulation::with_transport(cfg, protocol.factory());
+    for c in 0..n_clusters {
+        if c == OBSERVABLE {
+            continue;
+        }
+        let idx = assign(c);
+        let mimic = LearnedMimic::new(
+            bundles[idx].clone(),
+            cfg.topo,
+            n_clusters,
+            cfg.seed ^ (0x4E7E_0000 + c as u64),
+        );
+        sim.set_cluster_model(c, Box::new(mimic));
+    }
+    sim
+}
+
+/// Build the ground-truth (full-fidelity) simulation at `n_clusters` with
+/// otherwise identical parameters and workload.
+pub fn ground_truth(base: SimConfig, n_clusters: u32, protocol: Protocol) -> Simulation {
+    let mut cfg = base;
+    cfg.topo.clusters = n_clusters;
+    cfg.queue = protocol.queue_setup(cfg.queue);
+    Simulation::with_transport(cfg, protocol.factory())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{generate, DataGenConfig};
+    use crate::internal_model::InternalModel;
+    use mimic_ml::train::TrainConfig;
+
+    fn quick_trained() -> (TrainedMimic, SimConfig) {
+        let mut cfg = DataGenConfig::default();
+        cfg.sim.duration_s = 0.3;
+        cfg.sim.seed = 55;
+        let td = generate(&cfg);
+        let tc = TrainConfig {
+            epochs: 1,
+            window: 4,
+            ..TrainConfig::default()
+        };
+        let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, 8, &tc);
+        let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, 8, &tc);
+        (
+            TrainedMimic {
+                ingress: ing,
+                egress: eg,
+                feature_cfg: td.feature_cfg,
+                feeder: td.feeder,
+            },
+            cfg.sim,
+        )
+    }
+
+    #[test]
+    fn composed_simulation_completes_flows() {
+        let (trained, mut base) = quick_trained();
+        base.duration_s = 0.3;
+        let mut sim = compose(base, 4, Protocol::NewReno, &trained);
+        let m = sim.run();
+        assert!(m.flows_completed() > 0, "no flows finished in composition");
+        // Only flows touching the observable cluster exist.
+        let topo = dcn_sim::topology::FatTree::new({
+            let mut t = base.topo;
+            t.clusters = 4;
+            t
+        });
+        for f in m.flows.values() {
+            let sc = topo.cluster_of(f.src).unwrap();
+            let dc = topo.cluster_of(f.dst).unwrap();
+            assert!(sc == OBSERVABLE || dc == OBSERVABLE);
+        }
+    }
+
+    #[test]
+    fn composition_is_cheaper_than_ground_truth() {
+        // The Mimic composition must process far fewer events than the
+        // full simulation of the same size (the paper's core speedup
+        // argument: T/N + Tp vs T).
+        let (trained, mut base) = quick_trained();
+        base.duration_s = 0.3;
+        let m_mimic = compose(base, 6, Protocol::NewReno, &trained).run();
+        let m_truth = ground_truth(base, 6, Protocol::NewReno).run();
+        assert!(
+            m_mimic.events_processed * 2 < m_truth.events_processed,
+            "mimic {} vs truth {} events",
+            m_mimic.events_processed,
+            m_truth.events_processed
+        );
+    }
+
+    #[test]
+    fn heterogeneous_composition_runs_with_distinct_models() {
+        let (trained_a, mut base) = quick_trained();
+        // A second, differently-trained bundle (different seed/epochs).
+        let mut cfg_b = DataGenConfig::default();
+        cfg_b.sim.duration_s = 0.3;
+        cfg_b.sim.seed = 56;
+        let td = generate(&cfg_b);
+        let tc = TrainConfig {
+            epochs: 2,
+            window: 4,
+            ..TrainConfig::default()
+        };
+        let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, 8, &tc);
+        let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, 8, &tc);
+        let trained_b = TrainedMimic {
+            ingress: ing,
+            egress: eg,
+            feature_cfg: td.feature_cfg,
+            feeder: td.feeder,
+        };
+        base.duration_s = 0.2;
+        let mut sim = compose_heterogeneous(
+            base,
+            5,
+            Protocol::NewReno,
+            &[trained_a, trained_b],
+            |c| (c % 2) as usize,
+        );
+        let m = sim.run();
+        assert!(m.flows_completed() > 0);
+    }
+
+    #[test]
+    fn observable_workload_identical_to_ground_truth() {
+        // The observable cluster's *offered* flows must match the ground
+        // truth exactly (same ids and sizes) — the RNG alignment property.
+        let (trained, mut base) = quick_trained();
+        base.duration_s = 0.2;
+        let m_mimic = compose(base, 4, Protocol::NewReno, &trained).run();
+        let m_truth = ground_truth(base, 4, Protocol::NewReno).run();
+        let topo = dcn_sim::topology::FatTree::new({
+            let mut t = base.topo;
+            t.clusters = 4;
+            t
+        });
+        let obs_flows = |m: &dcn_sim::instrument::Metrics| {
+            let mut v: Vec<(u64, u64)> = m
+                .flows
+                .values()
+                .filter(|f| {
+                    topo.cluster_of(f.src) == Some(0) || topo.cluster_of(f.dst) == Some(0)
+                })
+                .map(|f| (f.flow.0, f.size_bytes))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(obs_flows(&m_mimic), obs_flows(&m_truth));
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end accuracy metrics (paper §7.2, §9).
+//!
+//! * **Wasserstein-based** — the `W1` distance between CDFs of FCT,
+//!   per-server throughput, and packet RTT, restricted to the observable
+//!   cluster. Used because drops make per-packet 1-to-1 comparison
+//!   ill-defined.
+//! * **MSE-based** — for 1-to-1 quantities like per-flow FCT, computed
+//!   over the intersection of completed flows, and only when the overlap
+//!   is at least 80% (the paper's default gate).
+
+use dcn_sim::instrument::Metrics;
+use dcn_sim::stats::percentile;
+use dcn_sim::topology::{FatTree, NodeId};
+
+pub use dcn_sim::cdf::wasserstein1;
+
+/// Observable-cluster samples extracted from one run.
+#[derive(Clone, Debug, Default)]
+pub struct ObservedSamples {
+    /// FCTs (s) of completed flows with ≥ 1 endpoint in the cluster.
+    pub fct: Vec<f64>,
+    /// Per-(host, 100 ms bin) throughput (B/s) of the cluster's hosts.
+    pub throughput: Vec<f64>,
+    /// RTT samples (s) at the cluster's hosts.
+    pub rtt: Vec<f64>,
+}
+
+/// Extract the metrics the paper reports, filtered to `cluster`.
+pub fn observed(m: &Metrics, topo: &FatTree, cluster: u32) -> ObservedSamples {
+    let in_cluster = |n: NodeId| topo.cluster_of(n) == Some(cluster);
+    ObservedSamples {
+        fct: m.fct_samples(|f| in_cluster(f.src) || in_cluster(f.dst)),
+        throughput: m.throughput_samples(in_cluster),
+        rtt: m.rtt_samples(in_cluster),
+    }
+}
+
+/// The paper's headline accuracy numbers for one comparison.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AccuracyReport {
+    pub w1_fct: f64,
+    pub w1_throughput: f64,
+    pub w1_rtt: f64,
+    pub fct_p99_truth: f64,
+    pub fct_p99_approx: f64,
+    pub tput_p99_truth: f64,
+    pub tput_p99_approx: f64,
+    pub rtt_p99_truth: f64,
+    pub rtt_p99_approx: f64,
+}
+
+impl AccuracyReport {
+    /// Relative p99 FCT error.
+    pub fn fct_p99_rel_err(&self) -> f64 {
+        if self.fct_p99_truth == 0.0 {
+            return 0.0;
+        }
+        (self.fct_p99_approx - self.fct_p99_truth).abs() / self.fct_p99_truth
+    }
+}
+
+/// Compare two runs over the observable cluster.
+pub fn compare(truth: &ObservedSamples, approx: &ObservedSamples) -> AccuracyReport {
+    AccuracyReport {
+        w1_fct: wasserstein1(&truth.fct, &approx.fct),
+        w1_throughput: wasserstein1(&truth.throughput, &approx.throughput),
+        w1_rtt: wasserstein1(&truth.rtt, &approx.rtt),
+        fct_p99_truth: percentile(&truth.fct, 99.0),
+        fct_p99_approx: percentile(&approx.fct, 99.0),
+        tput_p99_truth: percentile(&truth.throughput, 99.0),
+        tput_p99_approx: percentile(&approx.throughput, 99.0),
+        rtt_p99_truth: percentile(&truth.rtt, 99.0),
+        rtt_p99_approx: percentile(&approx.rtt, 99.0),
+    }
+}
+
+/// MSE of per-flow FCT over the intersection of completed flows
+/// (paper §7.2). Returns `None` when the overlap is below `min_overlap`
+/// of either side ("By default, MimicNet ignores models with overlap
+/// < 80%").
+pub fn fct_mse_intersection(a: &Metrics, b: &Metrics, min_overlap: f64) -> Option<f64> {
+    let done =
+        |m: &Metrics| -> std::collections::HashMap<dcn_sim::packet::FlowId, f64> {
+            m.flows
+                .iter()
+                .filter_map(|(id, f)| f.fct().map(|d| (*id, d.as_secs_f64())))
+                .collect()
+        };
+    let fa = done(a);
+    let fb = done(b);
+    if fa.is_empty() || fb.is_empty() {
+        return None;
+    }
+    let common: Vec<(f64, f64)> = fa
+        .iter()
+        .filter_map(|(id, &x)| fb.get(id).map(|&y| (x, y)))
+        .collect();
+    let overlap_a = common.len() as f64 / fa.len() as f64;
+    let overlap_b = common.len() as f64 / fb.len() as f64;
+    if overlap_a < min_overlap || overlap_b < min_overlap {
+        return None;
+    }
+    Some(common.iter().map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / common.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_sim::instrument::FlowRecord;
+    use dcn_sim::packet::FlowId;
+    use dcn_sim::time::SimTime;
+
+    fn metrics_with_fcts(fcts: &[(u64, f64)]) -> Metrics {
+        let mut m = Metrics::new(1);
+        for &(id, fct) in fcts {
+            m.flows.insert(
+                FlowId(id),
+                FlowRecord {
+                    flow: FlowId(id),
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    size_bytes: 1,
+                    start: SimTime::ZERO,
+                    end: Some(SimTime::from_secs_f64(fct)),
+                },
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn identical_runs_have_zero_w1() {
+        let s = ObservedSamples {
+            fct: vec![0.1, 0.2, 0.3],
+            throughput: vec![100.0, 200.0],
+            rtt: vec![0.001, 0.002],
+        };
+        let r = compare(&s, &s);
+        assert_eq!(r.w1_fct, 0.0);
+        assert_eq!(r.w1_throughput, 0.0);
+        assert_eq!(r.w1_rtt, 0.0);
+        assert_eq!(r.fct_p99_rel_err(), 0.0);
+    }
+
+    #[test]
+    fn mse_intersection_basic() {
+        let a = metrics_with_fcts(&[(1, 0.1), (2, 0.2), (3, 0.3)]);
+        let b = metrics_with_fcts(&[(1, 0.1), (2, 0.25), (3, 0.3)]);
+        let mse = fct_mse_intersection(&a, &b, 0.8).unwrap();
+        assert!((mse - 0.05f64.powi(2) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_rejected_below_overlap_gate() {
+        let a = metrics_with_fcts(&[(1, 0.1), (2, 0.2), (3, 0.3), (4, 0.4), (5, 0.5)]);
+        let b = metrics_with_fcts(&[(1, 0.1), (9, 0.9)]);
+        // Intersection = 1 flow; overlap_a = 0.2 < 0.8.
+        assert!(fct_mse_intersection(&a, &b, 0.8).is_none());
+    }
+
+    #[test]
+    fn observed_filters_by_cluster() {
+        let topo = FatTree::new(dcn_sim::topology::FatTreeParams::new(2, 2, 2, 2, 1));
+        let mut m = Metrics::new(topo.params.num_hosts());
+        // One flow inside cluster 0, one entirely in cluster 1.
+        for (id, src, dst) in [
+            (1u64, topo.host(0, 0, 0), topo.host(0, 1, 0)),
+            (2u64, topo.host(1, 0, 0), topo.host(1, 1, 0)),
+        ] {
+            m.flows.insert(
+                FlowId(id),
+                FlowRecord {
+                    flow: FlowId(id),
+                    src,
+                    dst,
+                    size_bytes: 1,
+                    start: SimTime::ZERO,
+                    end: Some(SimTime::from_secs_f64(0.5)),
+                },
+            );
+        }
+        let obs = observed(&m, &topo, 0);
+        assert_eq!(obs.fct.len(), 1);
+    }
+}

@@ -1,0 +1,342 @@
+//! The learned Mimic: a [`ClusterModel`] built from trained internal
+//! models and feeders (paper §4.1, §7.1).
+//!
+//! "The Mimic clusters are constructed by taking the ingress/egress
+//! internal models and feeders … and wrapping them with a thin shim layer.
+//! The layer intercepts packets arriving at the borders of the cluster,
+//! periodically takes packets from the feeders, and queries the internal
+//! models with both to predict the network's effects. The output of the
+//! shim is, thus, either a packet, its egress time, and its egress
+//! location; or its absence."
+
+use crate::features::{FeatureConfig, FeatureExtractor, PacketView};
+use crate::feeder::{Feeder, FeederFit};
+use crate::internal_model::InternalModel;
+use dcn_sim::mimic::{BoundaryDir, ClusterModel, Verdict};
+use dcn_sim::packet::Packet;
+use dcn_sim::rng::SplitMix64;
+use dcn_sim::routing::ecmp_hash;
+use dcn_sim::time::{SimDuration, SimTime};
+use dcn_sim::topology::{FatTree, FatTreeParams};
+use mimic_ml::model::ModelState;
+use serde::{Deserialize, Serialize};
+
+/// The serializable artifact produced by training: everything needed to
+/// instantiate Mimics at any scale.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainedMimic {
+    pub ingress: InternalModel,
+    pub egress: InternalModel,
+    pub feature_cfg: FeatureConfig,
+    pub feeder: FeederFit,
+}
+
+impl TrainedMimic {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("bundle serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<TrainedMimic, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// How drop/mark probabilities become decisions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DecisionMode {
+    /// Bernoulli-sample each probability (matches the paper's generative
+    /// use: realized drop rates track predicted rates — Figure 5).
+    Sample,
+    /// Hard threshold at 0.5 (deterministic; useful for debugging).
+    Threshold,
+}
+
+/// One direction's runtime state.
+struct DirRuntime {
+    fx: FeatureExtractor,
+    state: ModelState,
+    feeder: Feeder,
+}
+
+/// A live Mimic cluster.
+pub struct LearnedMimic {
+    bundle: TrainedMimic,
+    ingress: DirRuntime,
+    egress: DirRuntime,
+    topo: FatTree,
+    mode: DecisionMode,
+    rng: SplitMix64,
+    /// Counters for instrumentation/tests.
+    pub packets_seen: u64,
+    pub feeder_packets: u64,
+}
+
+impl LearnedMimic {
+    /// Instantiate for an `n_clusters` composition. `seed` decorrelates
+    /// the Mimics of one simulation; `topo_params` must match the
+    /// composed topology.
+    pub fn new(
+        bundle: TrainedMimic,
+        topo_params: FatTreeParams,
+        n_clusters: u32,
+        seed: u64,
+    ) -> LearnedMimic {
+        let fc = bundle.feature_cfg;
+        let make_dir = |fit: &crate::feeder::DirFit, model: &InternalModel, tag: u64| DirRuntime {
+            fx: FeatureExtractor::new(fc),
+            state: model.init_state(),
+            feeder: Feeder::new(
+                fit.clone(),
+                n_clusters,
+                fc.racks_per_cluster,
+                fc.hosts_per_rack,
+                fc.aggs_per_cluster,
+                fc.cores,
+                seed ^ tag,
+            ),
+        };
+        LearnedMimic {
+            ingress: make_dir(&bundle.feeder.ingress, &bundle.ingress, 0x1),
+            egress: make_dir(&bundle.feeder.egress, &bundle.egress, 0x2),
+            topo: FatTree::new(topo_params),
+            bundle,
+            mode: DecisionMode::Sample,
+            rng: SplitMix64::derive(seed, 0x4D494D49), // "MIMI"
+            packets_seen: 0,
+            feeder_packets: 0,
+        }
+    }
+
+    /// Switch decision mode (default: [`DecisionMode::Sample`]).
+    pub fn with_mode(mut self, mode: DecisionMode) -> LearnedMimic {
+        self.mode = mode;
+        self
+    }
+
+    fn view_for(&self, dir: BoundaryDir, pkt: &Packet, now: SimTime) -> PacketView {
+        // The cluster-side endpoint's local coordinates.
+        let local = match dir {
+            BoundaryDir::Ingress => pkt.dst,
+            BoundaryDir::Egress => pkt.src,
+        };
+        let (_, rack, server) = self.topo.host_coords(local);
+        let p = self.topo.params;
+        let agg = (ecmp_hash(pkt.flow, 1) % p.aggs_per_cluster as u64) as u32;
+        let core_j = (ecmp_hash(pkt.flow, 2) % p.cores_per_agg as u64) as u32;
+        PacketView {
+            time: now,
+            wire_bytes: pkt.wire_bytes(),
+            rack,
+            server,
+            agg,
+            core: agg * p.cores_per_agg + core_j,
+            kind: pkt.kind,
+            ecn: pkt.ecn,
+            prio: pkt.prio,
+        }
+    }
+
+    fn decide(&mut self, p: f64) -> bool {
+        match self.mode {
+            DecisionMode::Sample => self.rng.bernoulli(p),
+            DecisionMode::Threshold => p > 0.5,
+        }
+    }
+}
+
+impl ClusterModel for LearnedMimic {
+    fn on_packet(&mut self, dir: BoundaryDir, pkt: &Packet, now: SimTime) -> Verdict {
+        self.packets_seen += 1;
+        let view = self.view_for(dir, pkt, now);
+        let (rt, model) = match dir {
+            BoundaryDir::Ingress => (&mut self.ingress, &self.bundle.ingress),
+            BoundaryDir::Egress => (&mut self.egress, &self.bundle.egress),
+        };
+        let features = rt.fx.extract(&view);
+        let pred = model.predict(&features, &mut rt.state);
+
+        let dropped = self.decide(pred.p_drop);
+        if dropped {
+            self.ingress_or_egress(dir).fx.observe_outcome(1.0, true);
+            return Verdict::Drop;
+        }
+        let mark_ce = pkt.ecn.is_capable() && self.decide(pred.p_ecn);
+        self.ingress_or_egress(dir)
+            .fx
+            .observe_outcome(pred.latency_norm, false);
+        Verdict::Deliver {
+            latency: SimDuration::from_secs_f64(pred.latency_s.max(1e-6)),
+            mark_ce,
+        }
+    }
+
+    fn next_wake(&mut self, now: SimTime) -> Option<SimTime> {
+        // Batch injections into periodic wakeups ("periodically takes
+        // packets from the feeders" — §7.1). Feature timestamps stay exact
+        // because Feeder::fire stamps views with their own due times.
+        const PERIOD: SimDuration = SimDuration(2_000_000); // 2 ms
+        let earliest = match (self.ingress.feeder.next_time(), self.egress.feeder.next_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }?;
+        Some(earliest.max(now + PERIOD))
+    }
+
+    fn on_wake(&mut self, now: SimTime) {
+        // Inject every due synthetic packet: update the hidden state as if
+        // it were routed, then discard the outputs (§6).
+        loop {
+            let mut fired = false;
+            if let Some(v) = self.ingress.feeder.fire(now) {
+                let f = self.ingress.fx.extract(&v);
+                self.bundle.ingress.update_only(&f, &mut self.ingress.state);
+                self.feeder_packets += 1;
+                fired = true;
+            }
+            if let Some(v) = self.egress.feeder.fire(now) {
+                let f = self.egress.fx.extract(&v);
+                self.bundle.egress.update_only(&f, &mut self.egress.state);
+                self.feeder_packets += 1;
+                fired = true;
+            }
+            if !fired {
+                break;
+            }
+        }
+    }
+}
+
+impl LearnedMimic {
+    fn ingress_or_egress(&mut self, dir: BoundaryDir) -> &mut DirRuntime {
+        match dir {
+            BoundaryDir::Ingress => &mut self.ingress,
+            BoundaryDir::Egress => &mut self.egress,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{generate, DataGenConfig};
+    use mimic_ml::train::TrainConfig;
+
+    fn quick_bundle() -> (TrainedMimic, FatTreeParams) {
+        let mut cfg = DataGenConfig::default();
+        cfg.sim.duration_s = 0.3;
+        cfg.sim.seed = 77;
+        let td = generate(&cfg);
+        let tc = TrainConfig {
+            epochs: 1,
+            window: 4,
+            ..TrainConfig::default()
+        };
+        let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, 8, &tc);
+        let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, 8, &tc);
+        (
+            TrainedMimic {
+                ingress: ing,
+                egress: eg,
+                feature_cfg: td.feature_cfg,
+                feeder: td.feeder,
+            },
+            cfg.sim.topo,
+        )
+    }
+
+    #[test]
+    fn bundle_json_roundtrip() {
+        let (b, _) = quick_bundle();
+        let b2 = TrainedMimic::from_json(&b.to_json()).unwrap();
+        assert_eq!(b.feature_cfg.width(), b2.feature_cfg.width());
+    }
+
+    #[test]
+    fn mimic_delivers_with_positive_latency() {
+        let (b, mut topo) = quick_bundle();
+        topo.clusters = 4;
+        let mut m = LearnedMimic::new(b, topo, 4, 9);
+        let t = FatTree::new(topo);
+        let pkt = Packet::data(
+            1,
+            dcn_sim::packet::FlowId(5),
+            t.host(1, 0, 0),
+            t.host(0, 1, 1),
+            0,
+            1460,
+            false,
+            SimTime::from_secs_f64(0.01),
+        );
+        let mut delivered = 0;
+        for i in 0..50 {
+            match m.on_packet(BoundaryDir::Egress, &pkt, SimTime::from_secs_f64(0.01 + i as f64 * 1e-4)) {
+                Verdict::Deliver { latency, .. } => {
+                    assert!(latency > SimDuration::ZERO);
+                    delivered += 1;
+                }
+                Verdict::Drop => {}
+            }
+        }
+        assert!(delivered > 0, "everything dropped");
+        assert_eq!(m.packets_seen, 50);
+    }
+
+    #[test]
+    fn feeders_active_beyond_two_clusters() {
+        let (b, mut topo) = quick_bundle();
+        topo.clusters = 8;
+        let mut m = LearnedMimic::new(b.clone(), topo, 8, 3);
+        assert!(m.next_wake(SimTime::ZERO).is_some());
+        // Fire a few wakeups; state must advance.
+        let mut wakes = 0;
+        let mut t = SimTime::ZERO;
+        while let Some(next) = m.next_wake(t) {
+            if next > SimTime::from_secs_f64(0.2) || wakes > 500 {
+                break;
+            }
+            t = next;
+            m.on_wake(t);
+            wakes += 1;
+        }
+        assert!(m.feeder_packets > 0);
+        // At n = 2 feeders are disabled.
+        let mut topo2 = topo;
+        topo2.clusters = 2;
+        let mut m2 = LearnedMimic::new(b, topo2, 2, 3);
+        assert!(m2.next_wake(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn threshold_mode_is_deterministic() {
+        let (b, mut topo) = quick_bundle();
+        topo.clusters = 4;
+        let t = FatTree::new(topo);
+        let pkt = Packet::data(
+            1,
+            dcn_sim::packet::FlowId(5),
+            t.host(0, 0, 0),
+            t.host(1, 1, 1),
+            0,
+            1460,
+            false,
+            SimTime::from_secs_f64(0.02),
+        );
+        let run = || {
+            let mut m =
+                LearnedMimic::new(b.clone(), topo, 4, 1).with_mode(DecisionMode::Threshold);
+            (0..20)
+                .map(|i| {
+                    match m.on_packet(
+                        BoundaryDir::Ingress,
+                        &pkt,
+                        SimTime::from_secs_f64(0.02 + i as f64 * 1e-4),
+                    ) {
+                        Verdict::Drop => u64::MAX,
+                        Verdict::Deliver { latency, .. } => latency.as_nanos(),
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

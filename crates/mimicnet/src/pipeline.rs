@@ -1,0 +1,243 @@
+//! The end-to-end MimicNet workflow (paper Figure 3, Table 2).
+//!
+//! `small-scale simulation → feature extraction → model training →
+//! [tuning] → large-scale composition`, with wall-clock accounting per
+//! phase. "A key feature of MimicNet is that the traditionally slow steps
+//! … are all done at small scale and are, therefore, fast as well."
+
+use crate::compose::{compose, ground_truth, OBSERVABLE};
+use crate::datagen::{generate, DataGenConfig, TrainingData};
+use crate::internal_model::InternalModel;
+use crate::metrics::{compare, observed, AccuracyReport, ObservedSamples};
+use crate::mimic::TrainedMimic;
+use dcn_sim::config::SimConfig;
+use dcn_sim::instrument::Metrics;
+use dcn_sim::stats::percentile;
+use dcn_sim::topology::FatTree;
+use dcn_transport::Protocol;
+use mimic_ml::train::TrainConfig;
+use std::time::{Duration, Instant};
+
+/// Configuration of the whole pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Small-scale (2-cluster) simulation used for data generation; its
+    /// non-cluster-count parameters carry over to every composition.
+    pub base: SimConfig,
+    /// Protocol under study.
+    pub protocol: Protocol,
+    /// Training hyper-parameters (the tunables of §7.2).
+    pub train: TrainConfig,
+    /// LSTM hidden width.
+    pub hidden: usize,
+    /// LSTM stack depth (the "LSTM layers" tunable of §7.2).
+    pub layers: usize,
+    /// Latency discretization levels (`D`, §5.2).
+    pub disc_levels: u32,
+    /// The data-generation simulation runs this much longer than
+    /// `base.duration_s`. Small-scale time is cheap (that is the point of
+    /// the paper's workflow), and the models want more packets than a
+    /// validation-length run provides.
+    pub datagen_duration_factor: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            base: SimConfig::small_scale(),
+            protocol: Protocol::NewReno,
+            train: TrainConfig::default(),
+            hidden: 32,
+            layers: 1,
+            disc_levels: 100,
+            datagen_duration_factor: 4.0,
+        }
+    }
+}
+
+/// Wall-clock spent in each phase (the rows of the paper's Table 2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    pub small_scale_sim: Duration,
+    pub training: Duration,
+    pub large_scale_sim: Duration,
+}
+
+impl PhaseTimings {
+    pub fn total(&self) -> Duration {
+        self.small_scale_sim + self.training + self.large_scale_sim
+    }
+}
+
+/// Result of one large-scale estimate.
+pub struct EstimateReport {
+    /// Observable-cluster samples.
+    pub samples: ObservedSamples,
+    pub fct_p99: f64,
+    pub throughput_p99: f64,
+    pub rtt_p99: f64,
+    /// Wall time of the composed simulation.
+    pub wall: Duration,
+    /// Raw metrics for further analysis.
+    pub metrics: Metrics,
+}
+
+/// The pipeline driver.
+pub struct Pipeline {
+    pub cfg: PipelineConfig,
+    pub timings: PhaseTimings,
+}
+
+impl Pipeline {
+    pub fn new(cfg: PipelineConfig) -> Pipeline {
+        Pipeline {
+            cfg,
+            timings: PhaseTimings::default(),
+        }
+    }
+
+    /// Phases ❶–❷: small-scale observation and model training.
+    pub fn train(&mut self) -> TrainedMimic {
+        let (trained, _data) = self.train_with_data();
+        trained
+    }
+
+    /// As [`Pipeline::train`], also returning the training data (used by
+    /// loss-function and window-size experiments).
+    pub fn train_with_data(&mut self) -> (TrainedMimic, TrainingData) {
+        let t0 = Instant::now();
+        let mut dg_sim = self.cfg.base;
+        dg_sim.duration_s *= self.cfg.datagen_duration_factor.max(1.0);
+        let dg = DataGenConfig {
+            sim: dg_sim,
+            protocol: self.cfg.protocol,
+            model_cluster: 1,
+            disc_levels: self.cfg.disc_levels,
+            horizon_guard_s: 0.05,
+            congestion_feature: true,
+        };
+        let data = generate(&dg);
+        self.timings.small_scale_sim = t0.elapsed();
+
+        let t1 = Instant::now();
+        let (ingress, _) = InternalModel::train_stacked(
+            &data.ingress,
+            data.ingress_disc,
+            self.cfg.hidden,
+            self.cfg.layers,
+            &self.cfg.train,
+        );
+        let (egress, _) = InternalModel::train_stacked(
+            &data.egress,
+            data.egress_disc,
+            self.cfg.hidden,
+            self.cfg.layers,
+            &self.cfg.train,
+        );
+        self.timings.training = t1.elapsed();
+
+        (
+            TrainedMimic {
+                ingress,
+                egress,
+                feature_cfg: data.feature_cfg,
+                feeder: data.feeder.clone(),
+            },
+            data,
+        )
+    }
+
+    /// Phase ❺: the composed large-scale estimate at `n_clusters`.
+    pub fn estimate(&mut self, trained: &TrainedMimic, n_clusters: u32) -> EstimateReport {
+        let t0 = Instant::now();
+        let mut sim = compose(self.cfg.base, n_clusters, self.cfg.protocol, trained);
+        let metrics = sim.run();
+        let wall = t0.elapsed();
+        self.timings.large_scale_sim = wall;
+        let topo = FatTree::new({
+            let mut t = self.cfg.base.topo;
+            t.clusters = n_clusters;
+            t
+        });
+        let samples = observed(&metrics, &topo, OBSERVABLE);
+        EstimateReport {
+            fct_p99: percentile(&samples.fct, 99.0),
+            throughput_p99: percentile(&samples.throughput, 99.0),
+            rtt_p99: percentile(&samples.rtt, 99.0),
+            samples,
+            wall,
+            metrics,
+        }
+    }
+
+    /// The full-fidelity reference at `n_clusters` (expensive!).
+    pub fn run_ground_truth(&self, n_clusters: u32) -> (ObservedSamples, Metrics, Duration) {
+        let t0 = Instant::now();
+        let mut sim = ground_truth(self.cfg.base, n_clusters, self.cfg.protocol);
+        let metrics = sim.run();
+        let wall = t0.elapsed();
+        let topo = FatTree::new({
+            let mut t = self.cfg.base.topo;
+            t.clusters = n_clusters;
+            t
+        });
+        (observed(&metrics, &topo, OBSERVABLE), metrics, wall)
+    }
+
+    /// Convenience: estimate + ground truth + accuracy report at a scale.
+    pub fn validate(
+        &mut self,
+        trained: &TrainedMimic,
+        n_clusters: u32,
+    ) -> (AccuracyReport, Duration, Duration) {
+        let est = self.estimate(trained, n_clusters);
+        let (truth, _, truth_wall) = self.run_ground_truth(n_clusters);
+        (compare(&truth, &est.samples), est.wall, truth_wall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> PipelineConfig {
+        let mut cfg = PipelineConfig::default();
+        cfg.base.duration_s = 0.4;
+        cfg.base.seed = 12;
+        cfg.hidden = 12;
+        cfg.train.epochs = 2;
+        cfg.train.window = 6;
+        cfg
+    }
+
+    #[test]
+    fn full_pipeline_end_to_end() {
+        let mut pipe = Pipeline::new(quick_cfg());
+        let trained = pipe.train();
+        assert!(pipe.timings.small_scale_sim > Duration::ZERO);
+        assert!(pipe.timings.training > Duration::ZERO);
+        let report = pipe.estimate(&trained, 4);
+        assert!(!report.samples.fct.is_empty(), "no observable FCTs");
+        assert!(report.fct_p99 > 0.0);
+        assert!(report.rtt_p99 > 0.0);
+    }
+
+    #[test]
+    fn validation_beats_trivial_zero_model() {
+        // The W1 between MimicNet and ground truth should be finite, and
+        // the FCT distributions should overlap substantially: W1 must be
+        // well under the truth's mean FCT.
+        let mut pipe = Pipeline::new(quick_cfg());
+        let trained = pipe.train();
+        let (report, mimic_wall, _truth_wall) = pipe.validate(&trained, 3);
+        assert!(report.w1_fct.is_finite());
+        let (truth, _, _) = pipe.run_ground_truth(3);
+        let mean_fct = dcn_sim::stats::mean(&truth.fct);
+        assert!(
+            report.w1_fct < mean_fct,
+            "W1 {} vs mean FCT {mean_fct}: approximation is useless",
+            report.w1_fct
+        );
+        assert!(mimic_wall > Duration::ZERO);
+    }
+}

@@ -1,0 +1,219 @@
+//! Trace pre-processing: matching boundary records into supervised labels
+//! (paper §5.1 "Pre-processing").
+//!
+//! "MimicNet takes the packet dumps and matches the packets entering and
+//! leaving the network using identifiers from the packets. Examining the
+//! matches helps to determine the length of time it spent in the cluster
+//! and any changes to the packet. … Loss can be detected as a packet
+//! entering the cluster but never leaving."
+//!
+//! Packets that enter near the end of the capture are discarded (they may
+//! simply not have exited yet — mistaking them for drops would poison the
+//! loss labels).
+
+use dcn_sim::instrument::{BoundaryPhase, BoundaryRecord};
+use dcn_sim::mimic::BoundaryDir;
+use dcn_sim::packet::Ecn;
+use dcn_sim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One matched (or unmatched ⇒ dropped) packet traversal of the cluster.
+#[derive(Clone, Debug)]
+pub struct MatchedPacket {
+    /// The record at the entry juncture (features come from here).
+    pub enter: BoundaryRecord,
+    /// Dwell time inside the cluster; `None` means dropped.
+    pub latency: Option<SimDuration>,
+    /// The cluster CE-marked the packet.
+    pub ecn_marked: bool,
+}
+
+impl MatchedPacket {
+    pub fn dropped(&self) -> bool {
+        self.latency.is_none()
+    }
+}
+
+/// Matching output for one direction, in entry-time order.
+#[derive(Clone, Debug, Default)]
+pub struct MatchedTrace {
+    pub packets: Vec<MatchedPacket>,
+}
+
+impl MatchedTrace {
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Observed drop rate.
+    pub fn drop_rate(&self) -> f64 {
+        if self.packets.is_empty() {
+            return 0.0;
+        }
+        self.packets.iter().filter(|p| p.dropped()).count() as f64 / self.packets.len() as f64
+    }
+
+    /// Observed latency range `(min, max)` over delivered packets, seconds.
+    pub fn latency_range(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for p in &self.packets {
+            if let Some(l) = p.latency {
+                let s = l.as_secs_f64();
+                lo = lo.min(s);
+                hi = hi.max(s);
+            }
+        }
+        (lo.is_finite() && hi > lo).then_some((lo, hi))
+    }
+
+    /// Interarrival samples at the entry juncture, seconds.
+    pub fn interarrivals(&self) -> Vec<f64> {
+        self.packets
+            .windows(2)
+            .map(|w| w[1].enter.time.since(w[0].enter.time).as_secs_f64())
+            .collect()
+    }
+}
+
+/// Match a boundary dump into per-direction traces. `horizon` is the time
+/// after which entries are discarded as possibly-in-flight (use the sim
+/// end minus a guard of a few max-latencies).
+pub fn match_trace(
+    records: &[BoundaryRecord],
+    dir: BoundaryDir,
+    horizon: SimTime,
+) -> MatchedTrace {
+    let mut exits: HashMap<u64, &BoundaryRecord> = HashMap::new();
+    for r in records {
+        if r.dir == dir && r.phase == BoundaryPhase::Exit {
+            exits.insert(r.pkt_id, r);
+        }
+    }
+    let mut packets: Vec<MatchedPacket> = records
+        .iter()
+        .filter(|r| r.dir == dir && r.phase == BoundaryPhase::Enter && r.time <= horizon)
+        .map(|enter| match exits.get(&enter.pkt_id) {
+            Some(exit) => MatchedPacket {
+                enter: enter.clone(),
+                latency: Some(exit.time.since(enter.time)),
+                ecn_marked: exit.ecn == Ecn::Ce && enter.ecn != Ecn::Ce,
+            },
+            None => MatchedPacket {
+                enter: enter.clone(),
+                latency: None,
+                ecn_marked: false,
+            },
+        })
+        .collect();
+    packets.sort_by_key(|p| (p.enter.time, p.enter.pkt_id));
+    MatchedTrace { packets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_sim::packet::{FlowId, PacketKind};
+    use dcn_sim::topology::NodeId;
+
+    fn rec(pkt_id: u64, t: f64, dir: BoundaryDir, phase: BoundaryPhase, ecn: Ecn) -> BoundaryRecord {
+        BoundaryRecord {
+            pkt_id,
+            flow: FlowId(1),
+            time: SimTime::from_secs_f64(t),
+            dir,
+            phase,
+            wire_bytes: 1500,
+            ecn,
+            kind: PacketKind::Data,
+            src: NodeId(0),
+            dst: NodeId(4),
+            core: NodeId(20),
+            prio: 0,
+        }
+    }
+
+    #[test]
+    fn matches_latency() {
+        let records = vec![
+            rec(1, 0.010, BoundaryDir::Ingress, BoundaryPhase::Enter, Ecn::Ect),
+            rec(1, 0.013, BoundaryDir::Ingress, BoundaryPhase::Exit, Ecn::Ect),
+        ];
+        let t = match_trace(&records, BoundaryDir::Ingress, SimTime::from_secs_f64(1.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.packets[0].latency, Some(SimDuration::from_millis(3)));
+        assert!(!t.packets[0].ecn_marked);
+    }
+
+    #[test]
+    fn unmatched_is_a_drop() {
+        let records = vec![rec(7, 0.02, BoundaryDir::Egress, BoundaryPhase::Enter, Ecn::Ect)];
+        let t = match_trace(&records, BoundaryDir::Egress, SimTime::from_secs_f64(1.0));
+        assert_eq!(t.len(), 1);
+        assert!(t.packets[0].dropped());
+        assert!((t.drop_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecn_marking_detected_only_on_transition() {
+        let records = vec![
+            rec(1, 0.01, BoundaryDir::Ingress, BoundaryPhase::Enter, Ecn::Ect),
+            rec(1, 0.02, BoundaryDir::Ingress, BoundaryPhase::Exit, Ecn::Ce),
+            // Already CE on entry: not marked *by this cluster*.
+            rec(2, 0.03, BoundaryDir::Ingress, BoundaryPhase::Enter, Ecn::Ce),
+            rec(2, 0.04, BoundaryDir::Ingress, BoundaryPhase::Exit, Ecn::Ce),
+        ];
+        let t = match_trace(&records, BoundaryDir::Ingress, SimTime::from_secs_f64(1.0));
+        assert!(t.packets[0].ecn_marked);
+        assert!(!t.packets[1].ecn_marked);
+    }
+
+    #[test]
+    fn directions_are_separated() {
+        let records = vec![
+            rec(1, 0.01, BoundaryDir::Ingress, BoundaryPhase::Enter, Ecn::Ect),
+            rec(2, 0.01, BoundaryDir::Egress, BoundaryPhase::Enter, Ecn::Ect),
+            rec(2, 0.02, BoundaryDir::Egress, BoundaryPhase::Exit, Ecn::Ect),
+        ];
+        let i = match_trace(&records, BoundaryDir::Ingress, SimTime::from_secs_f64(1.0));
+        let e = match_trace(&records, BoundaryDir::Egress, SimTime::from_secs_f64(1.0));
+        assert_eq!(i.len(), 1);
+        assert!(i.packets[0].dropped());
+        assert_eq!(e.len(), 1);
+        assert!(!e.packets[0].dropped());
+    }
+
+    #[test]
+    fn horizon_excludes_possibly_in_flight() {
+        let records = vec![
+            rec(1, 0.98, BoundaryDir::Ingress, BoundaryPhase::Enter, Ecn::Ect),
+            rec(2, 0.50, BoundaryDir::Ingress, BoundaryPhase::Enter, Ecn::Ect),
+            rec(2, 0.51, BoundaryDir::Ingress, BoundaryPhase::Exit, Ecn::Ect),
+        ];
+        let t = match_trace(&records, BoundaryDir::Ingress, SimTime::from_secs_f64(0.9));
+        assert_eq!(t.len(), 1, "late entry must be excluded, not labeled dropped");
+        assert_eq!(t.packets[0].enter.pkt_id, 2);
+    }
+
+    #[test]
+    fn trace_is_sorted_and_ranges_computed() {
+        let records = vec![
+            rec(2, 0.05, BoundaryDir::Ingress, BoundaryPhase::Enter, Ecn::Ect),
+            rec(2, 0.09, BoundaryDir::Ingress, BoundaryPhase::Exit, Ecn::Ect),
+            rec(1, 0.01, BoundaryDir::Ingress, BoundaryPhase::Enter, Ecn::Ect),
+            rec(1, 0.02, BoundaryDir::Ingress, BoundaryPhase::Exit, Ecn::Ect),
+        ];
+        let t = match_trace(&records, BoundaryDir::Ingress, SimTime::from_secs_f64(1.0));
+        assert_eq!(t.packets[0].enter.pkt_id, 1);
+        let (lo, hi) = t.latency_range().unwrap();
+        assert!((lo - 0.01).abs() < 1e-9);
+        assert!((hi - 0.04).abs() < 1e-9);
+        let inter = t.interarrivals();
+        assert_eq!(inter.len(), 1);
+        assert!((inter[0] - 0.04).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for MimicNet's feature extraction, trace
+//! matching, and feeders.
+
+use dcn_sim::instrument::{BoundaryPhase, BoundaryRecord};
+use dcn_sim::mimic::BoundaryDir;
+use dcn_sim::packet::{Ecn, FlowId, PacketKind};
+use dcn_sim::time::SimTime;
+use dcn_sim::topology::{FatTreeParams, NodeId};
+use mimicnet::features::{FeatureConfig, FeatureExtractor, PacketView};
+use mimicnet::feeder::{invisible_fraction, DirFit};
+use mimicnet::trace::match_trace;
+use proptest::prelude::*;
+
+fn view(t: u64, rack: u32, server: u32, size: u32) -> PacketView {
+    PacketView {
+        time: SimTime(t),
+        wire_bytes: size,
+        rack,
+        server,
+        agg: rack % 2,
+        core: server % 2,
+        kind: PacketKind::Data,
+        ecn: Ecn::Ect,
+        prio: 0,
+    }
+}
+
+proptest! {
+    /// Feature vectors always have the configured width, are finite, and
+    /// every one-hot block sums to exactly 1.
+    #[test]
+    fn features_well_formed(
+        packets in proptest::collection::vec((0u64..10_000_000, 0u32..2, 0u32..2, 40u32..1500), 1..50)
+    ) {
+        let cfg = FeatureConfig::from_topology(&FatTreeParams::new(2, 2, 2, 2, 1));
+        let mut fx = FeatureExtractor::new(cfg);
+        let mut sorted = packets.clone();
+        sorted.sort_by_key(|p| p.0);
+        for (t, r, s, b) in sorted {
+            let f = fx.extract(&view(t, r, s, b));
+            prop_assert_eq!(f.len(), cfg.width());
+            prop_assert!(f.iter().all(|v| v.is_finite()));
+            // One-hot blocks: rack [0,2), server [2,4), agg [4,6), core [6,8),
+            // congestion [11,15), kind [15,18).
+            for range in [0..2usize, 2..4, 4..6, 6..8, 11..15, 15..18] {
+                let sum: f32 = f[range.clone()].iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6, "block {range:?} sums to {sum}");
+            }
+            // Scalars normalized.
+            prop_assert!((0.0..=1.1).contains(&f[8]), "size feature {}", f[8]);
+            prop_assert!((0.0..=1.0).contains(&f[9]));
+            prop_assert!((0.0..=1.0).contains(&f[10]));
+        }
+    }
+
+    /// Trace matching: every entry before the horizon yields exactly one
+    /// matched packet; drops are exactly the unmatched ones.
+    #[test]
+    fn trace_matching_partitions(n in 1usize..60, drop_every in 2u64..10) {
+        let mut records = Vec::new();
+        let mut expect_drops = 0;
+        for i in 0..n as u64 {
+            let enter_t = 1000 * i;
+            records.push(BoundaryRecord {
+                pkt_id: i,
+                flow: FlowId(1),
+                time: SimTime(enter_t),
+                dir: BoundaryDir::Egress,
+                phase: BoundaryPhase::Enter,
+                wire_bytes: 1500,
+                ecn: Ecn::Ect,
+                kind: PacketKind::Data,
+                src: NodeId(4),
+                dst: NodeId(0),
+                core: NodeId(20),
+                prio: 0,
+            });
+            if i % drop_every == 0 {
+                expect_drops += 1;
+            } else {
+                let mut exit = records.last().unwrap().clone();
+                exit.phase = BoundaryPhase::Exit;
+                exit.time = SimTime(enter_t + 500);
+                records.push(exit);
+            }
+        }
+        let t = match_trace(&records, BoundaryDir::Egress, SimTime(u64::MAX));
+        prop_assert_eq!(t.len(), n);
+        prop_assert_eq!(t.packets.iter().filter(|p| p.dropped()).count(), expect_drops);
+        // Latencies of delivered packets are all 500 ns.
+        for p in &t.packets {
+            if let Some(l) = p.latency {
+                prop_assert_eq!(l.as_nanos(), 500);
+            }
+        }
+    }
+
+    /// The invisible fraction is monotone in cluster count and in [0, 1).
+    #[test]
+    fn invisible_fraction_monotone(n in 2u32..500) {
+        let f = invisible_fraction(n);
+        prop_assert!((0.0..1.0).contains(&f));
+        if n > 2 {
+            prop_assert!(f > invisible_fraction(n - 1));
+        }
+    }
+
+    /// DirFit on positive samples produces a positive rate and a sane
+    /// log-normal (mean close to the sample mean for low variance).
+    #[test]
+    fn feeder_fit_sane(base_us in 100u64..10_000, n in 10usize..200) {
+        let inter: Vec<f64> = (0..n).map(|i| (base_us + (i as u64 % 5)) as f64 * 1e-6).collect();
+        let fit = DirFit::fit(&inter, &[1500.0]);
+        prop_assert!(fit.rate_pps > 0.0);
+        prop_assert!(fit.sigma >= 0.0);
+        let sample_mean = inter.iter().sum::<f64>() / n as f64;
+        prop_assert!((fit.mean_interarrival() - sample_mean).abs() / sample_mean < 0.05,
+            "fit mean {} vs sample mean {sample_mean}", fit.mean_interarrival());
+    }
+
+    /// Feature extraction is deterministic: same inputs, same outputs.
+    #[test]
+    fn features_deterministic(ts in proptest::collection::vec(0u64..1_000_000, 1..30)) {
+        let cfg = FeatureConfig::from_topology(&FatTreeParams::new(2, 2, 2, 2, 1));
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        let run = || {
+            let mut fx = FeatureExtractor::new(cfg);
+            sorted.iter().map(|&t| fx.extract(&view(t, 0, 1, 1500))).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper and save outputs to results/.
+# SCALE=quick (default) or SCALE=full.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BINS=$(ls crates/bench/src/bin | sed 's/\.rs$//')
+cargo build --release -p mimicnet-bench --bins
+for b in $BINS; do
+  echo "=== $b ==="
+  cargo run --release -q -p mimicnet-bench --bin "$b" | tee "results/$b.txt"
+done

