@@ -26,20 +26,24 @@ fn train_bundle(dg: &DataGenConfig, tc: &TrainConfig, hidden: usize, unified: bo
             combined.push(f.clone(), *t);
         }
         let disc = td.ingress_disc; // shared latency range approximation
-        let (m, _) = InternalModel::train_new(&combined, disc, hidden, tc);
+        let (m, _) = InternalModel::train_new(&combined, disc, hidden, tc).expect("training data");
         TrainedMimic {
             ingress: m.clone(),
             egress: m,
             feature_cfg: td.feature_cfg,
+            envelope: mimicnet::drift::FeatureEnvelope::fit(&td.ingress.features),
             feeder: td.feeder,
         }
     } else {
-        let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, hidden, tc);
-        let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, hidden, tc);
+        let (ing, _) =
+            InternalModel::train_new(&td.ingress, td.ingress_disc, hidden, tc).expect("training data");
+        let (eg, _) =
+            InternalModel::train_new(&td.egress, td.egress_disc, hidden, tc).expect("training data");
         TrainedMimic {
             ingress: ing,
             egress: eg,
             feature_cfg: td.feature_cfg,
+            envelope: mimicnet::drift::FeatureEnvelope::fit(&td.ingress.features),
             feeder: td.feeder,
         }
     }

@@ -36,7 +36,9 @@ fn main() {
         window: 8,
         ..TrainConfig::default()
     };
-    let (old_model, _) = InternalModel::train_new(&old.egress, old.egress_disc, base_cfg.hidden, &tc_full);
+    let (old_model, _) =
+        InternalModel::train_new(&old.egress, old.egress_disc, base_cfg.hidden, &tc_full)
+            .expect("training data");
 
     // New workload (heavier).
     let mut dg_new = dg_old;
@@ -62,7 +64,7 @@ fn main() {
     // (b) fine-tune 2 epochs.
     let mut tuned = old_model.clone();
     let t0 = Instant::now();
-    tuned.fine_tune(&train_new, &tc_short);
+    tuned.fine_tune(&train_new, &tc_short).expect("training data");
     let tune_wall = t0.elapsed().as_secs_f64();
     let tuned_loss = evaluate(&tuned.model, &test_new, &tc_short);
     println!(
@@ -73,7 +75,8 @@ fn main() {
     // (c) scratch, same short budget.
     let t1 = Instant::now();
     let (scratch_short, _) =
-        InternalModel::train_new(&train_new, new.egress_disc, base_cfg.hidden, &tc_short);
+        InternalModel::train_new(&train_new, new.egress_disc, base_cfg.hidden, &tc_short)
+            .expect("training data");
     let scratch_short_wall = t1.elapsed().as_secs_f64();
     let scratch_short_loss = evaluate(&scratch_short.model, &test_new, &tc_short);
     println!(
@@ -84,7 +87,8 @@ fn main() {
     // (d) scratch, full budget.
     let t2 = Instant::now();
     let (scratch_full, _) =
-        InternalModel::train_new(&train_new, new.egress_disc, base_cfg.hidden, &tc_full);
+        InternalModel::train_new(&train_new, new.egress_disc, base_cfg.hidden, &tc_full)
+            .expect("training data");
     let scratch_full_wall = t2.elapsed().as_secs_f64();
     let scratch_full_loss = evaluate(&scratch_full.model, &test_new, &tc_short);
     println!(

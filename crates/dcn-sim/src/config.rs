@@ -8,6 +8,7 @@
 //! needing to evaluate MimicNet against a full-fidelity simulation").
 //! See DESIGN.md §1 for the complete substitution table.
 
+use crate::error::SimError;
 use crate::queue::QueueConfig;
 use crate::time::SimDuration;
 use crate::topology::FatTreeParams;
@@ -195,6 +196,86 @@ impl SimConfig {
     pub fn num_hosts(&self) -> u32 {
         self.topo.num_hosts()
     }
+
+    /// Check every user-settable field, returning the first violation as a
+    /// typed [`SimError`] instead of panicking deep inside the engine.
+    ///
+    /// Call this before [`crate::simulator::Simulation::new`] when the
+    /// configuration comes from outside the program (CLI flags, JSON).
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.topo.clusters < 2 {
+            return Err(SimError::config(
+                "topo.clusters",
+                format!("must be >= 2, got {}", self.topo.clusters),
+            ));
+        }
+        if self.topo.racks_per_cluster == 0 {
+            return Err(SimError::config("topo.racks_per_cluster", "must be > 0"));
+        }
+        if self.topo.hosts_per_rack == 0 {
+            return Err(SimError::config("topo.hosts_per_rack", "must be > 0"));
+        }
+        if self.topo.aggs_per_cluster == 0 {
+            return Err(SimError::config("topo.aggs_per_cluster", "must be > 0"));
+        }
+        if self.topo.cores_per_agg == 0 {
+            return Err(SimError::config("topo.cores_per_agg", "must be > 0"));
+        }
+        if self.link.host_bw_bps == 0 {
+            return Err(SimError::config("link.host_bw_bps", "link rate must be > 0"));
+        }
+        if self.link.fabric_bw_bps == 0 {
+            return Err(SimError::config(
+                "link.fabric_bw_bps",
+                "link rate must be > 0",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.link.loss_prob) {
+            return Err(SimError::config(
+                "link.loss_prob",
+                format!("must lie in [0, 1], got {}", self.link.loss_prob),
+            ));
+        }
+        if self.queue.capacity_bytes == 0 {
+            return Err(SimError::config("queue.capacity_bytes", "must be > 0"));
+        }
+        if self.queue.bands == 0 {
+            return Err(SimError::config("queue.bands", "must be >= 1"));
+        }
+        if !(self.traffic.load >= 0.0 && self.traffic.load.is_finite()) {
+            return Err(SimError::config(
+                "traffic.load",
+                format!("must be a finite non-negative number, got {}", self.traffic.load),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.traffic.inter_cluster_fraction) {
+            return Err(SimError::config(
+                "traffic.inter_cluster_fraction",
+                format!(
+                    "must lie in [0, 1], got {}",
+                    self.traffic.inter_cluster_fraction
+                ),
+            ));
+        }
+        if !(self.traffic.size.mean_bytes() > 0.0 && self.traffic.size.mean_bytes().is_finite()) {
+            return Err(SimError::config(
+                "traffic.size",
+                format!("mean flow size must be positive, got {}", self.traffic.size.mean_bytes()),
+            ));
+        }
+        if let TrafficPattern::Incast { sinks } = self.traffic.pattern {
+            if sinks == 0 {
+                return Err(SimError::config("traffic.pattern", "incast needs sinks >= 1"));
+            }
+        }
+        if !(self.duration_s > 0.0 && self.duration_s.is_finite()) {
+            return Err(SimError::config(
+                "duration_s",
+                format!("must be a positive finite number, got {}", self.duration_s),
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +328,79 @@ mod tests {
         assert_eq!(qc.capacity_bytes, 50_000);
         assert_eq!(qc.ecn_mark_threshold_pkts, Some(20));
         assert_eq!(qc.bands, 8);
+    }
+
+    #[test]
+    fn validate_accepts_defaults() {
+        assert_eq!(SimConfig::small_scale().validate(), Ok(()));
+        assert_eq!(SimConfig::with_clusters(16).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_loss_prob_outside_unit_interval() {
+        let mut c = SimConfig::small_scale();
+        c.link.loss_prob = 1.5;
+        let err = c.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SimError::InvalidConfig {
+                field: "link.loss_prob",
+                ..
+            }
+        ));
+        c.link.loss_prob = -0.01;
+        assert!(c.validate().is_err());
+        c.link.loss_prob = f64::NAN;
+        assert!(c.validate().is_err());
+        c.link.loss_prob = 1.0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_link_rate() {
+        let mut c = SimConfig::small_scale();
+        c.link.host_bw_bps = 0;
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            crate::error::SimError::InvalidConfig {
+                field: "link.host_bw_bps",
+                ..
+            }
+        ));
+        let mut c = SimConfig::small_scale();
+        c.link.fabric_bw_bps = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_too_few_clusters() {
+        let mut c = SimConfig::small_scale();
+        c.topo.clusters = 1;
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            crate::error::SimError::InvalidConfig {
+                field: "topo.clusters",
+                ..
+            }
+        ));
+        c.topo.clusters = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_workload_and_duration() {
+        let mut c = SimConfig::small_scale();
+        c.duration_s = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::small_scale();
+        c.traffic.inter_cluster_fraction = 2.0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::small_scale();
+        c.traffic.load = f64::INFINITY;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::small_scale();
+        c.queue.capacity_bytes = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

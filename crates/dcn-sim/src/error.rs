@@ -1,0 +1,69 @@
+//! Typed errors for user-facing APIs.
+//!
+//! Invalid *user input* — malformed configurations, out-of-range fault
+//! plans — must surface as `Err`, never as a panic; panics are reserved
+//! for internal invariant violations. [`crate::config::SimConfig::validate`]
+//! and [`crate::fault::FaultPlan::compile`] are the main producers.
+
+use std::fmt;
+
+/// An error in user-supplied simulator input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// A configuration field holds an invalid value.
+    InvalidConfig {
+        /// Dotted path of the offending field (e.g. `"link.loss_prob"`).
+        field: &'static str,
+        reason: String,
+    },
+    /// A fault plan references nonexistent topology elements or holds
+    /// out-of-range parameters.
+    InvalidFaultPlan { reason: String },
+    /// The operation is only legal before the first event is processed
+    /// (e.g. installing a fault plan into a running simulation).
+    AlreadyStarted { what: &'static str },
+}
+
+impl SimError {
+    pub(crate) fn config(field: &'static str, reason: impl Into<String>) -> SimError {
+        SimError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn plan(reason: impl Into<String>) -> SimError {
+        SimError::InvalidFaultPlan {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration: `{field}` {reason}")
+            }
+            SimError::InvalidFaultPlan { reason } => write!(f, "invalid fault plan: {reason}"),
+            SimError::AlreadyStarted { what } => {
+                write!(f, "{what} must happen before the simulation starts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = SimError::config("link.loss_prob", "must lie in [0, 1]");
+        assert!(e.to_string().contains("link.loss_prob"));
+        let e = SimError::plan("link 99 does not exist");
+        assert!(e.to_string().contains("fault plan"));
+    }
+}

@@ -34,19 +34,25 @@ pub enum EventKind {
     FlowArrival { host: NodeId },
     /// A Mimic cluster's feeder model wants a wakeup.
     FeederWake { cluster: u32 },
+    /// A scheduled fault action takes effect. `index` points into the
+    /// engine's compiled [`crate::fault::FaultAction`] schedule.
+    Fault { index: u32 },
 }
 
 impl EventKind {
     /// Class rank: fixes processing order among different event types that
-    /// share a timestamp. Transmitter completions run first so freed links
-    /// are observable by packets arriving at the same instant.
+    /// share a timestamp. Fault state changes apply first so every other
+    /// event at the same instant observes the new link health; transmitter
+    /// completions come next so freed links are observable by packets
+    /// arriving at the same instant.
     fn class(&self) -> u8 {
         match self {
-            EventKind::TxDone { .. } => 0,
-            EventKind::Arrive { .. } => 1,
-            EventKind::Timer { .. } => 2,
-            EventKind::FlowArrival { .. } => 3,
-            EventKind::FeederWake { .. } => 4,
+            EventKind::Fault { .. } => 0,
+            EventKind::TxDone { .. } => 1,
+            EventKind::Arrive { .. } => 2,
+            EventKind::Timer { .. } => 3,
+            EventKind::FlowArrival { .. } => 4,
+            EventKind::FeederWake { .. } => 5,
         }
     }
 
@@ -64,6 +70,9 @@ impl EventKind {
             }
             EventKind::FlowArrival { host } => host.0 as u64,
             EventKind::FeederWake { cluster } => *cluster as u64,
+            // Schedule indices are unique and pre-sorted, so simultaneous
+            // fault actions apply in compiled order.
+            EventKind::Fault { index } => *index as u64,
         }
     }
 }
@@ -197,16 +206,18 @@ mod tests {
                 dir: Dir::Up,
             },
         );
+        q.schedule(time, EventKind::Fault { index: 0 });
         let classes: Vec<u8> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
-                EventKind::TxDone { .. } => 0,
-                EventKind::Arrive { .. } => 1,
-                EventKind::Timer { .. } => 2,
-                EventKind::FlowArrival { .. } => 3,
-                EventKind::FeederWake { .. } => 4,
+                EventKind::Fault { .. } => 0,
+                EventKind::TxDone { .. } => 1,
+                EventKind::Arrive { .. } => 2,
+                EventKind::Timer { .. } => 3,
+                EventKind::FlowArrival { .. } => 4,
+                EventKind::FeederWake { .. } => 5,
             })
             .collect();
-        assert_eq!(classes, vec![0, 2, 3]);
+        assert_eq!(classes, vec![0, 1, 3, 4]);
     }
 
     #[test]

@@ -159,9 +159,14 @@ pub struct Metrics {
     pub mimic_drops: u64,
     /// Total CE marks applied by queues.
     pub ecn_marks: u64,
-    /// Packets lost to injected link faults (see
-    /// [`crate::config::LinkConfig::loss_prob`]).
+    /// Packets lost to injected link faults: Bernoulli wire losses (see
+    /// [`crate::config::LinkConfig::loss_prob`] and gray failures) plus
+    /// packets that became unroutable because every ECMP candidate was down.
     pub fault_drops: u64,
+    /// Packets steered onto a non-default ECMP candidate because the
+    /// flow's hashed choice was down (see
+    /// [`crate::routing::Router::route_avoiding`]).
+    pub reroutes: u64,
     /// Events processed by the engine.
     pub events_processed: u64,
     /// Packets forwarded by switches (hop count total).
@@ -169,6 +174,10 @@ pub struct Metrics {
     /// Per-(link, direction) queue occupancy statistics; indexed by link
     /// id, `[up, down]`. Empty unless the engine enabled them.
     pub queue_stats: Vec<[QueueStats; 2]>,
+    /// Per-cluster drift scores reported by Mimic models at end of run;
+    /// indexed by cluster id. `None` for packet-level clusters and models
+    /// without drift monitoring.
+    pub cluster_drift: Vec<Option<f64>>,
 }
 
 impl Metrics {
@@ -183,9 +192,11 @@ impl Metrics {
             mimic_drops: 0,
             ecn_marks: 0,
             fault_drops: 0,
+            reroutes: 0,
             events_processed: 0,
             hops_forwarded: 0,
             queue_stats: Vec::new(),
+            cluster_drift: Vec::new(),
         }
     }
 
@@ -304,6 +315,7 @@ impl Metrics {
         self.mimic_drops += other.mimic_drops;
         self.ecn_marks += other.ecn_marks;
         self.fault_drops += other.fault_drops;
+        self.reroutes += other.reroutes;
         self.events_processed += other.events_processed;
         self.hops_forwarded += other.hops_forwarded;
         if self.queue_stats.len() < other.queue_stats.len() {
@@ -317,6 +329,14 @@ impl Metrics {
                 for (a, b) in mine[d].depth_hist.iter_mut().zip(&theirs[d].depth_hist) {
                     *a += b;
                 }
+            }
+        }
+        if self.cluster_drift.len() < other.cluster_drift.len() {
+            self.cluster_drift.resize(other.cluster_drift.len(), None);
+        }
+        for (mine, theirs) in self.cluster_drift.iter_mut().zip(other.cluster_drift) {
+            if theirs.is_some() {
+                *mine = theirs;
             }
         }
     }

@@ -58,7 +58,9 @@
 
 pub mod cdf;
 pub mod config;
+pub mod error;
 pub mod event;
+pub mod fault;
 pub mod host;
 pub mod instrument;
 pub mod link;

@@ -53,6 +53,32 @@ impl LinkSpec {
     }
 }
 
+/// Mutable health state of a link, driven by the fault subsystem
+/// ([`crate::fault`]). A healthy link has `up = true`, no extra loss, and
+/// full rate.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkHealth {
+    /// False while the link is failed: transmitters stall (packets queue
+    /// but nothing starts serializing) until the link comes back up.
+    pub up: bool,
+    /// Additional Bernoulli loss probability layered on top of the
+    /// configured baseline (gray failure). Effective loss is clamped to 1.
+    pub extra_loss: f64,
+    /// Multiplier on bandwidth in `(0, 1]`; values below 1 model a link
+    /// negotiated down to a degraded rate.
+    pub rate_factor: f64,
+}
+
+impl Default for LinkHealth {
+    fn default() -> LinkHealth {
+        LinkHealth {
+            up: true,
+            extra_loss: 0.0,
+            rate_factor: 1.0,
+        }
+    }
+}
+
 /// One direction's transmitter: output queue plus serialization state.
 #[derive(Debug)]
 pub struct Transmitter {
@@ -77,6 +103,8 @@ pub struct DuplexLink {
     pub spec: LinkSpec,
     /// Transmitters indexed by [`Dir::index`].
     pub tx: [Transmitter; 2],
+    /// Fault-injection state; defaults to healthy.
+    pub health: LinkHealth,
 }
 
 impl DuplexLink {
@@ -84,6 +112,20 @@ impl DuplexLink {
         DuplexLink {
             spec,
             tx: [Transmitter::new(up_queue), Transmitter::new(down_queue)],
+            health: LinkHealth::default(),
+        }
+    }
+
+    /// Serialization time for `bytes` at the link's current (possibly
+    /// degraded) rate. The healthy path is bit-identical to
+    /// [`LinkSpec::serialization`] — no float arithmetic is introduced
+    /// unless the rate is actually degraded.
+    pub fn effective_serialization(&self, bytes: u32) -> SimDuration {
+        if self.health.rate_factor >= 1.0 {
+            self.spec.serialization(bytes)
+        } else {
+            let bw = ((self.spec.bandwidth_bps as f64) * self.health.rate_factor).max(1.0) as u64;
+            SimDuration::serialization(bytes as u64, bw)
         }
     }
 
@@ -131,5 +173,22 @@ mod tests {
         l.tx_mut(Dir::Up).busy = true;
         assert!(l.tx(Dir::Up).busy);
         assert!(!l.tx(Dir::Down).busy);
+    }
+
+    #[test]
+    fn degraded_rate_slows_serialization() {
+        let mut l = DuplexLink::new(
+            LinkSpec {
+                bandwidth_bps: 10_000_000,
+                latency: SimDuration::from_micros(20),
+            },
+            QueueConfig::drop_tail(10_000),
+            QueueConfig::drop_tail(10_000),
+        );
+        let healthy = l.effective_serialization(1500);
+        assert_eq!(healthy, l.spec.serialization(1500));
+        l.health.rate_factor = 0.5;
+        let degraded = l.effective_serialization(1500);
+        assert_eq!(degraded.as_nanos(), 2 * healthy.as_nanos());
     }
 }

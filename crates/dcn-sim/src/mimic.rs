@@ -56,6 +56,15 @@ pub trait ClusterModel {
     /// A requested wakeup fired (MimicNet feeds synthetic inter-Mimic
     /// feature vectors here; outputs are discarded by design, §6).
     fn on_wake(&mut self, _now: SimTime) {}
+
+    /// Drift score of the live traffic relative to the model's training
+    /// distribution, if the model monitors it. Higher means further out of
+    /// distribution; `None` means "not monitored". Read by the engine at
+    /// the end of a run and exposed per cluster in
+    /// [`crate::instrument::Metrics::cluster_drift`].
+    fn drift(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// A reference model with constant latency and Bernoulli drops. Useful for

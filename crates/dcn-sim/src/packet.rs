@@ -148,6 +148,7 @@ impl Packet {
     }
 
     /// A pure ack from `src` (the data receiver) back to `dst`.
+    #[allow(clippy::too_many_arguments)]
     pub fn ack(
         id: u64,
         flow: FlowId,

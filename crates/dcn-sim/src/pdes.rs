@@ -23,7 +23,7 @@ use crate::simulator::Simulation;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{FatTree, NodeId, NodeKind};
 use crate::transport::TransportFactory;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
 /// Map every node to a partition: clusters round-robin, cores round-robin.
@@ -67,7 +67,7 @@ pub fn run_partitioned(
     let end = SimTime::from_secs_f64(cfg.duration_s) + SimDuration::from_nanos(1);
 
     let channels: Vec<(Sender<RemoteMsg>, Receiver<RemoteMsg>)> =
-        (0..partitions).map(|_| unbounded()).collect();
+        (0..partitions).map(|_| channel()).collect();
     let senders: Vec<Sender<RemoteMsg>> = channels.iter().map(|(s, _)| s.clone()).collect();
     let mut receivers: Vec<Option<Receiver<RemoteMsg>>> =
         channels.into_iter().map(|(_, r)| Some(r)).collect();
@@ -76,10 +76,10 @@ pub fn run_partitioned(
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(partitions);
-        for part in 0..partitions {
+        for (part, receiver) in receivers.iter_mut().enumerate() {
             let owner = owner.clone();
             let senders = senders.clone();
-            let rx = receivers[part].take().expect("receiver taken once");
+            let rx = receiver.take().expect("receiver taken once");
             let barrier = barrier.clone();
             handles.push(scope.spawn(move || {
                 let mut sim = Simulation::with_transport(cfg, make_factory());

@@ -14,7 +14,9 @@
 //!   composes several of these into a conservative parallel simulation.
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultAction, FaultChange, FaultPlan};
 use crate::host::{HostState, Role};
 use crate::instrument::{BoundaryPhase, BoundaryRecord, FlowRecord, Metrics, RttSample};
 use crate::link::{Dir, DuplexLink, LinkSpec};
@@ -83,6 +85,8 @@ pub struct Simulation {
     initialized: bool,
     /// Per-(link, dir) fault streams; `None` when loss injection is off.
     fault: Option<Vec<[crate::rng::SplitMix64; 2]>>,
+    /// Compiled fault schedule, indexed by [`EventKind::Fault`] events.
+    fault_schedule: Option<Vec<FaultAction>>,
     // --- partitioning (None = own everything) ---
     owner_of_node: Option<Arc<Vec<u8>>>,
     my_partition: u8,
@@ -143,6 +147,7 @@ impl Simulation {
         });
         Simulation {
             fault,
+            fault_schedule: None,
             end: SimTime::from_secs_f64(cfg.duration_s),
             metrics,
             done: vec![HashSet::new(); cfg.topo.num_hosts() as usize],
@@ -193,6 +198,43 @@ impl Simulation {
             ingress,
             egress,
         };
+    }
+
+    /// Install a seeded [`FaultPlan`]. The plan is validated and compiled
+    /// against this simulation's topology and duration; its actions are
+    /// driven through the event queue as [`EventKind::Fault`] events.
+    ///
+    /// Must be called before the run starts. An empty plan is a no-op and
+    /// leaves the trajectory bit-identical to a plan-free run.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        if self.initialized {
+            return Err(SimError::AlreadyStarted {
+                what: "installing a fault plan",
+            });
+        }
+        let schedule = plan.compile(&self.topo, self.end)?;
+        if plan.is_empty() {
+            return Ok(());
+        }
+        // Gray failures need per-(link, dir) loss streams even when the
+        // configured baseline loss is zero. Draws stay gated on a positive
+        // effective loss rate, so merely building the streams does not
+        // perturb a fault-free trajectory.
+        if self.fault.is_none() {
+            let seed = self.cfg.seed;
+            self.fault = Some(
+                (0..self.cfg.topo.num_links())
+                    .map(|l| {
+                        [
+                            crate::rng::SplitMix64::derive(seed, 0xFA00_0000 | (l as u64) << 1),
+                            crate::rng::SplitMix64::derive(seed, 0xFA00_0000 | ((l as u64) << 1 | 1)),
+                        ]
+                    })
+                    .collect(),
+            );
+        }
+        self.fault_schedule = Some(schedule);
+        Ok(())
     }
 
     /// Restrict this engine to the nodes mapped to `mine` in `owner`;
@@ -248,6 +290,12 @@ impl Simulation {
             return;
         }
         self.initialized = true;
+        if let Some(schedule) = &self.fault_schedule {
+            for (i, action) in schedule.iter().enumerate() {
+                self.queue
+                    .schedule(action.time, EventKind::Fault { index: i as u32 });
+            }
+        }
         for h in 0..self.cfg.topo.num_hosts() {
             let host = NodeId(h);
             if !self.owned(host) {
@@ -282,7 +330,22 @@ impl Simulation {
             leftover.is_empty(),
             "unpartitioned run exported remote events"
         );
+        self.collect_cluster_drift();
         std::mem::replace(&mut self.metrics, Metrics::new(0))
+    }
+
+    /// Copy each Mimic'ed cluster's drift score (if monitored) into the
+    /// metrics about to be handed out.
+    fn collect_cluster_drift(&mut self) {
+        let n = self.cluster_modes.len();
+        if self.metrics.cluster_drift.len() < n {
+            self.metrics.cluster_drift.resize(n, None);
+        }
+        for (c, mode) in self.cluster_modes.iter().enumerate() {
+            if let ClusterMode::Mimic { model, .. } = mode {
+                self.metrics.cluster_drift[c] = model.drift();
+            }
+        }
     }
 
     /// Process all events strictly before `until`; return packet arrivals
@@ -303,6 +366,7 @@ impl Simulation {
                 EventKind::Timer { host, flow, token } => self.handle_timer(host, flow, token),
                 EventKind::FlowArrival { host } => self.handle_flow_arrival(host),
                 EventKind::FeederWake { cluster } => self.handle_feeder(cluster),
+                EventKind::Fault { index } => self.handle_fault(index),
             }
         }
         std::mem::take(&mut self.outbox)
@@ -317,6 +381,7 @@ impl Simulation {
 
     /// Extract metrics after the run (partitioned mode).
     pub fn take_metrics(&mut self) -> Metrics {
+        self.collect_cluster_drift();
         std::mem::replace(&mut self.metrics, Metrics::new(0))
     }
 
@@ -378,16 +443,47 @@ impl Simulation {
         self.try_start_tx(link, dir);
     }
 
+    /// Apply a scheduled fault action: flip link health and, on repair,
+    /// restart any transmitters that stalled while the link was down.
+    fn handle_fault(&mut self, index: u32) {
+        let action = self
+            .fault_schedule
+            .as_ref()
+            .expect("Fault event without a schedule")[index as usize];
+        let link = action.link;
+        match action.change {
+            FaultChange::Down => {
+                self.links[link.0 as usize].health.up = false;
+            }
+            FaultChange::Up => {
+                self.links[link.0 as usize].health.up = true;
+                self.try_start_tx(link, Dir::Up);
+                self.try_start_tx(link, Dir::Down);
+            }
+            FaultChange::SetLoss(p) => {
+                self.links[link.0 as usize].health.extra_loss = p;
+            }
+            FaultChange::SetRate(f) => {
+                self.links[link.0 as usize].health.rate_factor = f;
+            }
+        }
+    }
+
     fn try_start_tx(&mut self, link_id: LinkId, dir: Dir) {
         let link = &mut self.links[link_id.0 as usize];
         if link.tx(dir).busy {
+            return;
+        }
+        // A downed link stalls: packets stay queued until repair, when
+        // handle_fault restarts the transmitters.
+        if !link.health.up {
             return;
         }
         let Some(pkt) = link.tx_mut(dir).queue.dequeue() else {
             return;
         };
         link.tx_mut(dir).busy = true;
-        let ser = link.spec.serialization(pkt.wire_bytes());
+        let ser = link.effective_serialization(pkt.wire_bytes());
         let latency = link.spec.latency;
         let (lo, hi) = self.topo.link_ends(link_id);
         let peer = match dir {
@@ -397,11 +493,17 @@ impl Simulation {
         self.queue
             .schedule(self.now + ser, EventKind::TxDone { link: link_id, dir });
         // Injected link faults: the packet occupies the wire (TxDone still
-        // fires) but never arrives.
-        if let Some(streams) = &mut self.fault {
-            if streams[link_id.0 as usize][dir.index()].bernoulli(self.cfg.link.loss_prob) {
-                self.metrics.fault_drops += 1;
-                return;
+        // fires) but never arrives. Gray failures add loss on top of the
+        // configured baseline; draws only happen at a positive effective
+        // rate, so fault-free trajectories are untouched.
+        let eff_loss =
+            (self.cfg.link.loss_prob + self.links[link_id.0 as usize].health.extra_loss).min(1.0);
+        if eff_loss > 0.0 {
+            if let Some(streams) = &mut self.fault {
+                if streams[link_id.0 as usize][dir.index()].bernoulli(eff_loss) {
+                    self.metrics.fault_drops += 1;
+                    return;
+                }
             }
         }
         self.schedule_arrival(self.now + ser + latency, peer, pkt);
@@ -520,7 +622,28 @@ impl Simulation {
     }
 
     fn forward(&mut self, node: NodeId, pkt: Packet) {
-        let hop = self.router.route(node, pkt.flow, pkt.dst);
+        let hop = if self.fault_schedule.is_some() {
+            let links = &self.links;
+            match self
+                .router
+                .route_avoiding(node, pkt.flow, pkt.dst, &|l| !links[l.0 as usize].health.up)
+            {
+                Some((hop, rerouted)) => {
+                    if rerouted {
+                        self.metrics.reroutes += 1;
+                    }
+                    hop
+                }
+                None => {
+                    // Every ECMP candidate is down: the packet is
+                    // unroutable and lost to the fault.
+                    self.metrics.fault_drops += 1;
+                    return;
+                }
+            }
+        } else {
+            self.router.route(node, pkt.flow, pkt.dst)
+        };
         self.metrics.hops_forwarded += 1;
         let tx = self.links[hop.link.0 as usize].tx_mut(hop.dir);
         let depth = tx.queue.len_pkts();
@@ -898,6 +1021,116 @@ mod tests {
         cfg.link.loss_prob = 0.0;
         let m0 = Simulation::new(cfg).run();
         assert_eq!(m0.fault_drops, 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_preserves_trajectory() {
+        let baseline = {
+            let mut sim = Simulation::new(quick_cfg());
+            sim.run()
+        };
+        let mut sim = Simulation::new(quick_cfg());
+        sim.set_fault_plan(&FaultPlan::none()).unwrap();
+        let m = sim.run();
+        assert_eq!(m.events_processed, baseline.events_processed);
+        assert_eq!(m.total_delivered_bytes(), baseline.total_delivered_bytes());
+        assert_eq!(m.fct_samples(|_| true), baseline.fct_samples(|_| true));
+        assert_eq!(m.fault_drops, 0);
+        assert_eq!(m.reroutes, 0);
+    }
+
+    #[test]
+    fn down_window_stalls_and_recovers() {
+        // Take down host 0's access link mid-run; its flows stall during
+        // the outage but traffic overall still completes.
+        let mut cfg = quick_cfg();
+        cfg.duration_s = 0.5;
+        let topo = FatTree::new(cfg.topo);
+        let link = topo.host_link(NodeId(0));
+        let plan = FaultPlan::new(9).link_down(
+            link,
+            SimTime::from_secs_f64(0.1),
+            SimTime::from_secs_f64(0.2),
+        );
+        let mut sim = Simulation::new(cfg);
+        sim.set_fault_plan(&plan).unwrap();
+        let m = sim.run();
+        assert!(m.flows_completed() > 0, "network-wide stall");
+        // Host links have no ECMP alternative, so nothing reroutes.
+        assert_eq!(m.reroutes, 0);
+    }
+
+    #[test]
+    fn fabric_down_window_causes_reroutes() {
+        // Fail one ToR→Agg link; inter-rack flows hashed onto it must take
+        // the alternate aggregation switch.
+        let mut cfg = quick_cfg();
+        cfg.duration_s = 0.5;
+        cfg.traffic.inter_cluster_fraction = 0.8;
+        let topo = FatTree::new(cfg.topo);
+        let link = topo.tor_agg_link(0, 0, 0);
+        let plan = FaultPlan::new(9).link_down(
+            link,
+            SimTime::from_secs_f64(0.05),
+            SimTime::from_secs_f64(0.45),
+        );
+        let mut sim = Simulation::new(cfg);
+        sim.set_fault_plan(&plan).unwrap();
+        let m = sim.run();
+        assert!(m.reroutes > 0, "no packets took the alternate agg");
+        assert!(m.flows_completed() > 0);
+    }
+
+    #[test]
+    fn gray_loss_window_drops_packets() {
+        let mut cfg = quick_cfg();
+        cfg.duration_s = 0.5;
+        let plan = FaultPlan::new(3).gray_loss_all(
+            SimTime::from_secs_f64(0.1),
+            SimTime::from_secs_f64(0.4),
+            0.05,
+            false,
+        );
+        let mut sim = Simulation::new(cfg);
+        sim.set_fault_plan(&plan).unwrap();
+        let m = sim.run();
+        assert!(m.fault_drops > 0, "gray loss injected no drops");
+        assert!(m.flows_completed() > 0, "retransmission should recover");
+    }
+
+    #[test]
+    fn same_plan_same_seed_is_deterministic() {
+        let run = || {
+            let mut cfg = quick_cfg();
+            cfg.duration_s = 0.4;
+            let plan = FaultPlan::new(7)
+                .random_flaps(SimDuration::from_millis(80), SimDuration::from_millis(20))
+                .gray_loss_all(
+                    SimTime::from_secs_f64(0.1),
+                    SimTime::from_secs_f64(0.3),
+                    0.02,
+                    true,
+                );
+            let mut sim = Simulation::new(cfg);
+            sim.set_fault_plan(&plan).unwrap();
+            let m = sim.run();
+            (
+                m.events_processed,
+                m.fault_drops,
+                m.reroutes,
+                m.total_delivered_bytes(),
+                m.fct_samples(|_| true),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_plan_rejected_after_start() {
+        let mut sim = Simulation::new(quick_cfg());
+        sim.run_window(SimTime::from_secs_f64(0.01));
+        let err = sim.set_fault_plan(&FaultPlan::none()).unwrap_err();
+        assert!(matches!(err, SimError::AlreadyStarted { .. }));
     }
 
     #[test]

@@ -51,6 +51,7 @@ impl PacketIdAlloc {
     }
 
     /// Allocate the next globally unique packet id.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.counter += 1;
         ((self.host as u64) << 40) | self.counter

@@ -1,6 +1,10 @@
 //! Property-based tests (proptest) for the simulator's core invariants.
 
 use dcn_sim::cdf::wasserstein1;
+use dcn_sim::config::SimConfig;
+use dcn_sim::fault::FaultPlan;
+use dcn_sim::instrument::Metrics;
+use dcn_sim::simulator::Simulation;
 use dcn_sim::event::{EventKind, EventQueue};
 use dcn_sim::link::Dir;
 use dcn_sim::packet::{FlowId, Packet, MSS_BYTES};
@@ -8,7 +12,7 @@ use dcn_sim::queue::{EnqueueOutcome, PortQueue, QueueConfig};
 use dcn_sim::rng::{EmpiricalCdf, SplitMix64};
 use dcn_sim::routing::Router;
 use dcn_sim::stats::percentile;
-use dcn_sim::time::SimTime;
+use dcn_sim::time::{SimDuration, SimTime};
 use dcn_sim::topology::{FatTree, FatTreeParams, NodeKind};
 use proptest::prelude::*;
 
@@ -153,6 +157,55 @@ proptest! {
         prop_assert!(rng.bernoulli(1.0));
     }
 
+    /// Identical seeds and an identical fault plan produce bit-identical
+    /// metrics — fault injection must not break determinism.
+    #[test]
+    fn fault_injection_is_deterministic(
+        sim_seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        loss in 0.0f64..0.1,
+        from_ms in 10u64..100,
+        span_ms in 10u64..150,
+        mtbf_ms in 40u64..120,
+    ) {
+        let plan = FaultPlan::new(plan_seed)
+            .gray_loss_all(
+                SimTime::from_secs_f64(from_ms as f64 / 1e3),
+                SimTime::from_secs_f64((from_ms + span_ms) as f64 / 1e3),
+                loss,
+                true,
+            )
+            .random_flaps(
+                SimDuration::from_millis(mtbf_ms),
+                SimDuration::from_millis(mtbf_ms / 4),
+            );
+        let run = || {
+            let mut cfg = SimConfig::small_scale();
+            cfg.duration_s = 0.25;
+            cfg.seed = sim_seed;
+            let mut sim = Simulation::new(cfg);
+            sim.set_fault_plan(&plan).expect("valid plan");
+            sim.run()
+        };
+        prop_assert!(metrics_identical(&run(), &run()));
+    }
+
+    /// A fault plan with no specs is indistinguishable from running with
+    /// no plan at all — the zero-fault trajectory is preserved exactly.
+    #[test]
+    fn zero_fault_plan_equals_no_plan(sim_seed in 0u64..1000) {
+        let mut cfg = SimConfig::small_scale();
+        cfg.duration_s = 0.25;
+        cfg.seed = sim_seed;
+        let baseline = Simulation::new(cfg).run();
+        let mut sim = Simulation::new(cfg);
+        sim.set_fault_plan(&FaultPlan::none()).expect("valid plan");
+        let with_plan = sim.run();
+        prop_assert!(metrics_identical(&baseline, &with_plan));
+        prop_assert_eq!(with_plan.fault_drops, 0);
+        prop_assert_eq!(with_plan.reroutes, 0);
+    }
+
     /// ECN marking never occurs below threshold and never on incapable
     /// packets; dequeue order within a band is FIFO.
     #[test]
@@ -170,6 +223,38 @@ proptest! {
         }
         prop_assert_eq!(marked_below, 0);
     }
+}
+
+/// Byte-level equality over the observable surface of [`Metrics`]:
+/// every counter, every flow record (in canonical id order — the flows
+/// map itself has no deterministic iteration order), every RTT sample,
+/// and every boundary event. Two runs agreeing here took identical
+/// trajectories.
+fn metrics_identical(a: &Metrics, b: &Metrics) -> bool {
+    fn canonical(m: &Metrics) -> String {
+        let mut flows: Vec<(u64, String)> = m
+            .flows
+            .iter()
+            .map(|(id, rec)| (id.0, serde_json::to_string(rec).expect("flow serializes")))
+            .collect();
+        flows.sort_unstable();
+        format!(
+            "{} {} {} {} {} {} {} {} {:?} {:?} {} {}",
+            m.events_processed,
+            m.hops_forwarded,
+            m.queue_drops,
+            m.mimic_drops,
+            m.ecn_marks,
+            m.fault_drops,
+            m.reroutes,
+            m.total_delivered_bytes(),
+            m.fct_samples(|_| true),
+            flows,
+            serde_json::to_string(&m.rtt).expect("rtt serializes"),
+            serde_json::to_string(&m.boundary).expect("boundary serializes"),
+        )
+    }
+    canonical(a) == canonical(b)
 }
 
 /// Non-proptest sanity companion: directions on a duplex link are

@@ -152,7 +152,7 @@ impl FlowSim {
                 for d in 0..2 {
                     if k[d] > 0 {
                         let share = c[d] / k[d] as f64;
-                        if best.map_or(true, |(s, _, _)| share < s) {
+                        if best.is_none_or(|(s, _, _)| share < s) {
                             best = Some((share, li, d));
                         }
                     }

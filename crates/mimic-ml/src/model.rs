@@ -329,20 +329,22 @@ mod tests {
             let seq: Vec<Vec<f32>> = (0..6)
                 .map(|_| (0..3).map(|_| rng.uniform_sym(1.0) as f32).collect())
                 .collect();
-            let xs: Vec<Matrix> =
-                seq.iter().map(|r| Matrix::from_rows(&[r.clone()])).collect();
+            let xs: Vec<Matrix> = seq
+                .iter()
+                .map(|r| Matrix::from_rows(std::slice::from_ref(r)))
+                .collect();
             let (y_win, _) = m.forward_window(&xs);
             let mut state = m.init_state();
             let mut last = [0.0f32; OUTPUTS];
             for r in &seq {
                 last = m.step(r, &mut state);
             }
-            for k in 0..OUTPUTS {
+            for (k, &lk) in last.iter().enumerate() {
                 assert!(
-                    (y_win.get(0, k) - last[k]).abs() < 1e-5,
+                    (y_win.get(0, k) - lk).abs() < 1e-5,
                     "layers={layers} output {k}: {} vs {}",
                     y_win.get(0, k),
-                    last[k]
+                    lk
                 );
             }
         }
@@ -416,7 +418,7 @@ mod tests {
             window: 4,
             ..TrainConfig::default()
         };
-        let report = train(&mut m, &d, &cfg);
-        assert!(report.epoch_losses.last().unwrap() < &report.epoch_losses[0]);
+        let report = train(&mut m, &d, &cfg).expect("valid training setup");
+        assert!(report.final_loss().expect("epochs ran") < report.epoch_losses[0]);
     }
 }

@@ -41,20 +41,87 @@ pub struct TrainReport {
     pub epoch_losses: Vec<f64>,
     /// Total optimizer steps taken.
     pub steps: usize,
+    /// Learning-rate backoffs triggered by non-finite epoch losses.
+    pub backoffs: usize,
 }
 
+impl TrainReport {
+    /// The last epoch's mean loss, if any epoch ran.
+    pub fn final_loss(&self) -> Option<f64> {
+        self.epoch_losses.last().copied()
+    }
+}
+
+/// Why a training run could not proceed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrainError {
+    /// The dataset contains no samples.
+    EmptyDataset,
+    /// Feature width does not match the model's input dimension.
+    WidthMismatch { data: usize, model: usize },
+    /// The loss stayed non-finite even after restoring the best
+    /// checkpoint and backing the learning rate off repeatedly — the data
+    /// or hyperparameters are pathological.
+    NonFiniteLoss { epoch: usize },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptyDataset => write!(f, "cannot train on an empty dataset"),
+            TrainError::WidthMismatch { data, model } => write!(
+                f,
+                "feature width mismatch: dataset has {data} features, model expects {model}"
+            ),
+            TrainError::NonFiniteLoss { epoch } => write!(
+                f,
+                "training diverged: loss stayed non-finite through epoch {epoch} despite LR backoff"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Consecutive non-finite epochs tolerated (each restores the best
+/// checkpoint and halves the learning rate) before giving up.
+const MAX_BACKOFFS: usize = 3;
+
 /// Train `model` on `data` in place; returns the loss trajectory.
-pub fn train(model: &mut SeqModel, data: &PacketDataset, cfg: &TrainConfig) -> TrainReport {
-    assert!(!data.is_empty(), "cannot train on an empty dataset");
-    assert_eq!(data.width(), model.input_dim(), "feature width mismatch");
-    let mut opt = Adam::new(cfg.lr);
+///
+/// Robustness: if an epoch's mean loss comes back NaN/Inf (exploded
+/// gradients), the model is rolled back to the best checkpoint seen so
+/// far, the learning rate is halved, and the epoch retried — up to
+/// [`MAX_BACKOFFS`] consecutive times before erroring out. On a
+/// non-divergent run this costs one model clone per improving epoch and
+/// changes nothing else.
+pub fn train(
+    model: &mut SeqModel,
+    data: &PacketDataset,
+    cfg: &TrainConfig,
+) -> Result<TrainReport, TrainError> {
+    if data.is_empty() {
+        return Err(TrainError::EmptyDataset);
+    }
+    if data.width() != model.input_dim() {
+        return Err(TrainError::WidthMismatch {
+            data: data.width(),
+            model: model.input_dim(),
+        });
+    }
+    let mut lr = cfg.lr;
+    let mut opt = Adam::new(lr);
     let mut rng = MlRng::new(cfg.seed);
     let mut report = TrainReport::default();
+    let mut best: Option<(SeqModel, f64)> = None;
+    let mut consecutive_bad = 0usize;
 
-    for _epoch in 0..cfg.epochs {
+    let mut epoch = 0usize;
+    while epoch < cfg.epochs {
         let batcher = WindowBatcher::new(data, cfg.window, &mut rng);
         let mut epoch_loss = 0.0f64;
         let mut samples = 0usize;
+        let mut steps = 0usize;
         for (xs, targets) in batcher.batches(cfg.batch_size) {
             let (y, cache) = model.forward_window(&xs);
             let mut dy = Matrix::zeros(y.rows, y.cols);
@@ -73,11 +140,37 @@ pub fn train(model: &mut SeqModel, data: &PacketDataset, cfg: &TrainConfig) -> T
             model.clip_gradients(cfg.clip);
             let mut step = opt.step();
             model.visit_params(&mut |p, g| step.apply(p, g));
-            report.steps += 1;
+            steps += 1;
         }
-        report.epoch_losses.push(epoch_loss / samples.max(1) as f64);
+        let mean = epoch_loss / samples.max(1) as f64;
+        if !mean.is_finite() {
+            consecutive_bad += 1;
+            report.backoffs += 1;
+            if consecutive_bad > MAX_BACKOFFS {
+                if let Some((ckpt, _)) = best {
+                    *model = ckpt;
+                }
+                return Err(TrainError::NonFiniteLoss { epoch });
+            }
+            // Roll back to the best parameters (or reinitialize the
+            // optimizer on the current ones if no epoch succeeded yet)
+            // and retry this epoch at half the learning rate.
+            if let Some((ckpt, _)) = &best {
+                *model = ckpt.clone();
+            }
+            lr *= 0.5;
+            opt = Adam::new(lr);
+            continue;
+        }
+        consecutive_bad = 0;
+        report.steps += steps;
+        report.epoch_losses.push(mean);
+        if best.as_ref().is_none_or(|(_, b)| mean < *b) {
+            best = Some((model.clone(), mean));
+        }
+        epoch += 1;
     }
-    report
+    Ok(report)
 }
 
 /// Evaluate mean combined loss on a held-out set (no gradient).
@@ -139,10 +232,10 @@ mod tests {
             window: 4,
             ..TrainConfig::default()
         };
-        let report = train(&mut model, &data, &cfg);
+        let report = train(&mut model, &data, &cfg).expect("valid training setup");
         assert_eq!(report.epoch_losses.len(), 5);
         let first = report.epoch_losses[0];
-        let last = *report.epoch_losses.last().unwrap();
+        let last = report.final_loss().expect("epochs ran");
         assert!(
             last < first * 0.9,
             "no learning: first {first}, last {last}"
@@ -158,7 +251,7 @@ mod tests {
             window: 4,
             ..TrainConfig::default()
         };
-        train(&mut model, &data, &cfg);
+        train(&mut model, &data, &cfg).expect("valid training setup");
         // Compare predictions on hot vs cold windows.
         let mut state = model.init_state();
         let mut hot_pred = 0.0;
@@ -186,10 +279,54 @@ mod tests {
         };
         let run = || {
             let mut m = SeqModel::new(2, 6, 11);
-            train(&mut m, &data, &cfg);
+            train(&mut m, &data, &cfg).expect("valid training setup");
             m.to_json()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_dataset_is_a_typed_error() {
+        let mut model = SeqModel::new(2, 4, 1);
+        let err = train(&mut model, &PacketDataset::default(), &TrainConfig::default())
+            .expect_err("empty dataset must not train");
+        assert_eq!(err, TrainError::EmptyDataset);
+    }
+
+    #[test]
+    fn width_mismatch_is_a_typed_error() {
+        let data = synthetic(50, 1); // 2 features
+        let mut model = SeqModel::new(3, 4, 1);
+        let err = train(&mut model, &data, &TrainConfig::default())
+            .expect_err("width mismatch must not train");
+        assert_eq!(err, TrainError::WidthMismatch { data: 2, model: 3 });
+    }
+
+    #[test]
+    fn nonfinite_loss_backs_off_and_errors_out() {
+        // Poison the dataset with a NaN feature and target: every epoch's
+        // mean loss is NaN, so training must back off MAX_BACKOFFS times
+        // and then return a typed error rather than silently reporting
+        // NaN losses.
+        let mut d = PacketDataset::default();
+        for i in 0..40 {
+            d.push(
+                vec![f32::NAN, i as f32],
+                Target {
+                    latency: f32::NAN,
+                    dropped: 0.0,
+                    ecn: 0.0,
+                },
+            );
+        }
+        let mut model = SeqModel::new(2, 4, 1);
+        let cfg = TrainConfig {
+            epochs: 2,
+            window: 4,
+            ..TrainConfig::default()
+        };
+        let err = train(&mut model, &d, &cfg).expect_err("divergent run must error");
+        assert_eq!(err, TrainError::NonFiniteLoss { epoch: 0 });
     }
 
     #[test]
@@ -203,7 +340,7 @@ mod tests {
             ..TrainConfig::default()
         };
         let before = evaluate(&model, &test_set, &cfg);
-        train(&mut model, &train_set, &cfg);
+        train(&mut model, &train_set, &cfg).expect("valid training setup");
         let after = evaluate(&model, &test_set, &cfg);
         assert!(after.is_finite());
         assert!(after < before, "held-out loss {after} vs initial {before}");

@@ -77,8 +77,10 @@ fn protocol_from(opts: &HashMap<String, String>) -> Protocol {
 }
 
 fn pipeline_from(opts: &HashMap<String, String>) -> PipelineConfig {
-    let mut cfg = PipelineConfig::default();
-    cfg.protocol = protocol_from(opts);
+    let mut cfg = PipelineConfig {
+        protocol: protocol_from(opts),
+        ..PipelineConfig::default()
+    };
     if let Some(d) = opts.get("duration") {
         cfg.base.duration_s = d.parse().expect("--duration must be a number");
     }
@@ -116,13 +118,19 @@ fn load_model(opts: &HashMap<String, String>) -> TrainedMimic {
 }
 
 fn clusters_from(opts: &HashMap<String, String>) -> u32 {
-    opts.get("clusters")
-        .unwrap_or_else(|| {
-            eprintln!("--clusters is required");
-            usage();
-        })
-        .parse()
-        .expect("--clusters must be an integer")
+    let raw = opts.get("clusters").unwrap_or_else(|| {
+        eprintln!("--clusters is required");
+        usage();
+    });
+    let n: u32 = raw.parse().unwrap_or_else(|_| {
+        eprintln!("error: --clusters must be an integer, got {raw:?}");
+        std::process::exit(2);
+    });
+    if n < 2 {
+        eprintln!("error: a composition needs at least two clusters, got {n}");
+        std::process::exit(2);
+    }
+    n
 }
 
 fn cmd_train(opts: HashMap<String, String>) {
@@ -156,7 +164,10 @@ fn cmd_estimate(opts: HashMap<String, String>) {
     let trained = load_model(&opts);
     let n = clusters_from(&opts);
     let mut pipe = Pipeline::new(pipeline_from(&opts));
-    let est = pipe.estimate(&trained, n);
+    let est = pipe.try_estimate(&trained, n, None).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     if opts.contains_key("json") {
         let out = serde_json::json!({
             "clusters": n,

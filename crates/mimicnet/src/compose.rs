@@ -5,32 +5,85 @@
 //! Aside from the number of clusters, all other parameters are kept
 //! constant from the small-scale to the final simulation."
 
+use crate::error::PipelineError;
 use crate::mimic::{LearnedMimic, TrainedMimic};
 use dcn_sim::config::SimConfig;
 use dcn_sim::simulator::Simulation;
+use dcn_sim::topology::{FatTree, NodeId};
 use dcn_transport::Protocol;
 
 /// Cluster index of the observable cluster in compositions.
 pub const OBSERVABLE: u32 = 0;
+
+/// The cluster a host belongs to, as a typed error instead of a panic
+/// when the node is not a host (core switches have no cluster).
+pub fn host_cluster(topo: &FatTree, node: NodeId) -> Result<u32, PipelineError> {
+    topo.cluster_of(node)
+        .ok_or_else(|| PipelineError::MalformedTopology {
+            node,
+            reason: "node belongs to no cluster (not a host/ToR/Agg)".into(),
+        })
+}
 
 /// Build the `n_clusters` hybrid simulation: cluster [`OBSERVABLE`] (and
 /// the cores) at full fidelity, every other cluster a [`LearnedMimic`].
 ///
 /// `base` is the *small-scale* configuration used for training — only its
 /// cluster count is changed, per the paper.
+///
+/// # Panics
+/// On an invalid composition; use [`try_compose`] for a typed error.
 pub fn compose(
     base: SimConfig,
     n_clusters: u32,
     protocol: Protocol,
     trained: &TrainedMimic,
 ) -> Simulation {
-    assert!(n_clusters >= 2, "a composition needs at least two clusters");
+    try_compose(base, n_clusters, protocol, trained).expect("valid composition")
+}
+
+/// [`compose`], surfacing invalid input as [`PipelineError`].
+pub fn try_compose(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+) -> Result<Simulation, PipelineError> {
+    try_compose_partial(base, n_clusters, protocol, trained, &[])
+}
+
+/// [`try_compose`] with selected clusters kept at full fidelity instead of
+/// receiving a Mimic — the mechanism behind graceful degradation
+/// ([`crate::degrade`]): drifted clusters fall back to packet-level
+/// simulation while the rest stay cheap. Mimic seeds depend only on the
+/// cluster index, so clusters that keep their Mimic behave identically to
+/// the all-Mimic composition.
+pub fn try_compose_partial(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+    full_fidelity: &[u32],
+) -> Result<Simulation, PipelineError> {
+    if n_clusters < 2 {
+        return Err(PipelineError::InvalidComposition {
+            reason: format!("a composition needs at least two clusters, got {n_clusters}"),
+        });
+    }
+    if let Some(&c) = full_fidelity.iter().find(|&&c| c >= n_clusters) {
+        return Err(PipelineError::InvalidComposition {
+            reason: format!(
+                "full-fidelity cluster {c} is out of range for {n_clusters} clusters"
+            ),
+        });
+    }
     let mut cfg = base;
     cfg.topo.clusters = n_clusters;
     cfg.queue = protocol.queue_setup(cfg.queue);
+    cfg.validate()?;
     let mut sim = Simulation::with_transport(cfg, protocol.factory());
     for c in 0..n_clusters {
-        if c == OBSERVABLE {
+        if c == OBSERVABLE || full_fidelity.contains(&c) {
             continue;
         }
         let mimic = LearnedMimic::new(
@@ -41,7 +94,7 @@ pub fn compose(
         );
         sim.set_cluster_model(c, Box::new(mimic));
     }
-    sim
+    Ok(sim)
 }
 
 /// Heterogeneous composition (paper Appendix A's relaxation: "it may be
@@ -51,7 +104,9 @@ pub fn compose(
 /// `bundles[assign(c)]`.
 ///
 /// # Panics
-/// If `assign` returns an out-of-range index.
+/// On an invalid composition (fewer than 2 clusters, no bundles, or an
+/// out-of-range `assign` index); use [`try_compose_heterogeneous`] for a
+/// typed error.
 pub fn compose_heterogeneous(
     base: SimConfig,
     n_clusters: u32,
@@ -59,26 +114,56 @@ pub fn compose_heterogeneous(
     bundles: &[TrainedMimic],
     assign: impl Fn(u32) -> usize,
 ) -> Simulation {
-    assert!(n_clusters >= 2);
-    assert!(!bundles.is_empty());
+    try_compose_heterogeneous(base, n_clusters, protocol, bundles, assign)
+        .expect("valid composition")
+}
+
+/// [`compose_heterogeneous`], surfacing invalid input as
+/// [`PipelineError`].
+pub fn try_compose_heterogeneous(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    bundles: &[TrainedMimic],
+    assign: impl Fn(u32) -> usize,
+) -> Result<Simulation, PipelineError> {
+    if n_clusters < 2 {
+        return Err(PipelineError::InvalidComposition {
+            reason: format!("a composition needs at least two clusters, got {n_clusters}"),
+        });
+    }
+    if bundles.is_empty() {
+        return Err(PipelineError::InvalidComposition {
+            reason: "no trained bundles supplied".into(),
+        });
+    }
     let mut cfg = base;
     cfg.topo.clusters = n_clusters;
     cfg.queue = protocol.queue_setup(cfg.queue);
+    cfg.validate()?;
     let mut sim = Simulation::with_transport(cfg, protocol.factory());
     for c in 0..n_clusters {
         if c == OBSERVABLE {
             continue;
         }
         let idx = assign(c);
+        let bundle = bundles
+            .get(idx)
+            .ok_or_else(|| PipelineError::InvalidComposition {
+                reason: format!(
+                    "assignment for cluster {c} points at bundle {idx}, but only {} exist",
+                    bundles.len()
+                ),
+            })?;
         let mimic = LearnedMimic::new(
-            bundles[idx].clone(),
+            bundle.clone(),
             cfg.topo,
             n_clusters,
             cfg.seed ^ (0x4E7E_0000 + c as u64),
         );
         sim.set_cluster_model(c, Box::new(mimic));
     }
-    sim
+    Ok(sim)
 }
 
 /// Build the ground-truth (full-fidelity) simulation at `n_clusters` with
@@ -107,14 +192,17 @@ mod tests {
             window: 4,
             ..TrainConfig::default()
         };
-        let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, 8, &tc);
-        let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, 8, &tc);
+        let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, 8, &tc)
+            .expect("valid training setup");
+        let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, 8, &tc)
+            .expect("valid training setup");
         (
             TrainedMimic {
                 ingress: ing,
                 egress: eg,
                 feature_cfg: td.feature_cfg,
                 feeder: td.feeder,
+                envelope: crate::drift::FeatureEnvelope::fit(&td.ingress.features),
             },
             cfg.sim,
         )
@@ -134,8 +222,8 @@ mod tests {
             t
         });
         for f in m.flows.values() {
-            let sc = topo.cluster_of(f.src).unwrap();
-            let dc = topo.cluster_of(f.dst).unwrap();
+            let sc = host_cluster(&topo, f.src).expect("flow src is a host");
+            let dc = host_cluster(&topo, f.dst).expect("flow dst is a host");
             assert!(sc == OBSERVABLE || dc == OBSERVABLE);
         }
     }
@@ -170,13 +258,16 @@ mod tests {
             window: 4,
             ..TrainConfig::default()
         };
-        let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, 8, &tc);
-        let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, 8, &tc);
+        let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, 8, &tc)
+            .expect("valid training setup");
+        let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, 8, &tc)
+            .expect("valid training setup");
         let trained_b = TrainedMimic {
             ingress: ing,
             egress: eg,
             feature_cfg: td.feature_cfg,
             feeder: td.feeder,
+            envelope: crate::drift::FeatureEnvelope::fit(&td.ingress.features),
         };
         base.duration_s = 0.2;
         let mut sim = compose_heterogeneous(
@@ -188,6 +279,40 @@ mod tests {
         );
         let m = sim.run();
         assert!(m.flows_completed() > 0);
+    }
+
+    #[test]
+    fn invalid_compositions_are_typed_errors() {
+        let (trained, base) = quick_trained();
+        // Too few clusters.
+        let err = try_compose(base, 1, Protocol::NewReno, &trained).err().expect("composition should be rejected");
+        assert!(matches!(err, PipelineError::InvalidComposition { .. }));
+        // No bundles.
+        let err =
+            try_compose_heterogeneous(base, 4, Protocol::NewReno, &[], |_| 0).err().expect("composition should be rejected");
+        assert!(matches!(err, PipelineError::InvalidComposition { .. }));
+        // Out-of-range assignment: error, not panic.
+        let err = try_compose_heterogeneous(
+            base,
+            4,
+            Protocol::NewReno,
+            std::slice::from_ref(&trained),
+            |c| c as usize,
+        )
+        .err().expect("composition should be rejected");
+        assert!(matches!(err, PipelineError::InvalidComposition { .. }));
+        // Invalid base config propagates as a SimError.
+        let mut bad = base;
+        bad.link.loss_prob = 1.5;
+        let err = try_compose(bad, 4, Protocol::NewReno, &trained).err().expect("composition should be rejected");
+        assert!(matches!(err, PipelineError::Sim(_)));
+        // Core switches have no cluster: typed error, not a panic.
+        let topo = dcn_sim::topology::FatTree::new(base.topo);
+        let core = topo.core(0, 0);
+        assert!(matches!(
+            host_cluster(&topo, core),
+            Err(PipelineError::MalformedTopology { node, .. }) if node == core
+        ));
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! Graceful degradation under drift (robustness layer over composition).
+//!
+//! MimicNet's accuracy rests on the Mimics seeing traffic like their
+//! training traffic; the paper sidesteps violations by restricting itself
+//! to failure-free networks (§4.2). This module handles the violation
+//! instead of excluding it: when a deployed Mimic's drift score
+//! ([`crate::drift`]) crosses policy thresholds, the estimate degrades
+//! gracefully rather than silently returning garbage —
+//!
+//! 1. **Annotate** — the report flags the drifted clusters.
+//! 2. **Widen** — headline percentiles gain an uncertainty factor scaled
+//!    by the drift magnitude.
+//! 3. **Fallback** — the worst clusters are swapped back to packet-level
+//!    simulation and the estimate re-run, trading speed for fidelity
+//!    exactly where the models stopped being trustworthy.
+
+use serde::{Deserialize, Serialize};
+
+/// Thresholds driving the escalation ladder. Scores come from
+/// [`crate::drift::DriftMonitor::score`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DegradationPolicy {
+    /// At or above this drift, a cluster is annotated as drifted.
+    pub annotate_above: f64,
+    /// At or above this drift, the report's uncertainty is widened.
+    pub widen_above: f64,
+    /// At or above this drift, the cluster is re-simulated at full
+    /// fidelity.
+    pub fallback_above: f64,
+    /// Cap on how many clusters may fall back per estimate (bounds the
+    /// cost of a pathological run; the observable cluster never counts).
+    pub max_fallbacks: usize,
+    /// At or above this excess drift on *any* cluster, every Mimic
+    /// cluster falls back — including unmonitored ones. A drift this far
+    /// out suggests a network-wide event (a fabric failure shifts traffic
+    /// into every cluster, monitored or not), so per-cluster containment
+    /// no longer applies; the estimate reverts to full packet-level
+    /// simulation. Bypasses `max_fallbacks`. Default: infinity (off).
+    pub global_fallback_above: f64,
+    /// Per-cluster baseline drift, subtracted before thresholding.
+    ///
+    /// Even a healthy large composition drifts somewhat from the
+    /// small-scale training distribution (more clusters shift the feature
+    /// ranges); calibrating the baseline from a known-healthy shakedown
+    /// run makes the thresholds measure *excess* drift — the part caused
+    /// by events, not scale. Empty (the default) means a zero baseline.
+    pub baseline: Vec<f64>,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            annotate_above: 0.5,
+            widen_above: 1.0,
+            fallback_above: 2.0,
+            max_fallbacks: 8,
+            global_fallback_above: f64::INFINITY,
+            baseline: Vec::new(),
+        }
+    }
+}
+
+/// What the policy decided for one cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationAction {
+    /// In distribution; keep the Mimic.
+    Keep,
+    /// Flag it in the report.
+    Annotate,
+    /// Flag it and widen the estimate's uncertainty.
+    Widen,
+    /// Replace it with packet-level simulation.
+    Fallback,
+}
+
+/// Per-cluster outcome of applying a [`DegradationPolicy`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterDrift {
+    pub cluster: u32,
+    /// The drift the policy acted on — the monitor's score minus the
+    /// policy's calibrated baseline (clamped at zero). `None` when the
+    /// cluster is full fidelity or unmonitored.
+    pub drift: Option<f64>,
+    pub action: DegradationAction,
+}
+
+/// The policy's decision for a whole run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DegradationReport {
+    pub clusters: Vec<ClusterDrift>,
+    /// Multiplier (≥ 1) for the estimate's uncertainty band.
+    pub uncertainty_factor: f64,
+}
+
+impl DegradationReport {
+    /// Clusters the policy wants re-simulated at full fidelity.
+    pub fn fallback_clusters(&self) -> Vec<u32> {
+        self.clusters
+            .iter()
+            .filter(|c| c.action == DegradationAction::Fallback)
+            .map(|c| c.cluster)
+            .collect()
+    }
+
+    /// Any action beyond Keep anywhere?
+    pub fn degraded(&self) -> bool {
+        self.clusters
+            .iter()
+            .any(|c| c.action != DegradationAction::Keep)
+    }
+
+    /// Highest drift observed across clusters.
+    pub fn max_drift(&self) -> Option<f64> {
+        self.clusters
+            .iter()
+            .filter_map(|c| c.drift)
+            .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.max(d))))
+    }
+}
+
+impl DegradationPolicy {
+    /// Install a per-cluster drift baseline (see [`Self::baseline`]),
+    /// typically `cluster_drift` from a known-healthy run with `None`
+    /// entries zeroed.
+    pub fn with_baseline(mut self, baseline: Vec<f64>) -> DegradationPolicy {
+        self.baseline = baseline;
+        self
+    }
+
+    /// Classify one drift score.
+    pub fn action_for(&self, drift: f64) -> DegradationAction {
+        if drift >= self.fallback_above {
+            DegradationAction::Fallback
+        } else if drift >= self.widen_above {
+            DegradationAction::Widen
+        } else if drift >= self.annotate_above {
+            DegradationAction::Annotate
+        } else {
+            DegradationAction::Keep
+        }
+    }
+
+    /// Apply the policy to a run's per-cluster drift vector (as produced
+    /// in [`dcn_sim::instrument::Metrics::cluster_drift`]). When more
+    /// than `max_fallbacks` clusters qualify, the worst ones win and the
+    /// rest are demoted to [`DegradationAction::Widen`].
+    pub fn evaluate(&self, cluster_drift: &[Option<f64>]) -> DegradationReport {
+        let mut clusters: Vec<ClusterDrift> = cluster_drift
+            .iter()
+            .enumerate()
+            .map(|(c, &drift)| {
+                let excess =
+                    drift.map(|d| (d - self.baseline.get(c).copied().unwrap_or(0.0)).max(0.0));
+                ClusterDrift {
+                    cluster: c as u32,
+                    drift: excess,
+                    action: excess.map_or(DegradationAction::Keep, |d| self.action_for(d)),
+                }
+            })
+            .collect();
+        // A cluster this far out signals a network-wide event: revert the
+        // whole composition, unmonitored clusters included.
+        if clusters
+            .iter()
+            .any(|c| c.drift.is_some_and(|d| d >= self.global_fallback_above))
+        {
+            for c in &mut clusters {
+                c.action = DegradationAction::Fallback;
+            }
+            let worst = clusters.iter().filter_map(|c| c.drift).fold(0.0, f64::max);
+            return DegradationReport {
+                clusters,
+                uncertainty_factor: 1.0
+                    + (worst - self.widen_above).max(0.0) / self.widen_above.max(1e-9),
+            };
+        }
+        // Enforce the fallback budget, keeping the worst offenders.
+        let mut fallbacks: Vec<usize> = clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.action == DegradationAction::Fallback)
+            .map(|(i, _)| i)
+            .collect();
+        if fallbacks.len() > self.max_fallbacks {
+            fallbacks.sort_by(|&a, &b| {
+                let da = clusters[a].drift.unwrap_or(0.0);
+                let db = clusters[b].drift.unwrap_or(0.0);
+                db.partial_cmp(&da).expect("finite drift scores")
+            });
+            for &i in &fallbacks[self.max_fallbacks..] {
+                clusters[i].action = DegradationAction::Widen;
+            }
+        }
+        let worst = clusters
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.action,
+                    DegradationAction::Widen | DegradationAction::Fallback
+                )
+            })
+            .filter_map(|c| c.drift)
+            .fold(0.0f64, f64::max);
+        // Linear widening in drift beyond the widen threshold; 1.0 when
+        // nothing crossed it.
+        let uncertainty_factor = if worst >= self.widen_above {
+            1.0 + (worst - self.widen_above) / self.widen_above.max(1e-9)
+        } else {
+            1.0
+        };
+        DegradationReport {
+            clusters,
+            uncertainty_factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalation_ladder() {
+        let p = DegradationPolicy::default();
+        assert_eq!(p.action_for(0.1), DegradationAction::Keep);
+        assert_eq!(p.action_for(0.7), DegradationAction::Annotate);
+        assert_eq!(p.action_for(1.5), DegradationAction::Widen);
+        assert_eq!(p.action_for(5.0), DegradationAction::Fallback);
+    }
+
+    #[test]
+    fn evaluate_maps_clusters_and_widens() {
+        let p = DegradationPolicy::default();
+        let r = p.evaluate(&[None, Some(0.1), Some(1.5), Some(3.0)]);
+        assert_eq!(r.clusters.len(), 4);
+        assert_eq!(r.clusters[0].action, DegradationAction::Keep);
+        assert_eq!(r.clusters[1].action, DegradationAction::Keep);
+        assert_eq!(r.clusters[2].action, DegradationAction::Widen);
+        assert_eq!(r.clusters[3].action, DegradationAction::Fallback);
+        assert_eq!(r.fallback_clusters(), vec![3]);
+        assert!(r.degraded());
+        assert!(r.uncertainty_factor > 1.0);
+        assert_eq!(r.max_drift(), Some(3.0));
+    }
+
+    #[test]
+    fn fallback_budget_keeps_worst() {
+        let p = DegradationPolicy {
+            max_fallbacks: 1,
+            ..DegradationPolicy::default()
+        };
+        let r = p.evaluate(&[Some(2.5), Some(4.0), Some(3.0)]);
+        assert_eq!(r.fallback_clusters(), vec![1]);
+        // Demoted clusters still widen.
+        assert_eq!(r.clusters[0].action, DegradationAction::Widen);
+        assert_eq!(r.clusters[2].action, DegradationAction::Widen);
+    }
+
+    #[test]
+    fn global_fallback_reverts_everything() {
+        let p = DegradationPolicy {
+            global_fallback_above: 3.0,
+            max_fallbacks: 1,
+            ..DegradationPolicy::default()
+        };
+        // One catastrophic cluster drags even unmonitored ones down to
+        // packet level, ignoring the per-cluster budget.
+        let r = p.evaluate(&[None, Some(0.1), Some(3.5)]);
+        assert!(r
+            .clusters
+            .iter()
+            .all(|c| c.action == DegradationAction::Fallback));
+        assert_eq!(r.fallback_clusters().len(), 3);
+        // Below the global bar the budget applies as usual.
+        let r = p.evaluate(&[None, Some(0.1), Some(2.5)]);
+        assert_eq!(r.fallback_clusters().len(), 1);
+    }
+
+    #[test]
+    fn baseline_absorbs_scale_drift() {
+        // Raw drift 2.2 would trigger fallback, but a calibrated baseline
+        // of 2.0 (healthy scale shift) reveals only 0.2 of excess.
+        let p = DegradationPolicy::default().with_baseline(vec![2.0, 2.0]);
+        let r = p.evaluate(&[Some(2.2), Some(4.5)]);
+        assert_eq!(r.clusters[0].action, DegradationAction::Keep);
+        let excess = r.clusters[0].drift.expect("monitored");
+        assert!((excess - 0.2).abs() < 1e-9, "excess {excess}");
+        assert_eq!(r.clusters[1].action, DegradationAction::Fallback);
+    }
+
+    #[test]
+    fn clean_run_is_untouched() {
+        let p = DegradationPolicy::default();
+        let r = p.evaluate(&[None, Some(0.0), Some(0.2)]);
+        assert!(!r.degraded());
+        assert_eq!(r.uncertainty_factor, 1.0);
+        assert!(r.fallback_clusters().is_empty());
+    }
+}

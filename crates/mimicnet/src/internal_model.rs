@@ -10,7 +10,7 @@ use mimic_ml::discretize::Discretizer;
 use mimic_ml::loss::sigmoid;
 use mimic_ml::model::ModelState;
 use mimic_ml::model::{SeqModel, OUT_DROP, OUT_ECN, OUT_LATENCY};
-use mimic_ml::train::{train, TrainConfig, TrainReport};
+use mimic_ml::train::{train, TrainConfig, TrainError, TrainReport};
 use serde::{Deserialize, Serialize};
 
 /// One direction's trained internal model.
@@ -36,34 +36,39 @@ pub struct Prediction {
 
 impl InternalModel {
     /// Train a fresh single-layer model of `hidden` units on `data`.
+    /// Errors on an empty dataset or a divergent run ([`TrainError`]).
     pub fn train_new(
         data: &PacketDataset,
         disc: Discretizer,
         hidden: usize,
         cfg: &TrainConfig,
-    ) -> (InternalModel, TrainReport) {
+    ) -> Result<(InternalModel, TrainReport), TrainError> {
         Self::train_stacked(data, disc, hidden, 1, cfg)
     }
 
     /// Train a fresh `layers`-deep stack (the "LSTM layers" tunable of
-    /// §7.2).
+    /// §7.2). Errors on an empty dataset or a divergent run.
     pub fn train_stacked(
         data: &PacketDataset,
         disc: Discretizer,
         hidden: usize,
         layers: usize,
         cfg: &TrainConfig,
-    ) -> (InternalModel, TrainReport) {
+    ) -> Result<(InternalModel, TrainReport), TrainError> {
         let mut model = SeqModel::new_stacked(data.width(), hidden, layers, cfg.seed);
-        let report = train(&mut model, data, cfg);
-        (InternalModel { model, disc }, report)
+        let report = train(&mut model, data, cfg)?;
+        Ok((InternalModel { model, disc }, report))
     }
 
     /// Continue training the existing weights on new data (the paper's
     /// Appendix H "incremental model updates": when the workload or
     /// configuration shifts, transfer from the old model instead of
     /// retraining from scratch).
-    pub fn fine_tune(&mut self, data: &PacketDataset, cfg: &TrainConfig) -> TrainReport {
+    pub fn fine_tune(
+        &mut self,
+        data: &PacketDataset,
+        cfg: &TrainConfig,
+    ) -> Result<TrainReport, TrainError> {
         train(&mut self.model, data, cfg)
     }
 
@@ -121,8 +126,9 @@ mod tests {
             window: 4,
             ..TrainConfig::default()
         };
-        let (m, report) = InternalModel::train_new(&dataset(), disc, 8, &cfg);
-        assert!(report.epoch_losses.last().unwrap() < &report.epoch_losses[0]);
+        let (m, report) =
+            InternalModel::train_new(&dataset(), disc, 8, &cfg).expect("valid training setup");
+        assert!(report.final_loss().expect("epochs ran") < report.epoch_losses[0]);
         let mut state = m.init_state();
         let p = m.predict(&[1.0, 0.0], &mut state);
         assert!(p.latency_s >= 0.001 && p.latency_s <= 0.01);
@@ -138,7 +144,8 @@ mod tests {
             window: 4,
             ..TrainConfig::default()
         };
-        let (m, _) = InternalModel::train_new(&dataset(), disc, 12, &cfg);
+        let (m, _) =
+            InternalModel::train_new(&dataset(), disc, 12, &cfg).expect("valid training setup");
         let mut s = m.init_state();
         let mut hot = 0.0;
         for _ in 0..4 {
@@ -160,7 +167,8 @@ mod tests {
             window: 2,
             ..TrainConfig::default()
         };
-        let (m, _) = InternalModel::train_new(&dataset(), disc, 12, &cfg);
+        let (m, _) =
+            InternalModel::train_new(&dataset(), disc, 12, &cfg).expect("valid training setup");
         let mut s = m.init_state();
         let p_lossy = m.predict(&[0.0, 1.0], &mut s).p_drop;
         let mut s = m.init_state();
@@ -179,7 +187,8 @@ mod tests {
             window: 2,
             ..TrainConfig::default()
         };
-        let (m, _) = InternalModel::train_new(&dataset(), disc, 6, &cfg);
+        let (m, _) =
+            InternalModel::train_new(&dataset(), disc, 6, &cfg).expect("valid training setup");
         let json = serde_json::to_string(&m).unwrap();
         let m2: InternalModel = serde_json::from_str(&json).unwrap();
         let mut s1 = m.init_state();

@@ -55,6 +55,9 @@
 
 pub mod compose;
 pub mod datagen;
+pub mod degrade;
+pub mod drift;
+pub mod error;
 pub mod features;
 pub mod feeder;
 pub mod internal_model;
@@ -64,5 +67,8 @@ pub mod pipeline;
 pub mod trace;
 pub mod tuning;
 
+pub use degrade::{DegradationPolicy, DegradationReport};
+pub use drift::{DriftMonitor, FeatureEnvelope};
+pub use error::PipelineError;
 pub use mimic::LearnedMimic;
 pub use pipeline::{Pipeline, PipelineConfig};

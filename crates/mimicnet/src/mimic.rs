@@ -9,6 +9,7 @@
 //! shim is, thus, either a packet, its egress time, and its egress
 //! location; or its absence."
 
+use crate::drift::{DriftMonitor, FeatureEnvelope};
 use crate::features::{FeatureConfig, FeatureExtractor, PacketView};
 use crate::feeder::{Feeder, FeederFit};
 use crate::internal_model::InternalModel;
@@ -29,6 +30,12 @@ pub struct TrainedMimic {
     pub egress: InternalModel,
     pub feature_cfg: FeatureConfig,
     pub feeder: FeederFit,
+    /// Training-distribution envelope of ingress features, enabling live
+    /// drift detection ([`crate::drift`]). `None` for bundles trained
+    /// without envelope fitting (including models serialized before the
+    /// field existed); such Mimics report no drift.
+    #[serde(default)]
+    pub envelope: Option<FeatureEnvelope>,
 }
 
 impl TrainedMimic {
@@ -66,6 +73,9 @@ pub struct LearnedMimic {
     topo: FatTree,
     mode: DecisionMode,
     rng: SplitMix64,
+    /// Scores live ingress features against the training envelope, when
+    /// the bundle carries one.
+    monitor: Option<DriftMonitor>,
     /// Counters for instrumentation/tests.
     pub packets_seen: u64,
     pub feeder_packets: u64,
@@ -99,12 +109,24 @@ impl LearnedMimic {
             ingress: make_dir(&bundle.feeder.ingress, &bundle.ingress, 0x1),
             egress: make_dir(&bundle.feeder.egress, &bundle.egress, 0x2),
             topo: FatTree::new(topo_params),
+            monitor: bundle.envelope.clone().map(DriftMonitor::new),
             bundle,
             mode: DecisionMode::Sample,
             rng: SplitMix64::derive(seed, 0x4D494D49), // "MIMI"
             packets_seen: 0,
             feeder_packets: 0,
         }
+    }
+
+    /// Override the drift monitor's window size (defaults to 256
+    /// observations per window). No-op without an envelope.
+    pub fn with_drift_window(mut self, window: usize) -> LearnedMimic {
+        self.monitor = self
+            .bundle
+            .envelope
+            .clone()
+            .map(|env| DriftMonitor::with_window(env, window));
+        self
     }
 
     /// Switch decision mode (default: [`DecisionMode::Sample`]).
@@ -153,6 +175,11 @@ impl ClusterModel for LearnedMimic {
             BoundaryDir::Egress => (&mut self.egress, &self.bundle.egress),
         };
         let features = rt.fx.extract(&view);
+        if dir == BoundaryDir::Ingress {
+            if let Some(mon) = &mut self.monitor {
+                mon.observe(&features);
+            }
+        }
         let pred = model.predict(&features, &mut rt.state);
 
         let dropped = self.decide(pred.p_drop);
@@ -204,6 +231,10 @@ impl ClusterModel for LearnedMimic {
             }
         }
     }
+
+    fn drift(&self) -> Option<f64> {
+        self.monitor.as_ref().and_then(|m| m.score())
+    }
 }
 
 impl LearnedMimic {
@@ -231,14 +262,17 @@ mod tests {
             window: 4,
             ..TrainConfig::default()
         };
-        let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, 8, &tc);
-        let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, 8, &tc);
+        let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, 8, &tc)
+            .expect("valid training setup");
+        let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, 8, &tc)
+            .expect("valid training setup");
         (
             TrainedMimic {
                 ingress: ing,
                 egress: eg,
                 feature_cfg: td.feature_cfg,
                 feeder: td.feeder,
+                envelope: FeatureEnvelope::fit(&td.ingress.features),
             },
             cfg.sim.topo,
         )
@@ -304,6 +338,47 @@ mod tests {
         topo2.clusters = 2;
         let mut m2 = LearnedMimic::new(b, topo2, 2, 3);
         assert!(m2.next_wake(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn drift_reported_after_enough_ingress_packets() {
+        let (b, mut topo) = quick_bundle();
+        assert!(b.envelope.is_some(), "datagen must fit an envelope");
+        topo.clusters = 4;
+        let t = FatTree::new(topo);
+        let mut m = LearnedMimic::new(b.clone(), topo, 4, 9).with_drift_window(32);
+        assert!(m.drift().is_none(), "no score before a window completes");
+        let pkt = Packet::data(
+            1,
+            dcn_sim::packet::FlowId(5),
+            t.host(1, 0, 0),
+            t.host(0, 1, 1),
+            0,
+            1460,
+            false,
+            SimTime::from_secs_f64(0.01),
+        );
+        for i in 0..200 {
+            m.on_packet(
+                BoundaryDir::Ingress,
+                &pkt,
+                SimTime::from_secs_f64(0.01 + i as f64 * 1e-4),
+            );
+        }
+        let d = m.drift().expect("windows completed");
+        assert!(d.is_finite() && d >= 0.0, "drift {d}");
+        // A bundle without an envelope never reports drift.
+        let mut bare = b;
+        bare.envelope = None;
+        let mut m2 = LearnedMimic::new(bare, topo, 4, 9);
+        for i in 0..200 {
+            m2.on_packet(
+                BoundaryDir::Ingress,
+                &pkt,
+                SimTime::from_secs_f64(0.01 + i as f64 * 1e-4),
+            );
+        }
+        assert!(m2.drift().is_none());
     }
 
     #[test]

@@ -5,12 +5,16 @@
 //! phase. "A key feature of MimicNet is that the traditionally slow steps
 //! … are all done at small scale and are, therefore, fast as well."
 
-use crate::compose::{compose, ground_truth, OBSERVABLE};
+use crate::compose::{ground_truth, try_compose, try_compose_partial, OBSERVABLE};
 use crate::datagen::{generate, DataGenConfig, TrainingData};
+use crate::degrade::{DegradationPolicy, DegradationReport};
+use crate::drift::FeatureEnvelope;
+use crate::error::PipelineError;
 use crate::internal_model::InternalModel;
 use crate::metrics::{compare, observed, AccuracyReport, ObservedSamples};
 use crate::mimic::TrainedMimic;
 use dcn_sim::config::SimConfig;
+use dcn_sim::fault::FaultPlan;
 use dcn_sim::instrument::Metrics;
 use dcn_sim::stats::percentile;
 use dcn_sim::topology::FatTree;
@@ -80,6 +84,19 @@ pub struct EstimateReport {
     pub wall: Duration,
     /// Raw metrics for further analysis.
     pub metrics: Metrics,
+    /// Degradation decisions, when the estimate ran under a policy
+    /// ([`Pipeline::estimate_with_policy`]); `None` otherwise.
+    pub degradation: Option<DegradationReport>,
+}
+
+impl EstimateReport {
+    /// Uncertainty multiplier from the degradation pass (1.0 when no
+    /// policy ran or nothing drifted far enough to widen).
+    pub fn uncertainty_factor(&self) -> f64 {
+        self.degradation
+            .as_ref()
+            .map_or(1.0, |d| d.uncertainty_factor)
+    }
 }
 
 /// The pipeline driver.
@@ -97,6 +114,10 @@ impl Pipeline {
     }
 
     /// Phases ❶–❷: small-scale observation and model training.
+    ///
+    /// # Panics
+    /// If training fails; use [`Pipeline::try_train_with_data`] for a
+    /// typed error.
     pub fn train(&mut self) -> TrainedMimic {
         let (trained, _data) = self.train_with_data();
         trained
@@ -104,7 +125,17 @@ impl Pipeline {
 
     /// As [`Pipeline::train`], also returning the training data (used by
     /// loss-function and window-size experiments).
+    ///
+    /// # Panics
+    /// If training fails; use [`Pipeline::try_train_with_data`] for a
+    /// typed error.
     pub fn train_with_data(&mut self) -> (TrainedMimic, TrainingData) {
+        self.try_train_with_data().expect("pipeline training failed")
+    }
+
+    /// [`Pipeline::train_with_data`], surfacing training failures (empty
+    /// small-scale trace, diverged loss, ...) as [`PipelineError`].
+    pub fn try_train_with_data(&mut self) -> Result<(TrainedMimic, TrainingData), PipelineError> {
         let t0 = Instant::now();
         let mut dg_sim = self.cfg.base;
         dg_sim.duration_s *= self.cfg.datagen_duration_factor.max(1.0);
@@ -126,34 +157,97 @@ impl Pipeline {
             self.cfg.hidden,
             self.cfg.layers,
             &self.cfg.train,
-        );
+        )?;
         let (egress, _) = InternalModel::train_stacked(
             &data.egress,
             data.egress_disc,
             self.cfg.hidden,
             self.cfg.layers,
             &self.cfg.train,
-        );
+        )?;
         self.timings.training = t1.elapsed();
 
-        (
+        Ok((
             TrainedMimic {
                 ingress,
                 egress,
                 feature_cfg: data.feature_cfg,
                 feeder: data.feeder.clone(),
+                envelope: FeatureEnvelope::fit(&data.ingress.features),
             },
             data,
-        )
+        ))
     }
 
     /// Phase ❺: the composed large-scale estimate at `n_clusters`.
     pub fn estimate(&mut self, trained: &TrainedMimic, n_clusters: u32) -> EstimateReport {
+        self.try_estimate(trained, n_clusters, None)
+            .expect("valid composition")
+    }
+
+    /// [`Pipeline::estimate`] with a typed error and an optional
+    /// [`FaultPlan`] injected into the composed simulation.
+    pub fn try_estimate(
+        &mut self,
+        trained: &TrainedMimic,
+        n_clusters: u32,
+        faults: Option<&FaultPlan>,
+    ) -> Result<EstimateReport, PipelineError> {
         let t0 = Instant::now();
-        let mut sim = compose(self.cfg.base, n_clusters, self.cfg.protocol, trained);
+        let mut sim = try_compose(self.cfg.base, n_clusters, self.cfg.protocol, trained)?;
+        if let Some(plan) = faults {
+            sim.set_fault_plan(plan)?;
+        }
         let metrics = sim.run();
         let wall = t0.elapsed();
         self.timings.large_scale_sim = wall;
+        Ok(self.report_from(metrics, wall, n_clusters, None))
+    }
+
+    /// Degradation-aware estimate: run the all-Mimic composition, score
+    /// per-cluster drift against `policy`, and — if any cluster crossed
+    /// the fallback threshold — re-run with those clusters swapped back to
+    /// packet-level simulation. The returned report carries the policy's
+    /// [`DegradationReport`] either way.
+    pub fn estimate_with_policy(
+        &mut self,
+        trained: &TrainedMimic,
+        n_clusters: u32,
+        faults: Option<&FaultPlan>,
+        policy: &DegradationPolicy,
+    ) -> Result<EstimateReport, PipelineError> {
+        let probe = self.try_estimate(trained, n_clusters, faults)?;
+        let decision = policy.evaluate(&probe.metrics.cluster_drift);
+        let fallback = decision.fallback_clusters();
+        if fallback.is_empty() {
+            let mut report = probe;
+            report.degradation = Some(decision);
+            return Ok(report);
+        }
+        let t0 = Instant::now();
+        let mut sim = try_compose_partial(
+            self.cfg.base,
+            n_clusters,
+            self.cfg.protocol,
+            trained,
+            &fallback,
+        )?;
+        if let Some(plan) = faults {
+            sim.set_fault_plan(plan)?;
+        }
+        let metrics = sim.run();
+        let wall = t0.elapsed();
+        self.timings.large_scale_sim += wall;
+        Ok(self.report_from(metrics, probe.wall + wall, n_clusters, Some(decision)))
+    }
+
+    fn report_from(
+        &self,
+        metrics: Metrics,
+        wall: Duration,
+        n_clusters: u32,
+        degradation: Option<DegradationReport>,
+    ) -> EstimateReport {
         let topo = FatTree::new({
             let mut t = self.cfg.base.topo;
             t.clusters = n_clusters;
@@ -167,13 +261,28 @@ impl Pipeline {
             samples,
             wall,
             metrics,
+            degradation,
         }
     }
 
     /// The full-fidelity reference at `n_clusters` (expensive!).
     pub fn run_ground_truth(&self, n_clusters: u32) -> (ObservedSamples, Metrics, Duration) {
+        self.run_ground_truth_with_faults(n_clusters, None)
+            .expect("valid fault plan")
+    }
+
+    /// [`Pipeline::run_ground_truth`] with an optional [`FaultPlan`]
+    /// injected — the reference for fault-injection experiments.
+    pub fn run_ground_truth_with_faults(
+        &self,
+        n_clusters: u32,
+        faults: Option<&FaultPlan>,
+    ) -> Result<(ObservedSamples, Metrics, Duration), PipelineError> {
         let t0 = Instant::now();
         let mut sim = ground_truth(self.cfg.base, n_clusters, self.cfg.protocol);
+        if let Some(plan) = faults {
+            sim.set_fault_plan(plan)?;
+        }
         let metrics = sim.run();
         let wall = t0.elapsed();
         let topo = FatTree::new({
@@ -181,7 +290,7 @@ impl Pipeline {
             t.clusters = n_clusters;
             t
         });
-        (observed(&metrics, &topo, OBSERVABLE), metrics, wall)
+        Ok((observed(&metrics, &topo, OBSERVABLE), metrics, wall))
     }
 
     /// Convenience: estimate + ground truth + accuracy report at a scale.
@@ -220,6 +329,41 @@ mod tests {
         assert!(!report.samples.fct.is_empty(), "no observable FCTs");
         assert!(report.fct_p99 > 0.0);
         assert!(report.rtt_p99 > 0.0);
+    }
+
+    #[test]
+    fn faulty_estimate_carries_drift_and_policy_decision() {
+        use dcn_sim::time::SimTime;
+        let mut pipe = Pipeline::new(quick_cfg());
+        let trained = pipe.train();
+        // Sustained heavy gray loss across the fabric for most of the run.
+        let plan = FaultPlan::new(9).gray_loss_all(
+            SimTime::from_secs_f64(0.05),
+            SimTime::from_secs_f64(0.35),
+            0.25,
+            true,
+        );
+        let policy = DegradationPolicy::default();
+        let report = pipe
+            .estimate_with_policy(&trained, 4, Some(&plan), &policy)
+            .expect("estimate runs");
+        let deg = report.degradation.as_ref().expect("policy evaluated");
+        assert_eq!(deg.clusters.len(), 4);
+        assert!(report.uncertainty_factor() >= 1.0);
+        assert!(
+            report.metrics.fault_drops > 0,
+            "gray loss plan dropped nothing"
+        );
+        // Fault-free estimate under the same policy degrades nothing.
+        let clean = pipe
+            .estimate_with_policy(&trained, 4, None, &policy)
+            .expect("estimate runs");
+        let deg = clean.degradation.as_ref().expect("policy evaluated");
+        assert!(
+            deg.fallback_clusters().is_empty(),
+            "fault-free run fell back: {:?}",
+            deg.clusters
+        );
     }
 
     #[test]

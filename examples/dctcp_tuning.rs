@@ -27,8 +27,10 @@ fn main() {
 
     let mut best = (0u32, f64::INFINITY, "");
     for k in ks {
-        let mut cfg = PipelineConfig::default();
-        cfg.protocol = Protocol::Dctcp { k };
+        let mut cfg = PipelineConfig {
+            protocol: Protocol::Dctcp { k },
+            ..PipelineConfig::default()
+        };
         cfg.base.duration_s = 0.8;
         cfg.base.seed = 7;
         cfg.train.epochs = 2;

@@ -31,8 +31,10 @@ fn main() {
     let mut rank_truth: Vec<(String, f64)> = Vec::new();
     let mut rank_mimic: Vec<(String, f64)> = Vec::new();
     for p in protocols {
-        let mut cfg = PipelineConfig::default();
-        cfg.protocol = p;
+        let mut cfg = PipelineConfig {
+            protocol: p,
+            ..PipelineConfig::default()
+        };
         cfg.base.duration_s = 0.8;
         cfg.base.seed = 11;
         cfg.train.epochs = 2;

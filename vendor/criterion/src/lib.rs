@@ -1,0 +1,218 @@
+//! Vendored stand-in for `criterion` so `harness = false` benches build and
+//! run offline. Implements the API surface this workspace uses: groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, sample/measurement
+//! configuration, and `criterion_group!`/`criterion_main!`. Measurement is
+//! a simple warm-up + repeated-sample mean/min report on stdout — good
+//! enough for relative, local comparisons.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.clone(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            config: self.clone(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    config: Criterion,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut BenchmarkGroup {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut BenchmarkGroup {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut BenchmarkGroup
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.config.clone(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut BenchmarkGroup
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id.0), self.config.clone(), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+}
+
+pub struct Bencher {
+    /// Mean nanoseconds per iteration over the best sample.
+    samples: Vec<f64>,
+    config: Criterion,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate per-iteration cost.
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        let mut per_iter = Duration::from_nanos(1);
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_until {
+            black_box(f());
+            warm_iters += 1;
+        }
+        if warm_iters > 0 {
+            per_iter = warm_start.elapsed() / warm_iters as u32;
+        }
+        // Choose a batch size so one sample is ~measurement_time/sample_size.
+        let budget = self.config.measurement_time / self.config.sample_size as u32;
+        let batch = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u32::MAX as u128) as u32;
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, config: Criterion, mut f: F) {
+    // `cargo test` runs bench binaries with `--test`; skip measuring there.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+        config,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{name:<50} mean {:>12}  min {:>12}  ({} samples)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        b.samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// `criterion_group!(name, target...)` or the struct-ish form with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut __c: $crate::Criterion = $config;
+            $($target(&mut __c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut __c = $crate::Criterion::default();
+            $($target(&mut __c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,359 @@
+//! Vendored stand-in for the `serde` crate so the workspace builds with no
+//! network access. It implements a JSON-oriented value model plus derive
+//! macros covering exactly what this repository needs: non-generic structs
+//! (named, tuple, or unit) and enums with unit or struct variants, with no
+//! `#[serde(...)]` attributes. The derive macros live in the companion
+//! `serde_derive` crate and are re-exported here under the usual names.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A parsed/serializable JSON-like value. Integers keep their own variants
+/// so `u64` seeds and IDs round-trip exactly (an `f64` cannot hold every
+/// `u64`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs (this workspace never relies on
+    /// map semantics, only field lookup).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(u) => Some(u),
+            Value::I64(i) if i >= 0 => Some(i as u64),
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(i) => Some(i),
+            Value::U64(u) if u <= i64::MAX as u64 => Some(u as i64),
+            Value::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(f) => Some(f),
+            Value::U64(u) => Some(u as f64),
+            Value::I64(i) => Some(i as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Convenience free function (used by generated code and `serde_json`).
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+    t.to_value()
+}
+
+/// Field lookup helper for derive-generated `Deserialize` impls.
+pub fn field<'a>(obj: &'a [(String, Value)], name: &'static str) -> Result<&'a Value, DeError> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let u = v.as_u64().ok_or_else(|| {
+                    DeError::new(format!("expected unsigned integer, got {v:?}"))
+                })?;
+                <$t>::try_from(u).map_err(|_| DeError::new(format!("{u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let i = v.as_i64().ok_or_else(|| {
+                    DeError::new(format!("expected integer, got {v:?}"))
+                })?;
+                <$t>::try_from(i).map_err(|_| DeError::new(format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                // JSON has no NaN/Inf literal; the writer emits `null` for
+                // non-finite floats, so accept it back as NaN.
+                if matches!(v, Value::Null) {
+                    return Ok(<$t>::NAN);
+                }
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| DeError::new(format!("expected number, got {v:?}")))
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::new(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        v.as_str()
+            .map(|s| s.to_string())
+            .ok_or_else(|| DeError::new(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<VecDeque<T>, DeError> {
+        Ok(Vec::<T>::from_value(v)?.into())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let a = v
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {v:?}")))?;
+        if a.len() != N {
+            return Err(DeError::new(format!("expected [_; {N}], got {} elements", a.len())));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(a) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let a = v
+                    .as_array()
+                    .ok_or_else(|| DeError::new(format!("expected tuple array, got {v:?}")))?;
+                let want = [$($n),+].len();
+                if a.len() != want {
+                    return Err(DeError::new(format!("expected {want}-tuple, got {} elements", a.len())));
+                }
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let v = 0xC0DE_0000_DEAD_BEEFu64.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), 0xC0DE_0000_DEAD_BEEF);
+        let v = (-42i64).to_value();
+        assert_eq!(i64::from_value(&v).unwrap(), -42);
+        let v = 0.1f32.to_value();
+        assert_eq!(f32::from_value(&v).unwrap(), 0.1f32);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![(1.5f64, 2.5f64), (3.0, 4.0)];
+        let v = xs.to_value();
+        assert_eq!(Vec::<(f64, f64)>::from_value(&v).unwrap(), xs);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn nan_round_trips_via_null() {
+        let v = f64::NAN.to_value();
+        // Writers emit null for non-finite; simulate that here.
+        let back = f64::from_value(&Value::Null).unwrap();
+        assert!(back.is_nan());
+        assert!(matches!(v, Value::F64(f) if f.is_nan()));
+    }
+}

@@ -1,0 +1,419 @@
+//! Vendored stand-in for `serde_json`: a JSON writer and recursive-descent
+//! parser over the stand-in `serde::Value` model. Floats are printed with
+//! Rust's shortest round-trip formatting so `f32`/`f64` model weights
+//! survive a save/load cycle bit-exactly; non-finite floats serialize as
+//! `null` (matching serde_json) and parse back as NaN.
+
+pub use serde::Value;
+pub use serde::to_value;
+
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to human-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any `Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+/// Build a `Value` object literal: `json!({"key": expr, ...})`.
+///
+/// Supports flat objects/arrays with literal keys and arbitrary expression
+/// values — the shapes this workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), $crate::to_value(&$val))),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::to_value(&$val)),*])
+    };
+    ($val:expr) => { $crate::to_value(&$val) };
+}
+
+// ---------------------------------------------------------------- writer
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // `{:?}` is the shortest representation that round-trips.
+                let s = format!("{f:?}");
+                out.push_str(&s);
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.parse_value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape {:?}", other)))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("bad number"))?;
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::I64(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_values() {
+        let v = Value::Object(vec![
+            ("seed".to_string(), Value::U64(0xDEAD_BEEF_0000_0001)),
+            ("x".to_string(), Value::F64(0.30000000000000004)),
+            (
+                "arr".to_string(),
+                Value::Array(vec![Value::Null, Value::Bool(true), Value::I64(-3)]),
+            ),
+            ("s".to_string(), Value::Str("a\"b\\c\nd".to_string())),
+        ]);
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn f32_weights_round_trip_exactly() {
+        let xs: Vec<f32> = vec![0.1, -1.5e-7, 3.4e38, f32::MIN_POSITIVE];
+        let s = to_string(&xs).unwrap();
+        let back: Vec<f32> = from_str(&s).unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let n = 4usize;
+        let v = json!({ "clusters": n, "ratio": 1.5 });
+        let s = to_string(&v).unwrap();
+        assert!(s.contains("\"clusters\":4"));
+        assert!(s.contains("\"ratio\":1.5"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("nulll").is_err());
+    }
+}
