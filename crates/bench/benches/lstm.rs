@@ -32,14 +32,13 @@ fn bench_backward(c: &mut Criterion) {
     for &w in &[5usize, 12] {
         let xs = window_inputs(w, 32);
         group.bench_with_input(BenchmarkId::new("bptt_batch32", w), &w, |b, _| {
-            let mut model = SeqModel::new(FEATURES, HIDDEN, 1);
+            let model = SeqModel::new(FEATURES, HIDDEN, 1);
+            let mut grads = model.new_grads();
             b.iter(|| {
                 let (y, cache) = model.forward_window(&xs);
-                model.zero_grad();
-                model.backward_window(&cache, &y);
-                let mut s = 0.0f32;
-                model.visit_params(&mut |_, g| s += g[0]);
-                black_box(s)
+                grads.zero();
+                model.backward_window(&cache, &y, &mut grads);
+                black_box(grads.head.w.data[0])
             })
         });
     }

@@ -1,0 +1,439 @@
+//! ML hot-path benchmark: the tracked performance baseline behind
+//! `BENCH_mlperf.json`.
+//!
+//! Measures the three costs that dominate the MimicNet workflow's
+//! wall-clock (paper Table 2, Figure 23):
+//!
+//! 1. **Inference ns/packet** — the per-packet `SeqModel::step` price, for
+//!    (a) the pre-optimization baseline (allocating, zero-skipping,
+//!    strided-head step, reimplemented here verbatim), (b) the optimized
+//!    allocation-free step, and (c) the full `LearnedMimic::on_packet`
+//!    shim path.
+//! 2. **Training samples/sec** — the mini-batch loop with naive kernels at
+//!    1 worker (the old configuration), blocked kernels at 1 worker, and
+//!    blocked kernels at 4 workers (bit-identical parameters by
+//!    construction; verified here at runtime).
+//! 3. **End-to-end pipeline seconds** — small-scale sim + training + one
+//!    large-scale estimate.
+//!
+//! Environment:
+//! * `OUT` — output JSON path (default `BENCH_mlperf.json`).
+//! * `BASELINE` — path to a committed baseline JSON; if the optimized
+//!   inference ns/packet regresses by more than 25% against it, the
+//!   binary exits non-zero (the CI perf-smoke gate).
+//! * `SCALE` — `quick` (default) or `full`, as for every bench binary.
+
+use mimic_ml::dataset::PacketDataset;
+use mimic_ml::loss::Target;
+use mimic_ml::matrix::{set_kernel_mode, KernelMode};
+use mimic_ml::model::{ModelState, SeqModel, OUTPUTS};
+use mimic_ml::rng::MlRng;
+use mimic_ml::train::{train, TrainConfig};
+use mimicnet_bench::{header, pipeline_config, Scale};
+use mimicnet::pipeline::Pipeline;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+const FEATURES: usize = 21; // width of the default feature config
+const HIDDEN: usize = 32;
+
+#[derive(Serialize, Deserialize)]
+struct BenchConfig {
+    scale: String,
+    features: usize,
+    hidden: usize,
+    inference_iters: usize,
+    train_samples: usize,
+    train_epochs: usize,
+    train_batch: usize,
+    train_window: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+struct InferenceNumbers {
+    /// Pre-optimization step: per-packet allocation + zero-skip + strided head.
+    naive_ns_per_packet: f64,
+    /// Allocation-free blocked step.
+    optimized_ns_per_packet: f64,
+    /// naive / optimized.
+    speedup: f64,
+    /// Full shim path: feature extraction + drift + predict + decision.
+    mimic_on_packet_ns: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TrainingNumbers {
+    naive_1w_samples_per_sec: f64,
+    blocked_1w_samples_per_sec: f64,
+    blocked_4w_samples_per_sec: f64,
+    /// blocked@1 / naive@1.
+    speedup_blocked_1w: f64,
+    /// blocked@4 / naive@1.
+    speedup_blocked_4w: f64,
+    /// Runtime check: serialized params of the 1- and 4-worker runs match.
+    parallel_bit_identical: bool,
+}
+
+#[derive(Serialize, Deserialize)]
+struct PipelineNumbers {
+    small_scale_sim_s: f64,
+    training_s: f64,
+    large_scale_sim_s: f64,
+    total_s: f64,
+    workers: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchReport {
+    config: BenchConfig,
+    inference: InferenceNumbers,
+    training: TrainingNumbers,
+    pipeline: PipelineNumbers,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// The pre-optimization stateful step, verbatim: one `Vec` allocation for
+/// the gate pre-activations per layer, one `to_vec`/`clone` per layer for
+/// the input hand-off, zero-skip branches in both matrix passes, and a
+/// column-strided head. Kept as the benchmark's reference point.
+fn naive_step(model: &SeqModel, x: &[f32], hc: &mut [(Vec<f32>, Vec<f32>)]) -> [f32; OUTPUTS] {
+    let mut input = x.to_vec();
+    for (lstm, (h, c)) in model.lstms.iter().zip(hc.iter_mut()) {
+        let hsz = lstm.hidden;
+        let mut z = lstm.b.clone();
+        for (k, &a) in input.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let row = &lstm.wx.data[k * 4 * hsz..(k + 1) * 4 * hsz];
+            for (zv, &w) in z.iter_mut().zip(row) {
+                *zv += a * w;
+            }
+        }
+        for (k, &a) in h.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let row = &lstm.wh.data[k * 4 * hsz..(k + 1) * 4 * hsz];
+            for (zv, &w) in z.iter_mut().zip(row) {
+                *zv += a * w;
+            }
+        }
+        for j in 0..hsz {
+            let i_g = sigmoid(z[j]);
+            let f_g = sigmoid(z[hsz + j]);
+            let g_g = z[2 * hsz + j].tanh();
+            let o_g = sigmoid(z[3 * hsz + j]);
+            let cv = f_g * c[j] + i_g * g_g;
+            c[j] = cv;
+            h[j] = o_g * cv.tanh();
+        }
+        input = h.clone();
+    }
+    let h = &hc.last().expect("nonempty stack").0;
+    let mut out = [0.0f32; OUTPUTS];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = model.head.b[k];
+        for (j, &hj) in h.iter().enumerate() {
+            acc += hj * model.head.w.data[j * OUTPUTS + k];
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Feature vectors with realistic Mimic sparsity: mostly one-hot location
+/// encodings plus a few continuous fields.
+fn feature_pool(n: usize) -> Vec<Vec<f32>> {
+    let mut rng = MlRng::new(0xFEED);
+    (0..n)
+        .map(|_| {
+            let mut v = vec![0.0f32; FEATURES];
+            // Four one-hot groups of 4, then 5 continuous tail features.
+            for g in 0..4 {
+                let hot = (rng.next_f64() * 4.0) as usize % 4;
+                v[g * 4 + hot] = 1.0;
+            }
+            for f in v.iter_mut().skip(16) {
+                *f = rng.uniform_sym(1.0) as f32;
+            }
+            v
+        })
+        .collect()
+}
+
+fn bench_inference(iters: usize) -> InferenceNumbers {
+    let model = SeqModel::new(FEATURES, HIDDEN, 7);
+    let pool = feature_pool(512);
+
+    // Pre-optimization baseline.
+    let mut hc: Vec<(Vec<f32>, Vec<f32>)> = model
+        .lstms
+        .iter()
+        .map(|l| (vec![0.0; l.hidden], vec![0.0; l.hidden]))
+        .collect();
+    for x in pool.iter().cycle().take(1000) {
+        std::hint::black_box(naive_step(&model, x, &mut hc));
+    }
+    let t0 = Instant::now();
+    for x in pool.iter().cycle().take(iters) {
+        std::hint::black_box(naive_step(&model, x, &mut hc));
+    }
+    let naive_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    // Optimized allocation-free step.
+    let mut state: ModelState = model.init_state();
+    for x in pool.iter().cycle().take(1000) {
+        std::hint::black_box(model.step(x, &mut state));
+    }
+    let t0 = Instant::now();
+    for x in pool.iter().cycle().take(iters) {
+        std::hint::black_box(model.step(x, &mut state));
+    }
+    let opt_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    // Full shim path through a trained bundle.
+    let mimic_ns = bench_on_packet(iters / 10);
+
+    InferenceNumbers {
+        naive_ns_per_packet: naive_ns,
+        optimized_ns_per_packet: opt_ns,
+        speedup: naive_ns / opt_ns.max(1e-9),
+        mimic_on_packet_ns: mimic_ns,
+    }
+}
+
+fn bench_on_packet(iters: usize) -> f64 {
+    use dcn_sim::mimic::{BoundaryDir, ClusterModel};
+    use dcn_sim::packet::{FlowId, Packet};
+    use dcn_sim::time::SimTime;
+    use dcn_sim::topology::FatTree;
+    use mimicnet::datagen::{generate, DataGenConfig};
+    use mimicnet::drift::FeatureEnvelope;
+    use mimicnet::internal_model::InternalModel;
+    use mimicnet::mimic::{LearnedMimic, TrainedMimic};
+
+    let mut cfg = DataGenConfig::default();
+    cfg.sim.duration_s = 0.3;
+    cfg.sim.seed = 77;
+    let td = generate(&cfg);
+    let tc = TrainConfig {
+        epochs: 1,
+        window: 4,
+        ..TrainConfig::default()
+    };
+    let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, HIDDEN, &tc)
+        .expect("valid training setup");
+    let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, HIDDEN, &tc)
+        .expect("valid training setup");
+    let bundle = TrainedMimic {
+        ingress: ing,
+        egress: eg,
+        feature_cfg: td.feature_cfg,
+        feeder: td.feeder,
+        envelope: FeatureEnvelope::fit(&td.ingress.features),
+    };
+    let mut topo = cfg.sim.topo;
+    topo.clusters = 4;
+    let t = FatTree::new(topo);
+    let mut m = LearnedMimic::new(bundle, topo, 4, 9);
+    let pkt = Packet::data(
+        1,
+        FlowId(5),
+        t.host(1, 0, 0),
+        t.host(0, 1, 1),
+        0,
+        1460,
+        true,
+        SimTime::from_secs_f64(0.01),
+    );
+    let at = |i: usize| SimTime::from_secs_f64(0.01 + i as f64 * 1e-6);
+    for i in 0..1000 {
+        let dir = if i % 2 == 0 { BoundaryDir::Ingress } else { BoundaryDir::Egress };
+        std::hint::black_box(m.on_packet(dir, &pkt, at(i)));
+    }
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let dir = if i % 2 == 0 { BoundaryDir::Ingress } else { BoundaryDir::Egress };
+        std::hint::black_box(m.on_packet(dir, &pkt, at(1000 + i)));
+    }
+    t0.elapsed().as_nanos() as f64 / iters.max(1) as f64
+}
+
+/// A learnable synthetic packet trace at the real feature width.
+fn train_dataset(n: usize) -> PacketDataset {
+    let pool = feature_pool(n);
+    let mut d = PacketDataset::default();
+    let mut burst = 0usize;
+    let mut rng = MlRng::new(11);
+    for f in pool {
+        if rng.next_f64() < 0.1 {
+            burst = 4;
+        }
+        let hot = burst > 0;
+        burst = burst.saturating_sub(1);
+        let mut f = f;
+        f[16] = if hot { 1.0 } else { 0.0 };
+        let drop = rng.next_f64() > 0.95;
+        d.push(
+            f,
+            Target {
+                latency: if hot { 0.8 } else { 0.2 },
+                dropped: if drop { 1.0 } else { 0.0 },
+                ecn: 0.0,
+            },
+        );
+    }
+    d
+}
+
+fn timed_train(data: &PacketDataset, cfg: &TrainConfig) -> (f64, String) {
+    let mut model = SeqModel::new(FEATURES, HIDDEN, 42);
+    let t0 = Instant::now();
+    let report = train(&mut model, data, cfg).expect("valid training setup");
+    let secs = t0.elapsed().as_secs_f64();
+    let samples = data.len() * report.epoch_losses.len();
+    (samples as f64 / secs.max(1e-9), model.to_json())
+}
+
+fn bench_training(samples: usize, epochs: usize) -> (TrainingNumbers, TrainConfig) {
+    let data = train_dataset(samples);
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 64,
+        window: 8,
+        ..TrainConfig::default()
+    };
+
+    set_kernel_mode(KernelMode::Naive);
+    let (naive_1w, json_naive) = timed_train(&data, &cfg);
+    set_kernel_mode(KernelMode::Blocked);
+    let (blocked_1w, json_1w) = timed_train(&data, &cfg);
+    let (blocked_4w, json_4w) = timed_train(&data, &TrainConfig { workers: 4, ..cfg });
+
+    // Blocked row-major matmul preserves the naive accumulation order, and
+    // worker count never changes the reduction tree — all three runs must
+    // agree on the forward matmul path; 1w vs 4w must be bit-identical.
+    let identical = json_1w == json_4w;
+    assert!(identical, "1-worker and 4-worker training diverged");
+    drop(json_naive);
+
+    (
+        TrainingNumbers {
+            naive_1w_samples_per_sec: naive_1w,
+            blocked_1w_samples_per_sec: blocked_1w,
+            blocked_4w_samples_per_sec: blocked_4w,
+            speedup_blocked_1w: blocked_1w / naive_1w.max(1e-9),
+            speedup_blocked_4w: blocked_4w / naive_1w.max(1e-9),
+            parallel_bit_identical: identical,
+        },
+        cfg,
+    )
+}
+
+fn bench_pipeline(scale: Scale) -> PipelineNumbers {
+    let workers = 4;
+    let mut pipe = Pipeline::new(pipeline_config(scale, 42).with_workers(workers));
+    let trained = pipe.train();
+    let est = pipe.estimate(&trained, scale.large());
+    let small = pipe.timings.small_scale_sim.as_secs_f64();
+    let training = pipe.timings.training.as_secs_f64();
+    let large = est.wall.as_secs_f64();
+    PipelineNumbers {
+        small_scale_sim_s: small,
+        training_s: training,
+        large_scale_sim_s: large,
+        total_s: small + training + large,
+        workers,
+    }
+}
+
+fn check_baseline(report: &BenchReport) -> Result<(), String> {
+    let Ok(path) = std::env::var("BASELINE") else {
+        return Ok(());
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let base: BenchReport =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse baseline {path}: {e}"))?;
+    let current = report.inference.optimized_ns_per_packet;
+    let allowed = base.inference.optimized_ns_per_packet * 1.25;
+    if current > allowed {
+        return Err(format!(
+            "inference regression: {current:.1} ns/packet vs baseline {:.1} (limit {allowed:.1}, +25%)",
+            base.inference.optimized_ns_per_packet
+        ));
+    }
+    println!(
+        "baseline check: {current:.1} ns/packet vs {:.1} baseline (limit {allowed:.1}) — OK",
+        base.inference.optimized_ns_per_packet
+    );
+    Ok(())
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "perf_hotpaths",
+        "ML hot-path benchmark: inference ns/packet, training samples/sec, pipeline seconds",
+    );
+    let (iters, samples, epochs) = match scale {
+        Scale::Quick => (200_000usize, 2048usize, 2usize),
+        Scale::Full => (1_000_000, 8192, 3),
+    };
+
+    println!("\n-- inference ({iters} packets, {FEATURES} features x {HIDDEN} hidden) --");
+    let inference = bench_inference(iters);
+    println!(
+        "naive step:      {:>8.1} ns/packet\noptimized step:  {:>8.1} ns/packet  ({:.2}x)\nmimic on_packet: {:>8.1} ns/packet (full shim path)",
+        inference.naive_ns_per_packet, inference.optimized_ns_per_packet, inference.speedup,
+        inference.mimic_on_packet_ns
+    );
+
+    println!("\n-- training ({samples} samples x {epochs} epochs, batch 64, window 8) --");
+    let (training, tcfg) = bench_training(samples, epochs);
+    println!(
+        "naive @ 1 worker:   {:>9.0} samples/s\nblocked @ 1 worker: {:>9.0} samples/s  ({:.2}x)\nblocked @ 4 workers:{:>9.0} samples/s  ({:.2}x)\n1w vs 4w parameters bit-identical: {}",
+        training.naive_1w_samples_per_sec,
+        training.blocked_1w_samples_per_sec, training.speedup_blocked_1w,
+        training.blocked_4w_samples_per_sec, training.speedup_blocked_4w,
+        training.parallel_bit_identical
+    );
+
+    println!("\n-- end-to-end pipeline ({:?}) --", scale);
+    let pipeline = bench_pipeline(scale);
+    println!(
+        "small-scale sim: {:.2}s\ntraining:        {:.2}s (4 workers)\nlarge-scale sim: {:.2}s\ntotal:           {:.2}s",
+        pipeline.small_scale_sim_s, pipeline.training_s, pipeline.large_scale_sim_s,
+        pipeline.total_s
+    );
+
+    let report = BenchReport {
+        config: BenchConfig {
+            scale: format!("{scale:?}").to_lowercase(),
+            features: FEATURES,
+            hidden: HIDDEN,
+            inference_iters: iters,
+            train_samples: samples,
+            train_epochs: epochs,
+            train_batch: tcfg.batch_size,
+            train_window: tcfg.window,
+        },
+        inference,
+        training,
+        pipeline,
+    };
+
+    let out = std::env::var("OUT").unwrap_or_else(|_| "BENCH_mlperf.json".into());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write report");
+    println!("\nwrote {out}");
+
+    if let Err(e) = check_baseline(&report) {
+        eprintln!("FAIL: {e}");
+        std::process::exit(1);
+    }
+}

@@ -92,6 +92,11 @@ pub fn secs(d: Duration) -> String {
 }
 
 /// A standard quickly-trained pipeline config at the given scale.
+///
+/// Training runs data-parallel over four workers (clamped to the
+/// machine's cores); the sharded reduction makes the resulting
+/// parameters identical to a sequential run, so benchmark numbers stay
+/// comparable across machines.
 pub fn pipeline_config(scale: Scale, seed: u64) -> mimicnet::pipeline::PipelineConfig {
     let mut cfg = mimicnet::pipeline::PipelineConfig::default();
     cfg.base.duration_s = scale.duration_s();
@@ -99,7 +104,7 @@ pub fn pipeline_config(scale: Scale, seed: u64) -> mimicnet::pipeline::PipelineC
     cfg.train.epochs = scale.epochs();
     cfg.train.window = 8;
     cfg.hidden = 24;
-    cfg
+    cfg.with_workers(4)
 }
 
 #[cfg(test)]

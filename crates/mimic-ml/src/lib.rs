@@ -33,6 +33,7 @@
 pub mod bayesopt;
 pub mod dataset;
 pub mod discretize;
+pub mod fastmath;
 pub mod flops;
 pub mod gp;
 pub mod linear;

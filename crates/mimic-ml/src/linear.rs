@@ -4,13 +4,42 @@ use crate::matrix::Matrix;
 use crate::rng::MlRng;
 use serde::{Deserialize, Serialize};
 
-/// `y = x·W + b` with accumulated gradients.
+/// `y = x·W + b`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Linear {
     pub w: Matrix,
     pub b: Vec<f32>,
-    pub gw: Matrix,
-    pub gb: Vec<f32>,
+}
+
+/// Gradient accumulator matching a [`Linear`]'s parameter shapes.
+#[derive(Clone, Debug)]
+pub struct LinearGrads {
+    pub w: Matrix,
+    pub b: Vec<f32>,
+}
+
+impl LinearGrads {
+    /// Zeroed gradients for `layer`.
+    pub fn zeros(layer: &Linear) -> LinearGrads {
+        LinearGrads {
+            w: Matrix::zeros(layer.w.rows, layer.w.cols),
+            b: vec![0.0; layer.b.len()],
+        }
+    }
+
+    /// Reset all gradients to zero (buffer reuse).
+    pub fn zero(&mut self) {
+        self.w.data.fill(0.0);
+        self.b.fill(0.0);
+    }
+
+    /// Accumulate another buffer: `self += other`.
+    pub fn add_assign(&mut self, other: &LinearGrads) {
+        self.w.add_assign(&other.w);
+        for (a, &b) in self.b.iter_mut().zip(&other.b) {
+            *a += b;
+        }
+    }
 }
 
 impl Linear {
@@ -20,8 +49,6 @@ impl Linear {
         Linear {
             w: Matrix::from_fn(input, output, |_, _| rng.uniform_sym(a) as f32),
             b: vec![0.0; output],
-            gw: Matrix::zeros(input, output),
-            gb: vec![0.0; output],
         }
     }
 
@@ -40,25 +67,20 @@ impl Linear {
         y
     }
 
-    /// Accumulate gradients given the forward input and `dL/dy`;
-    /// returns `dL/dx`.
-    pub fn backward(&mut self, x: &Matrix, dy: &Matrix) -> Matrix {
-        self.gw.add_assign(&x.t_matmul(dy));
-        for (g, d) in self.gb.iter_mut().zip(dy.sum_rows()) {
+    /// Accumulate gradients into `grads` given the forward input and
+    /// `dL/dy`; returns `dL/dx`.
+    pub fn backward(&self, x: &Matrix, dy: &Matrix, grads: &mut LinearGrads) -> Matrix {
+        grads.w.add_assign(&x.t_matmul(dy));
+        for (g, d) in grads.b.iter_mut().zip(dy.sum_rows()) {
             *g += d;
         }
         dy.matmul_t(&self.w)
     }
 
-    pub fn zero_grad(&mut self) {
-        self.gw.data.fill(0.0);
-        self.gb.fill(0.0);
-    }
-
     /// Visit `(params, grads)` slices in a fixed order (for optimizers).
-    pub fn visit(&mut self, f: &mut impl FnMut(&mut [f32], &mut [f32])) {
-        f(&mut self.w.data, &mut self.gw.data);
-        f(&mut self.b, &mut self.gb);
+    pub fn visit(&mut self, grads: &mut LinearGrads, f: &mut impl FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.w.data, &mut grads.w.data);
+        f(&mut self.b, &mut grads.b);
     }
 
     /// Number of trainable parameters.
@@ -91,8 +113,8 @@ mod tests {
             l.forward(x).data.iter().map(|&v| 0.5 * v as f64 * v as f64).sum()
         };
         let y = l.forward(&x);
-        l.zero_grad();
-        let _ = l.backward(&x, &y);
+        let mut grads = LinearGrads::zeros(&l);
+        let _ = l.backward(&x, &y, &mut grads);
         let eps = 1e-3_f32;
         for idx in [0usize, 2, 5] {
             let orig = l.w.data[idx];
@@ -102,7 +124,7 @@ mod tests {
             let dn = loss(&l, &x);
             l.w.data[idx] = orig;
             let fd = ((up - dn) / (2.0 * eps as f64)) as f32;
-            let an = l.gw.data[idx];
+            let an = grads.w.data[idx];
             assert!(
                 (fd - an).abs() / (fd.abs() + an.abs()).max(1e-3) < 0.05,
                 "w[{idx}]: fd {fd} vs analytic {an}"
@@ -110,7 +132,7 @@ mod tests {
         }
         // Bias gradient: column sums of dy.
         let col0: f32 = (0..4).map(|i| y.get(i, 0)).sum();
-        assert!((l.gb[0] - col0).abs() < 1e-4);
+        assert!((grads.b[0] - col0).abs() < 1e-4);
     }
 
     #[test]
@@ -120,7 +142,8 @@ mod tests {
         l.w = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let x = Matrix::from_rows(&[vec![1.0, 1.0]]);
         let dy = Matrix::from_rows(&[vec![1.0, 0.0]]);
-        let dx = l.backward(&x, &dy);
+        let mut grads = LinearGrads::zeros(&l);
+        let dx = l.backward(&x, &dy, &mut grads);
         // dx = dy · W^T = [1*1 + 0*2, 1*3 + 0*4].
         assert_eq!(dx.row(0), &[1.0, 3.0]);
     }
@@ -128,14 +151,15 @@ mod tests {
     #[test]
     fn grads_accumulate_until_zeroed() {
         let mut rng = MlRng::new(3);
-        let mut l = Linear::new(2, 1, &mut rng);
+        let l = Linear::new(2, 1, &mut rng);
         let x = Matrix::from_rows(&[vec![1.0, 2.0]]);
         let dy = Matrix::from_rows(&[vec![1.0]]);
-        l.backward(&x, &dy);
-        let g1 = l.gw.data.clone();
-        l.backward(&x, &dy);
-        assert!(l.gw.data.iter().zip(&g1).all(|(a, b)| (*a - 2.0 * b).abs() < 1e-6));
-        l.zero_grad();
-        assert!(l.gw.data.iter().all(|&g| g == 0.0));
+        let mut grads = LinearGrads::zeros(&l);
+        l.backward(&x, &dy, &mut grads);
+        let g1 = grads.w.data.clone();
+        l.backward(&x, &dy, &mut grads);
+        assert!(grads.w.data.iter().zip(&g1).all(|(a, b)| (*a - 2.0 * b).abs() < 1e-6));
+        grads.zero();
+        assert!(grads.w.data.iter().all(|&g| g == 0.0));
     }
 }

@@ -14,11 +14,18 @@
 //!
 //! with the forget-gate bias initialized to 1 (the usual trick so memory
 //! survives early training).
+//!
+//! Parameters ([`Lstm`]) and gradients ([`LstmGrads`]) are separate
+//! structs: the backward pass takes `&self` plus a gradient buffer, so
+//! data-parallel training can run many backward passes against one shared
+//! model, each into its own buffer, and reduce them in a fixed order.
 
-use crate::matrix::Matrix;
+use crate::fastmath;
+use crate::matrix::{fmadd, kernel_mode, KernelMode, Matrix};
 use crate::rng::MlRng;
 use serde::{Deserialize, Serialize};
 
+/// Exact libm sigmoid — the reference path's activation.
 fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
@@ -39,6 +46,26 @@ impl LstmState {
     }
 }
 
+/// Reusable gate-preactivation buffer for [`Lstm::step_inplace`].
+///
+/// One scratch serves a whole stack (layers share the hidden width), so a
+/// running Mimic performs zero heap allocations per packet: the buffer is
+/// sized once at state creation and only ever rewritten.
+#[derive(Clone, Debug)]
+pub struct LstmScratch {
+    /// Gate pre-activations, length `4·hidden` (gate order `i|f|g|o`).
+    z: Vec<f32>,
+}
+
+impl LstmScratch {
+    /// Scratch able to serve layers up to `hidden` units wide.
+    pub fn new(hidden: usize) -> LstmScratch {
+        LstmScratch {
+            z: vec![0.0; 4 * hidden],
+        }
+    }
+}
+
 /// Everything the backward pass needs from one forward step.
 #[derive(Clone, Debug)]
 pub struct StepCache {
@@ -52,7 +79,7 @@ pub struct StepCache {
     tanh_c: Matrix,
 }
 
-/// The LSTM layer parameters and accumulated gradients.
+/// The LSTM layer parameters.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Lstm {
     pub input: usize,
@@ -63,9 +90,71 @@ pub struct Lstm {
     pub wh: Matrix,
     /// Bias, length `4·hidden`.
     pub b: Vec<f32>,
-    pub gwx: Matrix,
-    pub gwh: Matrix,
-    pub gb: Vec<f32>,
+}
+
+/// Gradient accumulator matching an [`Lstm`]'s parameter shapes.
+#[derive(Clone, Debug)]
+pub struct LstmGrads {
+    pub wx: Matrix,
+    pub wh: Matrix,
+    pub b: Vec<f32>,
+}
+
+impl LstmGrads {
+    /// Zeroed gradients for `layer`.
+    pub fn zeros(layer: &Lstm) -> LstmGrads {
+        LstmGrads {
+            wx: Matrix::zeros(layer.input, 4 * layer.hidden),
+            wh: Matrix::zeros(layer.hidden, 4 * layer.hidden),
+            b: vec![0.0; 4 * layer.hidden],
+        }
+    }
+
+    /// Reset all gradients to zero (buffer reuse).
+    pub fn zero(&mut self) {
+        self.wx.data.fill(0.0);
+        self.wh.data.fill(0.0);
+        self.b.fill(0.0);
+    }
+
+    /// Accumulate another buffer: `self += other`.
+    pub fn add_assign(&mut self, other: &LstmGrads) {
+        self.wx.add_assign(&other.wx);
+        self.wh.add_assign(&other.wh);
+        for (a, &b) in self.b.iter_mut().zip(&other.b) {
+            *a += b;
+        }
+    }
+}
+
+/// `z += x · W` for a row vector `x` and row-major `W` (`x.len() × z.len()`),
+/// four `W` rows per pass so each store carries four multiply-adds.
+fn vecmat_accum(z: &mut [f32], x: &[f32], w: &Matrix) {
+    let n = z.len();
+    debug_assert_eq!(w.cols, n);
+    debug_assert_eq!(w.rows, x.len());
+    let mut k = 0;
+    while k + 4 <= x.len() {
+        let (a0, a1, a2, a3) = (x[k], x[k + 1], x[k + 2], x[k + 3]);
+        let w0 = &w.data[k * n..(k + 1) * n];
+        let w1 = &w.data[(k + 1) * n..(k + 2) * n];
+        let w2 = &w.data[(k + 2) * n..(k + 3) * n];
+        let w3 = &w.data[(k + 3) * n..(k + 4) * n];
+        for ((((zv, &v0), &v1), &v2), &v3) in
+            z.iter_mut().zip(w0).zip(w1).zip(w2).zip(w3)
+        {
+            *zv = fmadd(a0, v0, fmadd(a1, v1, fmadd(a2, v2, fmadd(a3, v3, *zv))));
+        }
+        k += 4;
+    }
+    while k < x.len() {
+        let a = x[k];
+        let wrow = &w.data[k * n..(k + 1) * n];
+        for (zv, &v) in z.iter_mut().zip(wrow) {
+            *zv = fmadd(a, v, *zv);
+        }
+        k += 1;
+    }
 }
 
 impl Lstm {
@@ -83,9 +172,6 @@ impl Lstm {
             wx: Matrix::from_fn(input, 4 * hidden, |_, _| rng.uniform_sym(a_x) as f32),
             wh: Matrix::from_fn(hidden, 4 * hidden, |_, _| rng.uniform_sym(a_h) as f32),
             b,
-            gwx: Matrix::zeros(input, 4 * hidden),
-            gwh: Matrix::zeros(hidden, 4 * hidden),
-            gb: vec![0.0; 4 * hidden],
         }
     }
 
@@ -100,8 +186,22 @@ impl Lstm {
     }
 
     /// One forward step for a batch. Returns the new state and the cache
-    /// for backprop.
+    /// for backprop. Dispatches on the process-wide
+    /// [`KernelMode`]: the reference path keeps the original
+    /// slice-and-map implementation with exact libm activations; the
+    /// optimized path fuses the whole gate chain into one sweep with
+    /// [`fastmath`] activations (|error| < 1e-6 per gate).
     pub fn forward_step(&self, x: &Matrix, state: &LstmState) -> (LstmState, StepCache) {
+        match kernel_mode() {
+            KernelMode::Naive => self.forward_step_reference(x, state),
+            KernelMode::Blocked => self.forward_step_fused(x, state),
+        }
+    }
+
+    /// The pre-optimization forward step, kept verbatim as the
+    /// equivalence baseline: per-gate slice/map/hadamard passes, each
+    /// allocating, with exact libm activations.
+    pub fn forward_step_reference(&self, x: &Matrix, state: &LstmState) -> (LstmState, StepCache) {
         assert_eq!(x.cols, self.input, "input width mismatch");
         let h = self.hidden;
         let mut z = x.matmul(&self.wx);
@@ -130,59 +230,157 @@ impl Lstm {
         )
     }
 
-    /// Allocation-light single-sample forward step for inference: updates
-    /// `state` (batch 1) in place. Numerically identical to
-    /// [`Lstm::forward_step`] (same accumulation order), but ~an order of
-    /// magnitude cheaper — this is the per-packet cost inside a running
-    /// Mimic, the analogue of the paper's custom C++/ATen inference engine.
-    pub fn step_inplace(&self, x: &[f32], state: &mut LstmState) {
+    /// The optimized forward step: bias add, all four gate activations,
+    /// and the cell update happen in a single sweep over the
+    /// pre-activations — no per-gate temporaries — using [`fastmath`]
+    /// activations. Matches the reference within 1e-5 per element.
+    pub fn forward_step_fused(&self, x: &Matrix, state: &LstmState) -> (LstmState, StepCache) {
+        assert_eq!(x.cols, self.input, "input width mismatch");
+        let h = self.hidden;
+        let batch = x.rows;
+        let mut z = x.matmul(&self.wx);
+        state.h.matmul_accum(&self.wh, &mut z);
+        let mut i = Matrix::zeros(batch, h);
+        let mut f = Matrix::zeros(batch, h);
+        let mut g = Matrix::zeros(batch, h);
+        let mut o = Matrix::zeros(batch, h);
+        let mut c = Matrix::zeros(batch, h);
+        let mut tanh_c = Matrix::zeros(batch, h);
+        let mut h_new = Matrix::zeros(batch, h);
+        for r in 0..batch {
+            // Activate the gate pre-activations as contiguous blocks —
+            // sigmoid over [i|f], tanh over [g], sigmoid over [o] — so the
+            // branch-free polynomial vectorizes across lanes instead of
+            // being evaluated scalar-by-scalar inside a wide loop body.
+            let zr = &mut z.data[r * 4 * h..(r + 1) * 4 * h];
+            for (zv, &bv) in zr.iter_mut().zip(&self.b) {
+                *zv += bv;
+            }
+            fastmath::sigmoid_slice(&mut zr[..2 * h]);
+            fastmath::tanh_slice(&mut zr[2 * h..3 * h]);
+            fastmath::sigmoid_slice(&mut zr[3 * h..]);
+            let (zi, rest) = zr.split_at(h);
+            let (zf, rest) = rest.split_at(h);
+            let (zg, zo) = rest.split_at(h);
+            let cp = &state.c.data[r * h..(r + 1) * h];
+            let rr = r * h..(r + 1) * h;
+            i.data[rr.clone()].copy_from_slice(zi);
+            f.data[rr.clone()].copy_from_slice(zf);
+            g.data[rr.clone()].copy_from_slice(zg);
+            o.data[rr.clone()].copy_from_slice(zo);
+            let cr = &mut c.data[rr.clone()];
+            for j in 0..h {
+                cr[j] = zf[j] * cp[j] + zi[j] * zg[j];
+            }
+            let tr = &mut tanh_c.data[rr.clone()];
+            tr.copy_from_slice(cr);
+            fastmath::tanh_slice(tr);
+            let hr = &mut h_new.data[rr];
+            for j in 0..h {
+                hr[j] = zo[j] * tr[j];
+            }
+        }
+        (
+            LstmState { h: h_new, c },
+            StepCache {
+                x: x.clone(),
+                h_prev: state.h.clone(),
+                c_prev: state.c.clone(),
+                i,
+                f,
+                g,
+                o,
+                tanh_c,
+            },
+        )
+    }
+
+    /// Allocation-free single-sample forward step for inference: updates
+    /// `state` (batch 1) in place using `scratch` for the gate
+    /// pre-activations. Matches [`Lstm::forward_step`] to within f32
+    /// rounding (the four-way unrolled accumulation reassociates sums) —
+    /// this is the per-packet cost inside a running Mimic, the analogue of
+    /// the paper's custom C++/ATen inference engine.
+    pub fn step_inplace(&self, x: &[f32], state: &mut LstmState, scratch: &mut LstmScratch) {
         assert_eq!(x.len(), self.input, "input width mismatch");
         assert_eq!(state.h.rows, 1, "step_inplace is single-sample");
         let h = self.hidden;
-        let mut z = vec![0.0f32; 4 * h];
-        // z = x · Wx  (same k-ordering as Matrix::matmul)
-        for (k, &a) in x.iter().enumerate() {
-            if a == 0.0 {
-                continue;
-            }
-            let row = &self.wx.data[k * 4 * h..(k + 1) * 4 * h];
-            for (zv, &w) in z.iter_mut().zip(row) {
-                *zv += a * w;
-            }
-        }
-        // z += h_prev · Wh
-        for (k, &a) in state.h.data.iter().enumerate() {
-            if a == 0.0 {
-                continue;
-            }
-            let row = &self.wh.data[k * 4 * h..(k + 1) * 4 * h];
-            for (zv, &w) in z.iter_mut().zip(row) {
-                *zv += a * w;
-            }
-        }
-        // z += b
-        for (zv, &b) in z.iter_mut().zip(&self.b) {
-            *zv += b;
-        }
+        assert!(scratch.z.len() >= 4 * h, "scratch too small for layer");
+        let z = &mut scratch.z[..4 * h];
+        // z = b; z += x · Wx; z += h_prev · Wh.
+        z.copy_from_slice(&self.b);
+        vecmat_accum(z, x, &self.wx);
+        vecmat_accum(z, &state.h.data, &self.wh);
+        // Activate contiguous gate blocks so the polynomial vectorizes
+        // (see `forward_step_fused`).
+        fastmath::sigmoid_slice(&mut z[..2 * h]);
+        fastmath::tanh_slice(&mut z[2 * h..3 * h]);
+        fastmath::sigmoid_slice(&mut z[3 * h..]);
+        let (zi, rest) = z.split_at(h);
+        let (zf, rest) = rest.split_at(h);
+        let (zg, zo) = rest.split_at(h);
         for j in 0..h {
-            let i_g = sigmoid(z[j]);
-            let f_g = sigmoid(z[h + j]);
-            let g_g = z[2 * h + j].tanh();
-            let o_g = sigmoid(z[3 * h + j]);
-            let c = f_g * state.c.data[j] + i_g * g_g;
-            state.c.data[j] = c;
-            state.h.data[j] = o_g * c.tanh();
+            state.c.data[j] = zf[j] * state.c.data[j] + zi[j] * zg[j];
+        }
+        state.h.data.copy_from_slice(&state.c.data);
+        fastmath::tanh_slice(&mut state.h.data);
+        for (hv, &og) in state.h.data.iter_mut().zip(zo) {
+            *hv *= og;
         }
     }
 
     /// One BPTT step: given `dL/dh` and `dL/dc` flowing in from the future,
-    /// accumulate parameter gradients and return
+    /// accumulate parameter gradients into `grads` and return
     /// `(dL/dx, dL/dh_prev, dL/dc_prev)`.
     pub fn backward_step(
-        &mut self,
+        &self,
         cache: &StepCache,
         dh: &Matrix,
         dc_in: &Matrix,
+        grads: &mut LstmGrads,
+    ) -> (Matrix, Matrix, Matrix) {
+        let (dx, dh_prev, dc_prev) = self.backward_step_opt(cache, dh, dc_in, grads, true);
+        (dx.expect("dx requested"), dh_prev, dc_prev)
+    }
+
+    /// [`Lstm::backward_step`] with the input gradient made optional:
+    /// layer 0 of a stack has no layer below it, so `dL/dx` — a full
+    /// `dz · Wxᵀ` product, roughly a quarter of the step's matrix math —
+    /// can be skipped entirely with `need_dx = false`.
+    ///
+    /// Dispatches on the process [`KernelMode`]: the reference path is
+    /// the original per-gate hadamard chain (which always computes `dx`,
+    /// exactly as the pre-optimization code did); the optimized path
+    /// fuses the gate-derivative chain into one sweep writing `dz`
+    /// directly and accumulates the weight gradients in place.
+    pub fn backward_step_opt(
+        &self,
+        cache: &StepCache,
+        dh: &Matrix,
+        dc_in: &Matrix,
+        grads: &mut LstmGrads,
+        need_dx: bool,
+    ) -> (Option<Matrix>, Matrix, Matrix) {
+        match kernel_mode() {
+            KernelMode::Naive => {
+                let (dx, dh_prev, dc_prev) =
+                    self.backward_step_reference(cache, dh, dc_in, grads);
+                (need_dx.then_some(dx), dh_prev, dc_prev)
+            }
+            KernelMode::Blocked => self.backward_step_fused(cache, dh, dc_in, grads, need_dx),
+        }
+    }
+
+    /// The pre-optimization backward step, kept verbatim as the
+    /// equivalence baseline: one allocating hadamard/map pass per
+    /// intermediate, gradients staged through temporaries, `dx` always
+    /// computed.
+    pub fn backward_step_reference(
+        &self,
+        cache: &StepCache,
+        dh: &Matrix,
+        dc_in: &Matrix,
+        grads: &mut LstmGrads,
     ) -> (Matrix, Matrix, Matrix) {
         let h = self.hidden;
         let one_minus = |m: &Matrix| m.map(|v| 1.0 - v);
@@ -212,9 +410,9 @@ impl Lstm {
             dz.data[r * 4 * h + 3 * h..r * 4 * h + 4 * h].copy_from_slice(dzo.row(r));
         }
         // Parameter gradients.
-        self.gwx.add_assign(&cache.x.t_matmul(&dz));
-        self.gwh.add_assign(&cache.h_prev.t_matmul(&dz));
-        for (g, d) in self.gb.iter_mut().zip(dz.sum_rows()) {
+        grads.wx.add_assign(&cache.x.t_matmul(&dz));
+        grads.wh.add_assign(&cache.h_prev.t_matmul(&dz));
+        for (g, d) in grads.b.iter_mut().zip(dz.sum_rows()) {
             *g += d;
         }
         // Upstream gradients.
@@ -223,17 +421,80 @@ impl Lstm {
         (dx, dh_prev, dc_prev)
     }
 
-    pub fn zero_grad(&mut self) {
-        self.gwx.data.fill(0.0);
-        self.gwh.data.fill(0.0);
-        self.gb.fill(0.0);
+    /// The optimized backward step: the gate-derivative chain runs in one
+    /// sweep (element order and arithmetic identical to the reference —
+    /// an allocation/pass fusion, not a reassociation) and the weight
+    /// gradients accumulate straight into `grads` with no temporaries.
+    fn backward_step_fused(
+        &self,
+        cache: &StepCache,
+        dh: &Matrix,
+        dc_in: &Matrix,
+        grads: &mut LstmGrads,
+        need_dx: bool,
+    ) -> (Option<Matrix>, Matrix, Matrix) {
+        let h = self.hidden;
+        let batch = dh.rows;
+        let mut dz = Matrix::zeros(batch, 4 * h);
+        let mut dc_prev = Matrix::zeros(batch, h);
+        for r in 0..batch {
+            // Per-row slices of fixed length `h` so the compiler can hoist
+            // the bounds checks and vectorize the sweep (indexed accesses
+            // into eight different buffers defeat both).
+            let rr = r * h..(r + 1) * h;
+            let ir = &cache.i.data[rr.clone()];
+            let fr = &cache.f.data[rr.clone()];
+            let gr = &cache.g.data[rr.clone()];
+            let or = &cache.o.data[rr.clone()];
+            let tcr = &cache.tanh_c.data[rr.clone()];
+            let cpr = &cache.c_prev.data[rr.clone()];
+            let dhr = &dh.data[rr.clone()];
+            let dcir = &dc_in.data[rr.clone()];
+            let dcpr = &mut dc_prev.data[rr];
+            let zrow = &mut dz.data[r * 4 * h..(r + 1) * 4 * h];
+            let (dzi, rest) = zrow.split_at_mut(h);
+            let (dzf, rest) = rest.split_at_mut(h);
+            let (dzg, dzo) = rest.split_at_mut(h);
+            for j in 0..h {
+                let i = ir[j];
+                let f = fr[j];
+                let g = gr[j];
+                let o = or[j];
+                let tc = tcr[j];
+                let dhv = dhr[j];
+                let do_ = dhv * tc;
+                let dc = dhv * o * (1.0 - tc * tc) + dcir[j];
+                dcpr[j] = dc * f;
+                dzi[j] = dc * g * i * (1.0 - i);
+                dzf[j] = dc * cpr[j] * f * (1.0 - f);
+                dzg[j] = dc * i * (1.0 - g * g);
+                dzo[j] = do_ * o * (1.0 - o);
+            }
+        }
+        // Parameter gradients, accumulated in place.
+        cache.x.t_matmul_accum(&dz, &mut grads.wx);
+        cache.h_prev.t_matmul_accum(&dz, &mut grads.wh);
+        for r in 0..batch {
+            let zrow = &dz.data[r * 4 * h..(r + 1) * 4 * h];
+            for (g, &d) in grads.b.iter_mut().zip(zrow) {
+                *g += d;
+            }
+        }
+        // Upstream gradients.
+        let dx = if need_dx {
+            Some(dz.matmul_t(&self.wx))
+        } else {
+            None
+        };
+        let dh_prev = dz.matmul_t(&self.wh);
+        (dx, dh_prev, dc_prev)
     }
 
     /// Visit `(params, grads)` slices in a fixed order.
-    pub fn visit(&mut self, f: &mut impl FnMut(&mut [f32], &mut [f32])) {
-        f(&mut self.wx.data, &mut self.gwx.data);
-        f(&mut self.wh.data, &mut self.gwh.data);
-        f(&mut self.b, &mut self.gb);
+    pub fn visit(&mut self, grads: &mut LstmGrads, f: &mut impl FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.wx.data, &mut grads.wx.data);
+        f(&mut self.wh.data, &mut grads.wh.data);
+        f(&mut self.b, &mut grads.b);
     }
 
     pub fn param_count(&self) -> usize {
@@ -292,6 +553,102 @@ mod tests {
     }
 
     #[test]
+    fn step_inplace_matches_forward_step() {
+        let mut rng = MlRng::new(17);
+        let lstm = Lstm::new(5, 7, &mut rng);
+        let mut scratch = LstmScratch::new(7);
+        let mut state = LstmState::zeros(1, 7);
+        let mut batch_state = LstmState::zeros(1, 7);
+        for _ in 0..6 {
+            let x: Vec<f32> = (0..5).map(|_| rng.uniform_sym(1.0) as f32).collect();
+            lstm.step_inplace(&x, &mut state, &mut scratch);
+            let xm = Matrix::from_rows(std::slice::from_ref(&x));
+            batch_state = lstm.forward_step(&xm, &batch_state).0;
+            for (a, b) in state.h.data.iter().zip(&batch_state.h.data) {
+                assert!((a - b).abs() < 1e-5, "h diverged: {a} vs {b}");
+            }
+            for (a, b) in state.c.data.iter().zip(&batch_state.c.data) {
+                assert!((a - b).abs() < 1e-5, "c diverged: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_forward_matches_reference() {
+        // The optimized forward (fused sweep + fastmath activations) must
+        // track the pre-optimization implementation within 1e-5 over a
+        // multi-step rollout, including awkward batch sizes.
+        let mut rng = MlRng::new(31);
+        let lstm = Lstm::new(5, 9, &mut rng);
+        for batch in [1usize, 3, 8] {
+            let mut s_ref = LstmState::zeros(batch, 9);
+            let mut s_fused = LstmState::zeros(batch, 9);
+            for _ in 0..5 {
+                let x = Matrix::from_fn(batch, 5, |_, _| rng.uniform_sym(2.0) as f32);
+                s_ref = lstm.forward_step_reference(&x, &s_ref).0;
+                s_fused = lstm.forward_step_fused(&x, &s_fused).0;
+                for (a, b) in s_ref.h.data.iter().zip(&s_fused.h.data) {
+                    assert!((a - b).abs() < 1e-5, "h diverged: {a} vs {b}");
+                }
+                for (a, b) in s_ref.c.data.iter().zip(&s_fused.c.data) {
+                    assert!((a - b).abs() < 1e-5, "c diverged: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_backward_matches_reference() {
+        // Same forward cache, gradients within 1e-5 whichever backward
+        // implementation processes it.
+        let mut rng = MlRng::new(41);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let x = Matrix::from_fn(4, 3, |_, _| rng.uniform_sym(1.0) as f32);
+        let (s2, cache) = lstm.forward_step_reference(&x, &LstmState::zeros(4, 5));
+        let dh = s2.h.clone();
+        let dc = Matrix::from_fn(4, 5, |_, _| rng.uniform_sym(0.5) as f32);
+        let mut g_ref = LstmGrads::zeros(&lstm);
+        let mut g_fused = LstmGrads::zeros(&lstm);
+        let (dx_r, dh_r, dc_r) = lstm.backward_step_reference(&cache, &dh, &dc, &mut g_ref);
+        let (dx_f, dh_f, dc_f) = {
+            let (dx, dh2, dc2) = lstm.backward_step_fused(&cache, &dh, &dc, &mut g_fused, true);
+            (dx.expect("dx requested"), dh2, dc2)
+        };
+        let close = |a: &[f32], b: &[f32], label: &str| {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-5, "{label}: {x} vs {y}");
+            }
+        };
+        close(&dx_r.data, &dx_f.data, "dx");
+        close(&dh_r.data, &dh_f.data, "dh_prev");
+        close(&dc_r.data, &dc_f.data, "dc_prev");
+        close(&g_ref.wx.data, &g_fused.wx.data, "wx");
+        close(&g_ref.wh.data, &g_fused.wh.data, "wh");
+        close(&g_ref.b, &g_fused.b, "b");
+    }
+
+    #[test]
+    fn backward_skipping_dx_changes_nothing_else() {
+        let mut rng = MlRng::new(37);
+        let lstm = Lstm::new(4, 6, &mut rng);
+        let x = Matrix::from_fn(2, 4, |_, _| rng.uniform_sym(1.0) as f32);
+        let (s2, cache) = lstm.forward_step(&x, &LstmState::zeros(2, 6));
+        let dh = s2.h.clone();
+        let dc = Matrix::zeros(2, 6);
+        let mut g1 = LstmGrads::zeros(&lstm);
+        let mut g2 = LstmGrads::zeros(&lstm);
+        let (dx, dh1, dc1) = lstm.backward_step_opt(&cache, &dh, &dc, &mut g1, true);
+        let (no_dx, dh2, dc2) = lstm.backward_step_opt(&cache, &dh, &dc, &mut g2, false);
+        assert!(dx.is_some());
+        assert!(no_dx.is_none());
+        assert_eq!(dh1.data, dh2.data);
+        assert_eq!(dc1.data, dc2.data);
+        assert_eq!(g1.wx.data, g2.wx.data);
+        assert_eq!(g1.wh.data, g2.wh.data);
+        assert_eq!(g1.b, g2.b);
+    }
+
+    #[test]
     fn bptt_gradient_check() {
         // Finite-difference check of dL/dWx, dL/dWh, dL/db over a 3-step
         // unrolled sequence with L = 0.5·Σ h_T².
@@ -318,19 +675,19 @@ mod tests {
             caches.push(cache);
             s = s2;
         }
-        lstm.zero_grad();
+        let mut grads = LstmGrads::zeros(&lstm);
         let mut dh = s.h.clone(); // dL/dh_T = h_T
         let mut dc = Matrix::zeros(batch, hidden);
         for cache in caches.iter().rev() {
-            let (_dx, dh_prev, dc_prev) = lstm.backward_step(cache, &dh, &dc);
+            let (_dx, dh_prev, dc_prev) = lstm.backward_step(cache, &dh, &dc, &mut grads);
             dh = dh_prev;
             dc = dc_prev;
         }
 
         // Compare against central differences at a sample of parameters.
-        let gwx = lstm.gwx.data.clone();
-        let gwh = lstm.gwh.data.clone();
-        let gb = lstm.gb.clone();
+        let gwx = grads.wx.data.clone();
+        let gwh = grads.wh.data.clone();
+        let gb = grads.b.clone();
         let eps = 2e-3f32;
         let mut check = |get: &dyn Fn(&Lstm) -> f32,
                          set: &dyn Fn(&mut Lstm, f32),
@@ -357,6 +714,31 @@ mod tests {
         for idx in [0usize, 4, 9] {
             check(&|l| l.b[idx], &|l, v| l.b[idx] = v, gb[idx], "b");
         }
+    }
+
+    #[test]
+    fn grads_accumulate_and_reduce() {
+        let mut rng = MlRng::new(23);
+        let lstm = Lstm::new(2, 3, &mut rng);
+        let x = Matrix::from_fn(1, 2, |_, _| rng.uniform_sym(1.0) as f32);
+        let s = LstmState::zeros(1, 3);
+        let (s2, cache) = lstm.forward_step(&x, &s);
+        let dh = s2.h.clone();
+        let dc = Matrix::zeros(1, 3);
+        let mut g1 = LstmGrads::zeros(&lstm);
+        let mut g2 = LstmGrads::zeros(&lstm);
+        lstm.backward_step(&cache, &dh, &dc, &mut g1);
+        lstm.backward_step(&cache, &dh, &dc, &mut g2);
+        // Reducing two copies doubles the gradient.
+        let mut sum = LstmGrads::zeros(&lstm);
+        sum.add_assign(&g1);
+        sum.add_assign(&g2);
+        for (s, g) in sum.wx.data.iter().zip(&g1.wx.data) {
+            assert!((s - 2.0 * g).abs() < 1e-6);
+        }
+        sum.zero();
+        assert!(sum.wx.data.iter().all(|&v| v == 0.0));
+        assert!(sum.b.iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -16,13 +16,17 @@
 //! * **Windowed training** — [`SeqModel::forward_window`] /
 //!   [`SeqModel::backward_window`] unroll over a window of packets and
 //!   supervise the final step (the window defaults to the network BDP,
-//!   per Appendix C).
+//!   per Appendix C). Gradients accumulate into a caller-owned
+//!   [`ModelGrads`], so data-parallel training can run several backward
+//!   passes over one shared `&SeqModel` and reduce the buffers in a fixed
+//!   order ([`ModelGrads::add_assign`]).
 //! * **Stateful inference** — [`SeqModel::step`] carries hidden state
 //!   packet-by-packet inside a running simulation; feeder packets update
-//!   the state the same way, with outputs discarded (§6).
+//!   the state the same way, with outputs discarded (§6). The state owns
+//!   the gate scratch buffer, so stepping performs zero heap allocations.
 
-use crate::linear::Linear;
-use crate::lstm::{Lstm, LstmState, StepCache};
+use crate::linear::{Linear, LinearGrads};
+use crate::lstm::{Lstm, LstmGrads, LstmScratch, LstmState, StepCache};
 use crate::matrix::Matrix;
 use crate::rng::MlRng;
 use serde::{Deserialize, Serialize};
@@ -44,10 +48,70 @@ pub struct SeqModel {
     pub head: Linear,
 }
 
-/// Recurrent state of the whole stack (one [`LstmState`] per layer).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// Recurrent state of the whole stack (one [`LstmState`] per layer) plus
+/// the reusable inference scratch. Not serialized: state is transient and
+/// rebuilt from [`SeqModel::init_state`] at composition time.
+#[derive(Clone, Debug)]
 pub struct ModelState {
     pub layers: Vec<LstmState>,
+    scratch: LstmScratch,
+}
+
+/// Gradients for every parameter of a [`SeqModel`], in the model's
+/// canonical layer order.
+#[derive(Clone, Debug)]
+pub struct ModelGrads {
+    pub lstms: Vec<LstmGrads>,
+    pub head: LinearGrads,
+}
+
+impl ModelGrads {
+    /// Reset all gradients to zero (buffer reuse across batches).
+    pub fn zero(&mut self) {
+        for g in &mut self.lstms {
+            g.zero();
+        }
+        self.head.zero();
+    }
+
+    /// Accumulate another buffer: `self += other`. Reduction order is the
+    /// caller's responsibility — data-parallel training adds shard buffers
+    /// in shard-index order so any worker count sums identically.
+    pub fn add_assign(&mut self, other: &ModelGrads) {
+        assert_eq!(self.lstms.len(), other.lstms.len(), "grad depth mismatch");
+        for (a, b) in self.lstms.iter_mut().zip(&other.lstms) {
+            a.add_assign(b);
+        }
+        self.head.add_assign(&other.head);
+    }
+
+    /// Global L2 norm over all gradients.
+    pub fn norm(&self) -> f32 {
+        let mut total = 0.0f32;
+        for g in &self.lstms {
+            total += g.wx.data.iter().map(|v| v * v).sum::<f32>();
+            total += g.wh.data.iter().map(|v| v * v).sum::<f32>();
+            total += g.b.iter().map(|v| v * v).sum::<f32>();
+        }
+        total += self.head.w.data.iter().map(|v| v * v).sum::<f32>();
+        total += self.head.b.iter().map(|v| v * v).sum::<f32>();
+        total.sqrt()
+    }
+
+    /// Clip all gradients to a global norm (BPTT stability).
+    pub fn clip_to_norm(&mut self, max_norm: f32) {
+        let total = self.norm();
+        if total > max_norm {
+            let k = max_norm / total;
+            for g in &mut self.lstms {
+                g.wx.scale(k);
+                g.wh.scale(k);
+                g.b.iter_mut().for_each(|v| *v *= k);
+            }
+            self.head.w.scale(k);
+            self.head.b.iter_mut().for_each(|v| *v *= k);
+        }
+    }
 }
 
 /// Cache of one unrolled window for backprop: `steps[t][l]` is layer `l`'s
@@ -90,6 +154,14 @@ impl SeqModel {
         self.lstms.len()
     }
 
+    /// A zeroed gradient buffer matching this model's shapes.
+    pub fn new_grads(&self) -> ModelGrads {
+        ModelGrads {
+            lstms: self.lstms.iter().map(LstmGrads::zeros).collect(),
+            head: LinearGrads::zeros(&self.head),
+        }
+    }
+
     /// Unroll over `xs` (one `B × F` matrix per timestep) from a zero
     /// state; predict at the final step. Returns `(B × 3)` predictions.
     pub fn forward_window(&self, xs: &[Matrix]) -> (Matrix, WindowCache) {
@@ -126,8 +198,8 @@ impl SeqModel {
     }
 
     /// Backpropagate `dL/dy` (B × 3) through the window, accumulating
-    /// gradients in the layers (stacked BPTT).
-    pub fn backward_window(&mut self, cache: &WindowCache, dy: &Matrix) {
+    /// gradients into `grads` (stacked BPTT).
+    pub fn backward_window(&self, cache: &WindowCache, dy: &Matrix, grads: &mut ModelGrads) {
         let layers = self.lstms.len();
         let hidden = self.hidden_dim();
         // Per-layer recurrent gradients flowing backward in time.
@@ -138,7 +210,7 @@ impl SeqModel {
             .map(|_| Matrix::zeros(cache.batch, hidden))
             .collect();
         // The head contributes to the top layer at the final step.
-        dh_time[layers - 1].add_assign(&self.head.backward(&cache.final_h, dy));
+        dh_time[layers - 1].add_assign(&self.head.backward(&cache.final_h, dy, &mut grads.head));
 
         for per_layer in cache.steps.iter().rev() {
             // Gradient from the layer above w.r.t. this layer's output.
@@ -148,41 +220,32 @@ impl SeqModel {
                 if let Some(dx) = dx_from_above.take() {
                     dh_in.add_assign(&dx);
                 }
-                let (dx, dh_prev, dc_prev) =
-                    self.lstms[l].backward_step(&per_layer[l], &dh_in, &dc_time[l]);
+                // Layer 0 has nothing below it — skip its dL/dx product.
+                let (dx, dh_prev, dc_prev) = self.lstms[l].backward_step_opt(
+                    &per_layer[l],
+                    &dh_in,
+                    &dc_time[l],
+                    &mut grads.lstms[l],
+                    l > 0,
+                );
                 dh_time[l] = dh_prev;
                 dc_time[l] = dc_prev;
-                if l > 0 {
-                    dx_from_above = Some(dx);
-                }
+                dx_from_above = dx;
             }
         }
     }
 
-    pub fn zero_grad(&mut self) {
-        for lstm in &mut self.lstms {
-            lstm.zero_grad();
-        }
-        self.head.zero_grad();
-    }
-
     /// Visit all `(params, grads)` pairs in canonical order.
-    pub fn visit_params(&mut self, f: &mut impl FnMut(&mut [f32], &mut [f32])) {
-        for lstm in &mut self.lstms {
-            lstm.visit(f);
+    pub fn visit_params(
+        &mut self,
+        grads: &mut ModelGrads,
+        f: &mut impl FnMut(&mut [f32], &mut [f32]),
+    ) {
+        assert_eq!(self.lstms.len(), grads.lstms.len(), "grad depth mismatch");
+        for (lstm, g) in self.lstms.iter_mut().zip(&mut grads.lstms) {
+            lstm.visit(g, f);
         }
-        self.head.visit(f);
-    }
-
-    /// Clip all gradients to a global norm (BPTT stability).
-    pub fn clip_gradients(&mut self, max_norm: f32) {
-        let mut total = 0.0f32;
-        self.visit_params(&mut |_, g| total += g.iter().map(|v| v * v).sum::<f32>());
-        let total = total.sqrt();
-        if total > max_norm {
-            let k = max_norm / total;
-            self.visit_params(&mut |_, g| g.iter_mut().for_each(|v| *v *= k));
-        }
+        self.head.visit(&mut grads.head, f);
     }
 
     /// Number of trainable parameters.
@@ -190,14 +253,17 @@ impl SeqModel {
         self.lstms.iter().map(|l| l.param_count()).sum::<usize>() + self.head.param_count()
     }
 
-    /// A fresh single-packet inference state.
+    /// A fresh single-packet inference state with pre-sized scratch: no
+    /// further allocation happens on the stepping path.
     pub fn init_state(&self) -> ModelState {
+        let max_hidden = self.lstms.iter().map(|l| l.hidden).max().unwrap_or(0);
         ModelState {
             layers: self
                 .lstms
                 .iter()
                 .map(|l| LstmState::zeros(1, l.hidden))
                 .collect(),
+            scratch: LstmScratch::new(max_hidden),
         }
     }
 
@@ -205,15 +271,16 @@ impl SeqModel {
     /// vector `x` and return `[latency, drop_logit, ecn_logit]`.
     pub fn step(&self, x: &[f32], state: &mut ModelState) -> [f32; OUTPUTS] {
         self.step_state_only(x, state);
-        // Head: three dot products over the top layer's hidden vector.
+        // Head: walk W row-contiguously, three multiply-adds per hidden
+        // unit, no per-output strided passes.
         let h = &state.layers.last().expect("nonempty stack").h.data;
         let mut out = [0.0f32; OUTPUTS];
-        for (k, o) in out.iter_mut().enumerate() {
-            let mut s = self.head.b[k];
-            for (j, &hj) in h.iter().enumerate() {
-                s += hj * self.head.w.get(j, k);
+        out.copy_from_slice(&self.head.b);
+        for (j, &hj) in h.iter().enumerate() {
+            let wrow = &self.head.w.data[j * OUTPUTS..(j + 1) * OUTPUTS];
+            for (o, &w) in out.iter_mut().zip(wrow) {
+                *o += hj * w;
             }
-            *o = s;
         }
         out
     }
@@ -224,12 +291,13 @@ impl SeqModel {
     pub fn step_state_only(&self, x: &[f32], state: &mut ModelState) {
         assert_eq!(x.len(), self.lstms[0].input, "feature width mismatch");
         assert_eq!(state.layers.len(), self.lstms.len(), "state depth mismatch");
-        self.lstms[0].step_inplace(x, &mut state.layers[0]);
+        let ModelState { layers, scratch } = state;
+        self.lstms[0].step_inplace(x, &mut layers[0], scratch);
         for l in 1..self.lstms.len() {
-            // The borrow checker needs the previous layer's output copied
-            // out before the next layer's state is mutated.
-            let prev_h = state.layers[l - 1].h.data.clone();
-            self.lstms[l].step_inplace(&prev_h, &mut state.layers[l]);
+            // Split so the previous layer's output can be read while this
+            // layer's state is written — no copy, no allocation.
+            let (prev, rest) = layers.split_at_mut(l);
+            self.lstms[l].step_inplace(&prev[l - 1].h.data, &mut rest[0], scratch);
         }
     }
 
@@ -272,11 +340,11 @@ mod tests {
             y.data.iter().map(|&v| 0.5 * v as f64 * v as f64).sum()
         };
         let (y, cache) = m.forward_window(&xs);
-        m.zero_grad();
-        m.backward_window(&cache, &y);
+        let mut grads = m.new_grads();
+        m.backward_window(&cache, &y, &mut grads);
         let eps = 2e-3f32;
         for layer in 0..layers {
-            let grads = m.lstms[layer].gwx.data.clone();
+            let layer_grads = grads.lstms[layer].wx.data.clone();
             for idx in [0usize, 7] {
                 let orig = m.lstms[layer].wx.data[idx];
                 m.lstms[layer].wx.data[idx] = orig + eps;
@@ -285,14 +353,14 @@ mod tests {
                 let dn = loss(&m);
                 m.lstms[layer].wx.data[idx] = orig;
                 let fd = ((up - dn) / (2.0 * eps as f64)) as f32;
-                let an = grads[idx];
+                let an = layer_grads[idx];
                 assert!(
                     (fd - an).abs() / (fd.abs() + an.abs()).max(5e-3) < 0.08,
                     "layer {layer} wx[{idx}]: fd {fd} vs {an}"
                 );
             }
         }
-        let head_grads = m.head.gw.data.clone();
+        let head_grads = grads.head.w.data.clone();
         for idx in [0usize, 5, 11] {
             let orig = m.head.w.data[idx];
             m.head.w.data[idx] = orig + eps;
@@ -364,12 +432,37 @@ mod tests {
 
     #[test]
     fn gradient_clipping_bounds_norm() {
-        let mut m = SeqModel::new_stacked(3, 4, 2, 7);
-        m.visit_params(&mut |_, g| g.fill(10.0));
-        m.clip_gradients(1.0);
-        let mut total = 0.0f32;
-        m.visit_params(&mut |_, g| total += g.iter().map(|v| v * v).sum::<f32>());
-        assert!((total.sqrt() - 1.0).abs() < 1e-3);
+        let m = SeqModel::new_stacked(3, 4, 2, 7);
+        let mut grads = m.new_grads();
+        for g in &mut grads.lstms {
+            g.wx.data.fill(10.0);
+            g.wh.data.fill(10.0);
+            g.b.fill(10.0);
+        }
+        grads.head.w.data.fill(10.0);
+        grads.head.b.fill(10.0);
+        grads.clip_to_norm(1.0);
+        assert!((grads.norm() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn grad_buffers_reduce_in_order() {
+        // Two independent shard buffers reduced into a third equal one
+        // backward pass over the concatenated batch? Not exactly (fp
+        // reassociation) — but reducing [g, g] must equal 2g exactly.
+        let m = SeqModel::new(3, 4, 21);
+        let xs: Vec<Matrix> = (0..2).map(|_| Matrix::from_fn(2, 3, |i, j| (i + j) as f32 * 0.1)).collect();
+        let (y, cache) = m.forward_window(&xs);
+        let mut g1 = m.new_grads();
+        m.backward_window(&cache, &y, &mut g1);
+        let mut g2 = m.new_grads();
+        m.backward_window(&cache, &y, &mut g2);
+        let mut sum = m.new_grads();
+        sum.add_assign(&g1);
+        sum.add_assign(&g2);
+        for (s, g) in sum.head.w.data.iter().zip(&g1.head.w.data) {
+            assert!((s - 2.0 * g).abs() < 1e-6);
+        }
     }
 
     #[test]

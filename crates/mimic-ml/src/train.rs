@@ -1,9 +1,21 @@
 //! The mini-batch training loop for internal models.
+//!
+//! ## Deterministic data parallelism
+//!
+//! Each batch is cut into fixed-size contiguous shards of
+//! [`SHARD_ROWS`] rows. A shard is the unit of work: forward + backward
+//! into a private [`ModelGrads`] buffer, then all shard buffers are
+//! reduced **in shard-index order** into one gradient. Because the shard
+//! layout and the reduction order depend only on the batch — never on the
+//! worker count — training with 1, 2, or 8 workers produces bit-identical
+//! parameters (floating-point addition is not associative, so this
+//! property has to be engineered, and it is enforced by test). Workers are
+//! scoped threads, each owning a contiguous range of shard slots.
 
 use crate::dataset::{PacketDataset, WindowBatcher};
-use crate::loss::CombinedLoss;
+use crate::loss::{CombinedLoss, Target};
 use crate::matrix::Matrix;
-use crate::model::SeqModel;
+use crate::model::{ModelGrads, SeqModel};
 use crate::optim::Adam;
 use crate::rng::MlRng;
 
@@ -18,6 +30,11 @@ pub struct TrainConfig {
     /// Global gradient-norm clip (BPTT stability).
     pub clip: f32,
     pub seed: u64,
+    /// Worker threads for the per-batch forward/backward. Any value
+    /// produces bit-identical parameters; >1 only changes wall-clock.
+    /// The effective thread count is additionally clamped to the shard
+    /// count and to `std::thread::available_parallelism()`.
+    pub workers: usize,
 }
 
 impl Default for TrainConfig {
@@ -30,6 +47,7 @@ impl Default for TrainConfig {
             loss: CombinedLoss::default(),
             clip: 5.0,
             seed: 1,
+            workers: 1,
         }
     }
 }
@@ -87,6 +105,53 @@ impl std::error::Error for TrainError {}
 /// checkpoint and halves the learning rate) before giving up.
 const MAX_BACKOFFS: usize = 3;
 
+/// Rows per gradient shard. Fixed — NOT derived from the worker count —
+/// so the floating-point reduction tree is identical for any parallelism.
+/// 16 rows keeps the per-shard `t_matmul` reductions deep enough to
+/// amortize their passes over the output while still cutting the default
+/// batch of 64 into four independent work units.
+const SHARD_ROWS: usize = 16;
+
+/// Forward + backward one shard (`rows` of the batch) into `grads`;
+/// returns the shard's summed loss. `batch_rows` scales `dL/dy` so the
+/// reduced gradient is the batch mean, exactly as the sequential loop
+/// computed it.
+fn process_shard(
+    model: &SeqModel,
+    xs: &[Matrix],
+    targets: &[Target],
+    rows_range: std::ops::Range<usize>,
+    batch_rows: usize,
+    loss_fn: &CombinedLoss,
+    grads: &mut ModelGrads,
+) -> f64 {
+    let (r0, r1) = (rows_range.start, rows_range.end);
+    let rows = r1 - r0;
+    let shard_xs: Vec<Matrix> = xs
+        .iter()
+        .map(|x| {
+            let mut m = Matrix::zeros(rows, x.cols);
+            m.data
+                .copy_from_slice(&x.data[r0 * x.cols..r1 * x.cols]);
+            m
+        })
+        .collect();
+    let (y, cache) = model.forward_window(&shard_xs);
+    let mut dy = Matrix::zeros(y.rows, y.cols);
+    let scale = 1.0 / batch_rows as f32;
+    let mut loss_sum = 0.0f64;
+    for (b, t) in targets[r0..r1].iter().enumerate() {
+        let (loss, g) = loss_fn.eval(y.row(b), t);
+        loss_sum += loss as f64;
+        for (o, &gv) in dy.row_mut(b).iter_mut().zip(g.iter()) {
+            *o = gv * scale;
+        }
+    }
+    grads.zero();
+    model.backward_window(&cache, &dy, grads);
+    loss_sum
+}
+
 /// Train `model` on `data` in place; returns the loss trajectory.
 ///
 /// Robustness: if an epoch's mean loss comes back NaN/Inf (exploded
@@ -116,6 +181,12 @@ pub fn train(
     let mut best: Option<(SeqModel, f64)> = None;
     let mut consecutive_bad = 0usize;
 
+    // Reusable buffers: one grad slot per shard plus the reduction target.
+    let max_shards = cfg.batch_size.max(1).div_ceil(SHARD_ROWS);
+    let mut shard_grads: Vec<ModelGrads> = (0..max_shards).map(|_| model.new_grads()).collect();
+    let mut shard_losses = vec![0.0f64; max_shards];
+    let mut grad_buf = model.new_grads();
+
     let mut epoch = 0usize;
     while epoch < cfg.epochs {
         let batcher = WindowBatcher::new(data, cfg.window, &mut rng);
@@ -123,23 +194,60 @@ pub fn train(
         let mut samples = 0usize;
         let mut steps = 0usize;
         for (xs, targets) in batcher.batches(cfg.batch_size) {
-            let (y, cache) = model.forward_window(&xs);
-            let mut dy = Matrix::zeros(y.rows, y.cols);
-            for (b, t) in targets.iter().enumerate() {
-                let (loss, grads) = cfg.loss.eval(y.row(b), t);
-                epoch_loss += loss as f64;
-                // Mean over the batch.
-                let scale = 1.0 / targets.len() as f32;
-                for (k, g) in grads.iter().enumerate() {
-                    dy.set(b, k, g * scale);
+            let batch_rows = targets.len();
+            let nshards = batch_rows.div_ceil(SHARD_ROWS);
+            // Clamp to the machine's parallelism: shard layout and the
+            // reduction order below are worker-count-independent, so running
+            // fewer threads than requested changes nothing numerically — it
+            // only avoids paying spawn overhead for threads that would
+            // time-slice a single core.
+            let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let workers = cfg.workers.max(1).min(nshards).min(hw);
+            {
+                let m: &SeqModel = model;
+                let xs = &xs[..];
+                let targets = &targets[..];
+                let loss_fn = &cfg.loss;
+                let run_shards = |base: usize, grads: &mut [ModelGrads], losses: &mut [f64]| {
+                    for (j, (g, l)) in grads.iter_mut().zip(losses.iter_mut()).enumerate() {
+                        let s = base + j;
+                        let r0 = s * SHARD_ROWS;
+                        let r1 = (r0 + SHARD_ROWS).min(batch_rows);
+                        *l = process_shard(m, xs, targets, r0..r1, batch_rows, loss_fn, g);
+                    }
+                };
+                if workers <= 1 {
+                    run_shards(0, &mut shard_grads[..nshards], &mut shard_losses[..nshards]);
+                } else {
+                    let chunk = nshards.div_ceil(workers);
+                    std::thread::scope(|scope| {
+                        let mut parts = shard_grads[..nshards]
+                            .chunks_mut(chunk)
+                            .zip(shard_losses[..nshards].chunks_mut(chunk))
+                            .enumerate();
+                        // Worker 0's chunk runs on the calling thread.
+                        let own = parts.next();
+                        for (w, (gchunk, lchunk)) in parts {
+                            let run = &run_shards;
+                            scope.spawn(move || run(w * chunk, gchunk, lchunk));
+                        }
+                        if let Some((_, (gchunk, lchunk))) = own {
+                            run_shards(0, gchunk, lchunk);
+                        }
+                    });
                 }
             }
-            samples += targets.len();
-            model.zero_grad();
-            model.backward_window(&cache, &dy);
-            model.clip_gradients(cfg.clip);
+            // Fixed-order reduction: shard 0, 1, 2, … regardless of which
+            // worker produced which shard.
+            grad_buf.zero();
+            for s in 0..nshards {
+                grad_buf.add_assign(&shard_grads[s]);
+                epoch_loss += shard_losses[s];
+            }
+            samples += batch_rows;
+            grad_buf.clip_to_norm(cfg.clip);
             let mut step = opt.step();
-            model.visit_params(&mut |p, g| step.apply(p, g));
+            model.visit_params(&mut grad_buf, &mut |p, g| step.apply(p, g));
             steps += 1;
         }
         let mean = epoch_loss / samples.max(1) as f64;

@@ -75,15 +75,27 @@ impl CongestionEstimator {
         if self.recent.len() < 4 {
             return CongestionState::Low;
         }
+        // Single pass, no scratch Vec: this runs once per packet inside
+        // feature extraction, so it must stay off the allocator.
         let n = self.recent.len();
-        let lat: Vec<f32> = self.recent.iter().map(|&(l, _)| l).collect();
-        let drops = self.recent.iter().filter(|&&(_, d)| d).count();
-        let mean = lat.iter().sum::<f32>() / n as f32;
+        let half = n / 2;
+        let mut first_sum = 0.0f32;
+        let mut second_sum = 0.0f32;
+        let mut drops = 0usize;
+        for (i, &(l, d)) in self.recent.iter().enumerate() {
+            if i < half {
+                first_sum += l;
+            } else {
+                second_sum += l;
+            }
+            if d {
+                drops += 1;
+            }
+        }
+        let mean = (first_sum + second_sum) / n as f32;
         let drop_rate = drops as f32 / n as f32;
-        let first = &lat[..n / 2];
-        let second = &lat[n / 2..];
-        let m1 = first.iter().sum::<f32>() / first.len() as f32;
-        let m2 = second.iter().sum::<f32>() / second.len() as f32;
+        let m1 = first_sum / half as f32;
+        let m2 = second_sum / (n - half) as f32;
         if mean > 0.6 || drop_rate > 0.05 {
             CongestionState::High
         } else if m2 > m1 * 1.25 + 0.02 {
@@ -187,17 +199,26 @@ impl FeatureExtractor {
 
     /// Encode the next packet (order matters: interarrival state updates).
     pub fn extract(&mut self, p: &PacketView) -> Vec<f32> {
+        let mut v = Vec::with_capacity(self.cfg.width());
+        self.extract_into(p, &mut v);
+        v
+    }
+
+    /// Encode the next packet into a reusable buffer: the per-packet hot
+    /// path of a running Mimic, allocation-free once `v` has grown to
+    /// [`FeatureConfig::width`] capacity.
+    pub fn extract_into(&mut self, p: &PacketView, v: &mut Vec<f32>) {
+        v.clear();
         let cfg = &self.cfg;
-        let mut v = Vec::with_capacity(cfg.width());
         let one_hot = |v: &mut Vec<f32>, idx: u32, width: u32| {
             for i in 0..width {
                 v.push(if i == idx % width { 1.0 } else { 0.0 });
             }
         };
-        one_hot(&mut v, p.rack, cfg.racks_per_cluster);
-        one_hot(&mut v, p.server, cfg.hosts_per_rack);
-        one_hot(&mut v, p.agg, cfg.aggs_per_cluster);
-        one_hot(&mut v, p.core, cfg.cores);
+        one_hot(v, p.rack, cfg.racks_per_cluster);
+        one_hot(v, p.server, cfg.hosts_per_rack);
+        one_hot(v, p.agg, cfg.aggs_per_cluster);
+        one_hot(v, p.core, cfg.cores);
         // Size normalized by MTU.
         v.push(p.wire_bytes as f32 / 1500.0);
         // Interarrival, discretized.
@@ -233,7 +254,6 @@ impl FeatureExtractor {
         // Priority (8 bands max).
         v.push(p.prio as f32 / 8.0);
         debug_assert_eq!(v.len(), cfg.width());
-        v
     }
 
     /// Feed an outcome into the congestion estimator.

@@ -63,6 +63,8 @@ struct DirRuntime {
     fx: FeatureExtractor,
     state: ModelState,
     feeder: Feeder,
+    /// Reusable feature buffer: the per-packet path never allocates.
+    feat_buf: Vec<f32>,
 }
 
 /// A live Mimic cluster.
@@ -104,6 +106,7 @@ impl LearnedMimic {
                 fc.cores,
                 seed ^ tag,
             ),
+            feat_buf: Vec::with_capacity(fc.width()),
         };
         LearnedMimic {
             ingress: make_dir(&bundle.feeder.ingress, &bundle.ingress, 0x1),
@@ -174,13 +177,13 @@ impl ClusterModel for LearnedMimic {
             BoundaryDir::Ingress => (&mut self.ingress, &self.bundle.ingress),
             BoundaryDir::Egress => (&mut self.egress, &self.bundle.egress),
         };
-        let features = rt.fx.extract(&view);
+        rt.fx.extract_into(&view, &mut rt.feat_buf);
         if dir == BoundaryDir::Ingress {
             if let Some(mon) = &mut self.monitor {
-                mon.observe(&features);
+                mon.observe(&rt.feat_buf);
             }
         }
-        let pred = model.predict(&features, &mut rt.state);
+        let pred = model.predict(&rt.feat_buf, &mut rt.state);
 
         let dropped = self.decide(pred.p_drop);
         if dropped {
@@ -215,14 +218,18 @@ impl ClusterModel for LearnedMimic {
         loop {
             let mut fired = false;
             if let Some(v) = self.ingress.feeder.fire(now) {
-                let f = self.ingress.fx.extract(&v);
-                self.bundle.ingress.update_only(&f, &mut self.ingress.state);
+                self.ingress.fx.extract_into(&v, &mut self.ingress.feat_buf);
+                self.bundle
+                    .ingress
+                    .update_only(&self.ingress.feat_buf, &mut self.ingress.state);
                 self.feeder_packets += 1;
                 fired = true;
             }
             if let Some(v) = self.egress.feeder.fire(now) {
-                let f = self.egress.fx.extract(&v);
-                self.bundle.egress.update_only(&f, &mut self.egress.state);
+                self.egress.fx.extract_into(&v, &mut self.egress.feat_buf);
+                self.bundle
+                    .egress
+                    .update_only(&self.egress.feat_buf, &mut self.egress.state);
                 self.feeder_packets += 1;
                 fired = true;
             }

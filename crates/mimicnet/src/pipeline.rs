@@ -59,6 +59,17 @@ impl Default for PipelineConfig {
     }
 }
 
+impl PipelineConfig {
+    /// Train both directions' models with `workers` threads. The result is
+    /// bit-identical to the sequential run for any worker count (the
+    /// gradient reduction order is fixed — see `mimic_ml::train`); only
+    /// the training-phase wall-clock changes.
+    pub fn with_workers(mut self, workers: usize) -> PipelineConfig {
+        self.train.workers = workers;
+        self
+    }
+}
+
 /// Wall-clock spent in each phase (the rows of the paper's Table 2).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimings {

@@ -1,0 +1,122 @@
+//! The per-packet Mimic hot path must not allocate.
+//!
+//! The paper's custom inference engine exists because per-packet model
+//! calls dominate large-scale composition time; an allocation per packet
+//! would put malloc on that path. This test wraps the global allocator in
+//! a counter, warms a [`LearnedMimic`] up (first calls grow the feature
+//! buffer and feeder queues to steady state), then drives thousands of
+//! `on_packet`/`on_wake` calls and asserts the allocation count does not
+//! move.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use dcn_sim::mimic::{BoundaryDir, ClusterModel};
+use dcn_sim::packet::{FlowId, Packet};
+use dcn_sim::time::SimTime;
+use dcn_sim::topology::FatTree;
+use mimic_ml::train::TrainConfig;
+use mimicnet::datagen::{generate, DataGenConfig};
+use mimicnet::drift::FeatureEnvelope;
+use mimicnet::internal_model::InternalModel;
+use mimicnet::mimic::{LearnedMimic, TrainedMimic};
+
+#[test]
+fn on_packet_and_on_wake_do_not_allocate_after_warmup() {
+    // Train a quick bundle and compose a 4-cluster Mimic.
+    let mut cfg = DataGenConfig::default();
+    cfg.sim.duration_s = 0.3;
+    cfg.sim.seed = 77;
+    let td = generate(&cfg);
+    let tc = TrainConfig {
+        epochs: 1,
+        window: 4,
+        ..TrainConfig::default()
+    };
+    let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, 8, &tc)
+        .expect("valid training setup");
+    let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, 8, &tc)
+        .expect("valid training setup");
+    let bundle = TrainedMimic {
+        ingress: ing,
+        egress: eg,
+        feature_cfg: td.feature_cfg,
+        feeder: td.feeder,
+        envelope: FeatureEnvelope::fit(&td.ingress.features),
+    };
+    let mut topo = cfg.sim.topo;
+    topo.clusters = 4;
+    let t = FatTree::new(topo);
+    let mut m = LearnedMimic::new(bundle, topo, 4, 9);
+    let pkt = Packet::data(
+        1,
+        FlowId(5),
+        t.host(1, 0, 0),
+        t.host(0, 1, 1),
+        0,
+        1460,
+        true,
+        SimTime::from_secs_f64(0.01),
+    );
+    let at = |i: usize| SimTime::from_secs_f64(0.01 + i as f64 * 1e-6);
+
+    // Warm up: feature buffers, feeder queues, and hidden state reach
+    // steady-state capacity.
+    let mut now = SimTime::ZERO;
+    for i in 0..2000 {
+        let dir = if i % 2 == 0 {
+            BoundaryDir::Ingress
+        } else {
+            BoundaryDir::Egress
+        };
+        std::hint::black_box(m.on_packet(dir, &pkt, at(i)));
+        if let Some(next) = m.next_wake(now) {
+            now = next;
+            m.on_wake(now);
+        }
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000 {
+        let dir = if i % 2 == 0 {
+            BoundaryDir::Ingress
+        } else {
+            BoundaryDir::Egress
+        };
+        std::hint::black_box(m.on_packet(dir, &pkt, at(2000 + i)));
+        if let Some(next) = m.next_wake(now) {
+            now = next;
+            m.on_wake(now);
+        }
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "per-packet hot path allocated {} times over 10k packets",
+        after - before
+    );
+}
