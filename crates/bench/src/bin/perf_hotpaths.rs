@@ -74,6 +74,22 @@ struct TrainingNumbers {
     parallel_bit_identical: bool,
 }
 
+#[derive(Serialize, Deserialize, Default)]
+struct ComposedNumbers {
+    /// Scalar path: one `LearnedMimic::on_packet` per boundary packet.
+    scalar_ns_per_packet: f64,
+    /// Batched path: `BatchedMimicFleet::infer_batch` over the same trace.
+    batched_ns_per_packet: f64,
+    /// scalar / batched (the tentpole's ≥2× acceptance number).
+    speedup: f64,
+    /// Mimic'ed clusters in the composed workload.
+    mimic_clusters: usize,
+    /// Items per flush fed to the batched path.
+    flush_size: usize,
+    /// LSTM width of the composed bundle.
+    hidden: usize,
+}
+
 #[derive(Serialize, Deserialize)]
 struct PipelineNumbers {
     small_scale_sim_s: f64,
@@ -87,6 +103,11 @@ struct PipelineNumbers {
 struct BenchReport {
     config: BenchConfig,
     inference: InferenceNumbers,
+    /// Composed (batched fleet vs scalar Mimic) boundary inference. Serde
+    /// default keeps baselines recorded before the section existed
+    /// readable; a zeroed section disables its gate.
+    #[serde(default)]
+    composed: ComposedNumbers,
     training: TrainingNumbers,
     pipeline: PipelineNumbers,
 }
@@ -263,6 +284,120 @@ fn bench_on_packet(iters: usize) -> f64 {
     t0.elapsed().as_nanos() as f64 / iters.max(1) as f64
 }
 
+/// Composed boundary inference: the same boundary-packet trace through the
+/// scalar per-cluster Mimics and through the batched fleet, on the
+/// `fig02_pdes_scaling` composed shape (small-scale config at 8 clusters:
+/// 7 Mimic'ed lanes per direction). The bundle is an untrained
+/// `COMPOSED_HIDDEN`-unit model — weights at the width compositions
+/// actually deploy, where streaming them once per batched round instead of
+/// once per packet is the entire contest.
+fn bench_composed(iters: usize) -> ComposedNumbers {
+    use dcn_sim::mimic::{BatchClusterModel, BoundaryDir, BoundaryItem, ClusterModel, Verdict};
+    use dcn_sim::packet::{FlowId, Packet};
+    use dcn_sim::time::SimTime;
+    use dcn_sim::topology::FatTree;
+    use mimic_ml::discretize::Discretizer;
+    use mimicnet::batch::BatchedMimicFleet;
+    use mimicnet::features::FeatureConfig;
+    use mimicnet::feeder::{DirFit, FeederFit};
+    use mimicnet::internal_model::InternalModel;
+    use mimicnet::mimic::{LearnedMimic, TrainedMimic};
+
+    const COMPOSED_HIDDEN: usize = 384;
+    const CLUSTERS: u32 = 8;
+    const FLUSH: usize = 64;
+
+    let mut topo = dcn_sim::config::SimConfig::small_scale().topo;
+    topo.clusters = CLUSTERS;
+    let fc = FeatureConfig::from_topology(&topo);
+    let disc = Discretizer::new(2e-5, 1e-3, 100);
+    let mk = |seed| InternalModel {
+        model: SeqModel::new_stacked(fc.width(), COMPOSED_HIDDEN, 1, seed),
+        disc,
+    };
+    let fit = DirFit::fit(&[1e-4, 2e-4, 3e-4, 5e-4], &[320.0, 1460.0, 1460.0]);
+    let bundle = TrainedMimic {
+        ingress: mk(7),
+        egress: mk(8),
+        feature_cfg: fc,
+        feeder: FeederFit {
+            ingress: fit.clone(),
+            egress: fit,
+        },
+        envelope: None,
+    };
+
+    let t = FatTree::new(topo);
+    let obs = t.host(0, 0, 0);
+    let item = |i: u64| {
+        let cluster = 1 + (i % (CLUSTERS as u64 - 1)) as u32;
+        let flow = FlowId(1 + i % 24);
+        let local = t.host(cluster, (i % 2) as u32, ((i / 2) % 2) as u32);
+        let dir = if i.is_multiple_of(2) { BoundaryDir::Ingress } else { BoundaryDir::Egress };
+        let (src, dst) = match dir {
+            BoundaryDir::Ingress => (obs, local),
+            BoundaryDir::Egress => (local, obs),
+        };
+        let at = SimTime(10_000_000 + i * 400);
+        BoundaryItem {
+            cluster,
+            dir,
+            pkt: Packet::data(i + 1, flow, src, dst, i * 1460, 1460, i.is_multiple_of(3), at),
+            enqueued_at: at,
+        }
+    };
+
+    // Scalar path: one LearnedMimic per Mimic'ed cluster.
+    let mut scalars: Vec<LearnedMimic> = (1..CLUSTERS)
+        .map(|c| LearnedMimic::new(bundle.clone(), topo, CLUSTERS, 9 ^ (0xC0DE_0000 + c as u64)))
+        .collect();
+    let scalar_shot = |ms: &mut [LearnedMimic], i: u64| {
+        let it = item(i);
+        std::hint::black_box(ms[it.cluster as usize - 1].on_packet(it.dir, &it.pkt, it.enqueued_at))
+    };
+    for i in 0..2_000 {
+        let _: Verdict = scalar_shot(&mut scalars, i);
+    }
+    let t0 = Instant::now();
+    for i in 0..iters as u64 {
+        scalar_shot(&mut scalars, 2_000 + i);
+    }
+    let scalar_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    // Batched path: the fleet over the identical trace, flushed in
+    // window-sized chunks.
+    let seeds: Vec<(u32, u64)> = (1..CLUSTERS).map(|c| (c, 9 ^ (0xC0DE_0000 + c as u64))).collect();
+    let mut fleet = BatchedMimicFleet::new(bundle, topo, CLUSTERS, &seeds);
+    let mut items = Vec::with_capacity(FLUSH);
+    let mut verdicts = Vec::new();
+    let mut run_flushes = |fleet: &mut BatchedMimicFleet, start: u64, n: usize| {
+        let mut i = start;
+        let end = start + n as u64;
+        while i < end {
+            items.clear();
+            for _ in 0..FLUSH.min((end - i) as usize) {
+                items.push(item(i));
+                i += 1;
+            }
+            fleet.infer_batch(&items, &mut verdicts);
+            std::hint::black_box(verdicts.last());
+        }
+    };
+    run_flushes(&mut fleet, 0, 2_000);
+    let t0 = Instant::now();
+    run_flushes(&mut fleet, 2_000, iters);
+    let batched_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    ComposedNumbers {
+        scalar_ns_per_packet: scalar_ns,
+        batched_ns_per_packet: batched_ns,
+        speedup: scalar_ns / batched_ns.max(1e-9),
+        mimic_clusters: CLUSTERS as usize - 1,
+        flush_size: FLUSH,
+        hidden: COMPOSED_HIDDEN,
+    }
+}
+
 /// A learnable synthetic packet trace at the real feature width.
 fn train_dataset(n: usize) -> PacketDataset {
     let pool = feature_pool(n);
@@ -371,6 +506,22 @@ fn check_baseline(report: &BenchReport) -> Result<(), String> {
         "baseline check: {current:.1} ns/packet vs {:.1} baseline (limit {allowed:.1}) — OK",
         base.inference.optimized_ns_per_packet
     );
+    // Composed-inference gate: same +25% rule, skipped for baselines
+    // recorded before the section existed (serde default zeroes it).
+    if base.composed.batched_ns_per_packet > 0.0 {
+        let current = report.composed.batched_ns_per_packet;
+        let allowed = base.composed.batched_ns_per_packet * 1.25;
+        if current > allowed {
+            return Err(format!(
+                "composed inference regression: {current:.1} ns/packet vs baseline {:.1} (limit {allowed:.1}, +25%)",
+                base.composed.batched_ns_per_packet
+            ));
+        }
+        println!(
+            "composed baseline check: {current:.1} ns/packet vs {:.1} baseline (limit {allowed:.1}) — OK",
+            base.composed.batched_ns_per_packet
+        );
+    }
     Ok(())
 }
 
@@ -391,6 +542,14 @@ fn main() {
         "naive step:      {:>8.1} ns/packet\noptimized step:  {:>8.1} ns/packet  ({:.2}x)\nmimic on_packet: {:>8.1} ns/packet (full shim path)",
         inference.naive_ns_per_packet, inference.optimized_ns_per_packet, inference.speedup,
         inference.mimic_on_packet_ns
+    );
+
+    println!("\n-- composed boundary inference (fig02 shape: 8 clusters, 7 mimic'ed) --");
+    let composed = bench_composed(iters / 8);
+    println!(
+        "scalar on_packet:  {:>8.1} ns/packet\nbatched compose:   {:>8.1} ns/packet  ({:.2}x, flush {} items, hidden {})",
+        composed.scalar_ns_per_packet, composed.batched_ns_per_packet, composed.speedup,
+        composed.flush_size, composed.hidden
     );
 
     println!("\n-- training ({samples} samples x {epochs} epochs, batch 64, window 8) --");
@@ -423,6 +582,7 @@ fn main() {
             train_window: tcfg.window,
         },
         inference,
+        composed,
         training,
         pipeline,
     };

@@ -67,6 +67,69 @@ pub trait ClusterModel {
     }
 }
 
+/// One boundary packet queued for batched inference: everything a
+/// [`BatchClusterModel`] needs to replay the crossing later, in order.
+#[derive(Clone, Debug)]
+pub struct BoundaryItem {
+    /// The mimic'ed cluster the packet is crossing into/out of.
+    pub cluster: u32,
+    /// Crossing direction.
+    pub dir: BoundaryDir,
+    /// The packet itself (all-scalar; cloning does not allocate).
+    pub pkt: Packet,
+    /// Simulated time the packet hit the boundary. Feature extraction and
+    /// re-injection both use this, not the flush time, so verdicts are
+    /// independent of *when* the engine decides to flush.
+    pub enqueued_at: SimTime,
+}
+
+/// A model serving *all* mimic'ed clusters of a simulation at once, so
+/// boundary packets queued across an event window can be predicted in one
+/// batched forward pass (the per-wakeup aggregation point of the PDES
+/// compose mode).
+///
+/// Contract with the engine:
+///
+/// * `items` passed to [`BatchClusterModel::infer_batch`] arrive in
+///   enqueue order (ties broken by the engine's deterministic event
+///   order), and the verdict for each item must depend only on the items
+///   at and before it — never on how the engine chunked the stream into
+///   flushes. This is what makes sequential and partitioned composed runs
+///   bit-identical.
+/// * Predicted latencies must be at least [`BatchClusterModel::latency_floor`],
+///   the engine's license to delay inference: a flush scheduled before
+///   `oldest_enqueue + floor` can only produce strictly-future events.
+pub trait BatchClusterModel {
+    /// The cluster indices this model serves.
+    fn clusters(&self) -> &[u32];
+
+    /// Predict every queued item, appending one [`Verdict`] per item (in
+    /// order) to `verdicts`. The engine clears `verdicts` beforehand and
+    /// reuses the buffer across flushes.
+    fn infer_batch(&mut self, items: &[BoundaryItem], verdicts: &mut Vec<Verdict>);
+
+    /// Lower bound on every predicted latency (> 0). The engine may hold
+    /// an item back for inference up to this long after its enqueue time.
+    fn latency_floor(&self) -> SimDuration;
+
+    /// When `cluster` next wants a feeder wakeup, if ever.
+    fn next_wake(&mut self, cluster: u32, now: SimTime) -> Option<SimTime> {
+        let _ = (cluster, now);
+        None
+    }
+
+    /// A requested wakeup fired for `cluster`.
+    fn on_wake(&mut self, cluster: u32, now: SimTime) {
+        let _ = (cluster, now);
+    }
+
+    /// Drift score for `cluster` (see [`ClusterModel::drift`]).
+    fn drift(&self, cluster: u32) -> Option<f64> {
+        let _ = cluster;
+        None
+    }
+}
+
 /// A reference model with constant latency and Bernoulli drops. Useful for
 /// engine tests and as a degenerate baseline ("what if the Mimic learned
 /// only averages?").

@@ -56,14 +56,31 @@ pub fn run_partitioned(
     partitions: usize,
     make_factory: &(dyn Fn() -> Box<dyn TransportFactory> + Sync),
 ) -> Metrics {
+    // Lookahead: every cross-partition hop takes at least one propagation
+    // latency.
+    run_partitioned_setup(cfg, partitions, cfg.link.latency, make_factory, &|_| {})
+}
+
+/// [`run_partitioned`] with an explicit lookahead `window` and a per-LP
+/// `setup` hook, run on each freshly built engine before its partition is
+/// assigned. This is how composed simulations enter PDES mode: the hook
+/// installs the cluster models (every LP installs the full set; ownership
+/// decides which ones actually see traffic), and the window shrinks to
+/// `min(link latency, model latency floor)` because a batched Mimic's
+/// re-injections can land on foreign core switches as little as one
+/// latency floor after their window began.
+pub fn run_partitioned_setup(
+    cfg: SimConfig,
+    partitions: usize,
+    window: SimDuration,
+    make_factory: &(dyn Fn() -> Box<dyn TransportFactory> + Sync),
+    setup: &(dyn Fn(&mut Simulation) + Sync),
+) -> Metrics {
     assert!(partitions >= 1);
     let topo = FatTree::new(cfg.topo);
     let owner = Arc::new(partition_by_cluster(&topo, partitions));
 
-    // Lookahead: every cross-partition hop takes at least one propagation
-    // latency.
-    let window = cfg.link.latency;
-    assert!(window > SimDuration::ZERO, "zero-latency links break lookahead");
+    assert!(window > SimDuration::ZERO, "zero lookahead breaks conservative PDES");
     let end = SimTime::from_secs_f64(cfg.duration_s) + SimDuration::from_nanos(1);
 
     let channels: Vec<(Sender<RemoteMsg>, Receiver<RemoteMsg>)> =
@@ -83,6 +100,7 @@ pub fn run_partitioned(
             let barrier = barrier.clone();
             handles.push(scope.spawn(move || {
                 let mut sim = Simulation::with_transport(cfg, make_factory());
+                setup(&mut sim);
                 sim.set_partition(owner.clone(), part as u8);
                 let mut t = SimTime::ZERO;
                 while t < end {

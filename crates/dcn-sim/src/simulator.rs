@@ -20,7 +20,7 @@ use crate::fault::{FaultAction, FaultChange, FaultPlan};
 use crate::host::{HostState, Role};
 use crate::instrument::{BoundaryPhase, BoundaryRecord, FlowRecord, Metrics, RttSample};
 use crate::link::{Dir, DuplexLink, LinkSpec};
-use crate::mimic::{BoundaryDir, ClusterModel, Verdict};
+use crate::mimic::{BatchClusterModel, BoundaryDir, BoundaryItem, ClusterModel, Verdict};
 use crate::packet::{Ecn, FlowId, Packet, PacketKind};
 use crate::routing::Router;
 use crate::switch::process_hop;
@@ -43,14 +43,25 @@ pub enum ClusterMode {
         ingress: bool,
         egress: bool,
     },
+    /// Served (both directions) by the simulation's shared
+    /// [`BatchClusterModel`]: boundary packets are queued and predicted in
+    /// batched flushes instead of per-packet scalar calls. Installed via
+    /// [`Simulation::set_batch_model`].
+    Batched,
 }
 
 impl ClusterMode {
     fn models_ingress(&self) -> bool {
-        matches!(self, ClusterMode::Mimic { ingress: true, .. })
+        matches!(
+            self,
+            ClusterMode::Mimic { ingress: true, .. } | ClusterMode::Batched
+        )
     }
     fn models_egress(&self) -> bool {
-        matches!(self, ClusterMode::Mimic { egress: true, .. })
+        matches!(
+            self,
+            ClusterMode::Mimic { egress: true, .. } | ClusterMode::Batched
+        )
     }
     /// Does this cluster still generate its own full workload?
     /// Full and hybrid (partially modeled) clusters do; full Mimics do not.
@@ -60,8 +71,25 @@ impl ClusterMode {
             ClusterMode::Mimic {
                 ingress, egress, ..
             } => !(*ingress && *egress),
+            ClusterMode::Batched => false,
         }
     }
+}
+
+/// Runtime of the shared batched model: the aggregation point where
+/// boundary packets wait for a batched inference flush.
+struct BatchRuntime {
+    model: Box<dyn BatchClusterModel>,
+    /// Queued boundary crossings, in enqueue order.
+    pending: Vec<BoundaryItem>,
+    /// Verdict buffer reused across flushes (zero steady-state allocations).
+    verdicts: Vec<Verdict>,
+    /// Inference deadline: the engine flushes before processing any event
+    /// at or past `pending[0].enqueued_at + horizon`, where `horizon` is
+    /// the model's latency floor. Because every verdict's latency is at
+    /// least the floor, flushing inside the deadline can only produce
+    /// strictly-future re-injections.
+    horizon: SimDuration,
 }
 
 /// The discrete-event simulation engine.
@@ -87,6 +115,9 @@ pub struct Simulation {
     fault: Option<Vec<[crate::rng::SplitMix64; 2]>>,
     /// Compiled fault schedule, indexed by [`EventKind::Fault`] events.
     fault_schedule: Option<Vec<FaultAction>>,
+    /// Shared batched-inference runtime for [`ClusterMode::Batched`]
+    /// clusters; `None` when no batched model is installed.
+    batch: Option<BatchRuntime>,
     // --- partitioning (None = own everything) ---
     owner_of_node: Option<Arc<Vec<u8>>>,
     my_partition: u8,
@@ -148,6 +179,7 @@ impl Simulation {
         Simulation {
             fault,
             fault_schedule: None,
+            batch: None,
             end: SimTime::from_secs_f64(cfg.duration_s),
             metrics,
             done: vec![HashSet::new(); cfg.topo.num_hosts() as usize],
@@ -198,6 +230,38 @@ impl Simulation {
             ingress,
             egress,
         };
+    }
+
+    /// Replace every cluster in `model.clusters()` with the shared batched
+    /// model. Their boundary packets are queued during event processing
+    /// and predicted together in batched flushes; verdicts are re-injected
+    /// as future arrivals timed from each packet's *enqueue* time, so the
+    /// trajectory is independent of when the engine flushes.
+    ///
+    /// At most one batched model per simulation; clusters it serves must
+    /// not already carry a scalar [`ClusterModel`].
+    pub fn set_batch_model(&mut self, model: Box<dyn BatchClusterModel>) {
+        assert!(!self.initialized, "cannot add models after the run started");
+        assert!(self.batch.is_none(), "batched model already installed");
+        let horizon = model.latency_floor();
+        assert!(
+            horizon > SimDuration::ZERO,
+            "batched model must declare a positive latency floor"
+        );
+        for &c in model.clusters() {
+            assert!(c < self.cfg.topo.clusters, "cluster {c} out of range");
+            assert!(
+                matches!(self.cluster_modes[c as usize], ClusterMode::Full),
+                "cluster {c} already modeled"
+            );
+            self.cluster_modes[c as usize] = ClusterMode::Batched;
+        }
+        self.batch = Some(BatchRuntime {
+            model,
+            pending: Vec::new(),
+            verdicts: Vec::new(),
+            horizon,
+        });
     }
 
     /// Install a seeded [`FaultPlan`]. The plan is validated and compiled
@@ -313,11 +377,17 @@ impl Simulation {
             if !self.owned(tor0) {
                 continue;
             }
-            if let ClusterMode::Mimic { model, .. } = &mut self.cluster_modes[c as usize] {
-                if let Some(t) = model.next_wake(SimTime::ZERO) {
-                    self.queue
-                        .schedule(t, EventKind::FeederWake { cluster: c });
-                }
+            let wake = match &mut self.cluster_modes[c as usize] {
+                ClusterMode::Mimic { model, .. } => model.next_wake(SimTime::ZERO),
+                ClusterMode::Batched => self
+                    .batch
+                    .as_mut()
+                    .and_then(|rt| rt.model.next_wake(c, SimTime::ZERO)),
+                ClusterMode::Full => None,
+            };
+            if let Some(t) = wake {
+                self.queue
+                    .schedule(t, EventKind::FeederWake { cluster: c });
             }
         }
     }
@@ -342,20 +412,50 @@ impl Simulation {
             self.metrics.cluster_drift.resize(n, None);
         }
         for (c, mode) in self.cluster_modes.iter().enumerate() {
-            if let ClusterMode::Mimic { model, .. } = mode {
-                self.metrics.cluster_drift[c] = model.drift();
+            match mode {
+                ClusterMode::Mimic { model, .. } => {
+                    self.metrics.cluster_drift[c] = model.drift();
+                }
+                ClusterMode::Batched => {
+                    if let Some(rt) = &self.batch {
+                        self.metrics.cluster_drift[c] = rt.model.drift(c as u32);
+                    }
+                }
+                ClusterMode::Full => {}
             }
         }
     }
 
     /// Process all events strictly before `until`; return packet arrivals
     /// destined for nodes owned by other partitions.
+    ///
+    /// Batched-model flush points (each one re-peeks the queue, since a
+    /// flush can schedule new local events):
+    /// * before processing any event at or past the inference deadline
+    ///   (`oldest pending enqueue + latency floor`);
+    /// * inside [`Simulation::handle_feeder`] for batch-served clusters,
+    ///   pinning the item-vs-feeder state order;
+    /// * at the end of the window (or when the queue drains), so a PDES
+    ///   window never carries pending items across its barrier.
     pub fn run_window(&mut self, until: SimTime) -> Vec<(SimTime, NodeId, Packet)> {
         self.init_schedule();
         let until = until.min(self.end + SimDuration::from_nanos(1));
-        while let Some(t) = self.queue.peek_time() {
-            if t >= until {
+        loop {
+            let Some(t) = self.queue.peek_time() else {
+                if self.flush_batch() {
+                    continue;
+                }
                 break;
+            };
+            if t >= until {
+                if self.flush_batch() {
+                    continue;
+                }
+                break;
+            }
+            if self.batch_flush_due(t) {
+                self.flush_batch();
+                continue;
             }
             let ev = self.queue.pop().expect("peeked event vanished");
             self.now = ev.time;
@@ -370,6 +470,64 @@ impl Simulation {
             }
         }
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Would processing an event at `t` overrun the batched-inference
+    /// deadline of the oldest pending boundary item?
+    fn batch_flush_due(&self, t: SimTime) -> bool {
+        match &self.batch {
+            Some(rt) => match rt.pending.first() {
+                Some(item) => t >= item.enqueued_at + rt.horizon,
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Flush the batched model: one batched forward over every pending
+    /// boundary item, verdicts re-injected as arrivals timed from each
+    /// item's enqueue time. Returns whether anything was flushed.
+    ///
+    /// The deadline discipline guarantees `now < oldest_enqueue + floor`
+    /// at every flush point, and every predicted latency is at least the
+    /// floor — so each re-injection lands strictly in the future, and (in
+    /// PDES mode) at or beyond the next window boundary for exports.
+    fn flush_batch(&mut self) -> bool {
+        let Some(rt) = self.batch.as_mut() else {
+            return false;
+        };
+        if rt.pending.is_empty() {
+            return false;
+        }
+        rt.verdicts.clear();
+        rt.model.infer_batch(&rt.pending, &mut rt.verdicts);
+        debug_assert_eq!(rt.verdicts.len(), rt.pending.len(), "one verdict per item");
+        // Swap the buffers out so re-injection can borrow the rest of
+        // `self`; both keep their capacity across flushes.
+        let mut items = std::mem::take(&mut rt.pending);
+        let verdicts = std::mem::take(&mut rt.verdicts);
+        for (item, v) in items.drain(..).zip(&verdicts) {
+            match *v {
+                Verdict::Drop => {
+                    self.metrics.mimic_drops += 1;
+                }
+                Verdict::Deliver { latency, mark_ce } => {
+                    let mut pkt = item.pkt;
+                    if mark_ce && pkt.ecn.is_capable() {
+                        pkt.ecn = Ecn::Ce;
+                    }
+                    let target = match item.dir {
+                        BoundaryDir::Egress => self.router.core_for_flow(pkt.flow),
+                        BoundaryDir::Ingress => pkt.dst,
+                    };
+                    self.schedule_arrival(item.enqueued_at + latency, target, pkt);
+                }
+            }
+        }
+        let rt = self.batch.as_mut().expect("still installed");
+        rt.pending = items;
+        rt.verdicts = verdicts;
+        true
     }
 
     /// Inject an event from another partition.
@@ -664,8 +822,19 @@ impl Simulation {
     }
 
     /// Run a packet through a mimic'ed cluster's model and schedule its
-    /// reappearance on the other side.
+    /// reappearance on the other side. Batch-served clusters queue the
+    /// packet instead; [`Simulation::flush_batch`] settles it later.
     fn mimic_boundary(&mut self, cluster: u32, dir: BoundaryDir, mut pkt: Packet) {
+        if matches!(self.cluster_modes[cluster as usize], ClusterMode::Batched) {
+            let rt = self.batch.as_mut().expect("batched cluster without model");
+            rt.pending.push(BoundaryItem {
+                cluster,
+                dir,
+                pkt,
+                enqueued_at: self.now,
+            });
+            return;
+        }
         let verdict = {
             let ClusterMode::Mimic { model, .. } = &mut self.cluster_modes[cluster as usize]
             else {
@@ -693,6 +862,24 @@ impl Simulation {
     }
 
     fn handle_feeder(&mut self, cluster: u32) {
+        if matches!(self.cluster_modes[cluster as usize], ClusterMode::Batched) {
+            // Settle every queued boundary packet before the feeder touches
+            // the model state, so the item-vs-feeder ordering is a property
+            // of event times, not of flush scheduling.
+            self.flush_batch();
+            let next = {
+                let rt = self.batch.as_mut().expect("batched cluster without model");
+                rt.model.on_wake(cluster, self.now);
+                rt.model.next_wake(cluster, self.now)
+            };
+            if let Some(t) = next {
+                let t = t.max(self.now + SimDuration::from_nanos(1));
+                if t <= self.end {
+                    self.queue.schedule(t, EventKind::FeederWake { cluster });
+                }
+            }
+            return;
+        }
         let next = {
             let ClusterMode::Mimic { model, .. } = &mut self.cluster_modes[cluster as usize]
             else {

@@ -157,6 +157,51 @@ fn vecmat_accum(z: &mut [f32], x: &[f32], w: &Matrix) {
     }
 }
 
+/// `z[lane] += xs[lane] · W` for `n` packed row vectors, streaming each
+/// four-row block of `W` across every lane before moving on.
+///
+/// This is [`vecmat_accum`] with the `k`-chunk loop hoisted outside the
+/// lane loop: per lane, each output element accumulates the *same* fmadd
+/// chain in the *same* `k` order, so results are bit-identical to calling
+/// `vecmat_accum` once per lane — but each `W` block is read once per
+/// batch instead of once per lane, which is where batching pays off for
+/// weight matrices larger than cache.
+fn lanes_accum(z: &mut [f32], xs: &[f32], in_dim: usize, n: usize, w: &Matrix) {
+    let cols = w.cols;
+    debug_assert_eq!(w.rows, in_dim);
+    debug_assert!(xs.len() >= n * in_dim);
+    debug_assert!(z.len() >= n * cols);
+    let mut k = 0;
+    while k + 4 <= in_dim {
+        let w0 = &w.data[k * cols..(k + 1) * cols];
+        let w1 = &w.data[(k + 1) * cols..(k + 2) * cols];
+        let w2 = &w.data[(k + 2) * cols..(k + 3) * cols];
+        let w3 = &w.data[(k + 3) * cols..(k + 4) * cols];
+        for lane in 0..n {
+            let x = &xs[lane * in_dim..(lane + 1) * in_dim];
+            let (a0, a1, a2, a3) = (x[k], x[k + 1], x[k + 2], x[k + 3]);
+            let zr = &mut z[lane * cols..(lane + 1) * cols];
+            for ((((zv, &v0), &v1), &v2), &v3) in
+                zr.iter_mut().zip(w0).zip(w1).zip(w2).zip(w3)
+            {
+                *zv = fmadd(a0, v0, fmadd(a1, v1, fmadd(a2, v2, fmadd(a3, v3, *zv))));
+            }
+        }
+        k += 4;
+    }
+    while k < in_dim {
+        let wrow = &w.data[k * cols..(k + 1) * cols];
+        for lane in 0..n {
+            let a = xs[lane * in_dim + k];
+            let zr = &mut z[lane * cols..(lane + 1) * cols];
+            for (zv, &v) in zr.iter_mut().zip(wrow) {
+                *zv = fmadd(a, v, *zv);
+            }
+        }
+        k += 1;
+    }
+}
+
 impl Lstm {
     pub fn new(input: usize, hidden: usize, rng: &mut MlRng) -> Lstm {
         let a_x = (6.0 / (input + hidden) as f64).sqrt();
@@ -326,6 +371,61 @@ impl Lstm {
         fastmath::tanh_slice(&mut state.h.data);
         for (hv, &og) in state.h.data.iter_mut().zip(zo) {
             *hv *= og;
+        }
+    }
+
+    /// Batched variant of [`Lstm::step_inplace`]: advance `n` independent
+    /// single-sample states through one step, sharing each weight block
+    /// across all lanes.
+    ///
+    /// `xs` packs the lane inputs row-major (`n × input`), `hs`/`cs` pack
+    /// the lane hidden/cell states (`n × hidden`, updated in place), and
+    /// `z` is gate scratch of at least `n × 4·hidden`.
+    ///
+    /// Per lane, every floating-point operation happens in exactly the
+    /// order [`Lstm::step_inplace`] performs it — the accumulation chain
+    /// of [`lanes_accum`] matches [`vecmat_accum`] element for element and
+    /// the activation/cell tail is the same code — so the results are
+    /// **bit-identical** to stepping each lane alone. That equivalence is
+    /// what lets the PDES compose path batch boundary packets without
+    /// perturbing a single prediction.
+    pub fn step_lanes_blocked(
+        &self,
+        xs: &[f32],
+        n: usize,
+        hs: &mut [f32],
+        cs: &mut [f32],
+        z: &mut [f32],
+    ) {
+        let h = self.hidden;
+        assert_eq!(xs.len(), n * self.input, "packed input width mismatch");
+        assert_eq!(hs.len(), n * h, "packed hidden width mismatch");
+        assert_eq!(cs.len(), n * h, "packed cell width mismatch");
+        assert!(z.len() >= n * 4 * h, "lane scratch too small");
+        let z = &mut z[..n * 4 * h];
+        for lane in 0..n {
+            z[lane * 4 * h..(lane + 1) * 4 * h].copy_from_slice(&self.b);
+        }
+        lanes_accum(z, xs, self.input, n, &self.wx);
+        lanes_accum(z, hs, h, n, &self.wh);
+        for lane in 0..n {
+            let zr = &mut z[lane * 4 * h..(lane + 1) * 4 * h];
+            fastmath::sigmoid_slice(&mut zr[..2 * h]);
+            fastmath::tanh_slice(&mut zr[2 * h..3 * h]);
+            fastmath::sigmoid_slice(&mut zr[3 * h..]);
+            let (zi, rest) = zr.split_at(h);
+            let (zf, rest) = rest.split_at(h);
+            let (zg, zo) = rest.split_at(h);
+            let cr = &mut cs[lane * h..(lane + 1) * h];
+            for j in 0..h {
+                cr[j] = zf[j] * cr[j] + zi[j] * zg[j];
+            }
+            let hr = &mut hs[lane * h..(lane + 1) * h];
+            hr.copy_from_slice(cr);
+            fastmath::tanh_slice(hr);
+            for (hv, &og) in hr.iter_mut().zip(zo) {
+                *hv *= og;
+            }
         }
     }
 
@@ -569,6 +669,44 @@ mod tests {
             }
             for (a, b) in state.c.data.iter().zip(&batch_state.c.data) {
                 assert!((a - b).abs() < 1e-5, "c diverged: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_lanes_blocked_is_bit_identical_to_scalar_stepping() {
+        // The lane kernel reorders *loops*, never per-element arithmetic:
+        // every lane must match a scalar step_inplace rollout bit for bit,
+        // including input widths that exercise the remainder path.
+        for input in [5usize, 8, 3] {
+            let mut rng = MlRng::new(91 + input as u64);
+            let lstm = Lstm::new(input, 7, &mut rng);
+            let n = 6;
+            let mut scalar: Vec<LstmState> = (0..n).map(|_| LstmState::zeros(1, 7)).collect();
+            let mut scratch = LstmScratch::new(7);
+            let mut hs = vec![0.0f32; n * 7];
+            let mut cs = vec![0.0f32; n * 7];
+            let mut z = vec![0.0f32; n * 4 * 7];
+            for _ in 0..5 {
+                let xs: Vec<f32> = (0..n * input).map(|_| rng.uniform_sym(1.5) as f32).collect();
+                for (lane, st) in scalar.iter_mut().enumerate() {
+                    lstm.step_inplace(&xs[lane * input..(lane + 1) * input], st, &mut scratch);
+                }
+                lstm.step_lanes_blocked(&xs, n, &mut hs, &mut cs, &mut z);
+                for (lane, st) in scalar.iter().enumerate() {
+                    for j in 0..7 {
+                        assert_eq!(
+                            st.h.data[j].to_bits(),
+                            hs[lane * 7 + j].to_bits(),
+                            "h lane {lane} unit {j}"
+                        );
+                        assert_eq!(
+                            st.c.data[j].to_bits(),
+                            cs[lane * 7 + j].to_bits(),
+                            "c lane {lane} unit {j}"
+                        );
+                    }
+                }
             }
         }
     }

@@ -5,9 +5,13 @@
 //! Aside from the number of clusters, all other parameters are kept
 //! constant from the small-scale to the final simulation."
 
+use crate::batch::BatchedMimicFleet;
 use crate::error::PipelineError;
 use crate::mimic::{LearnedMimic, TrainedMimic};
 use dcn_sim::config::SimConfig;
+use dcn_sim::instrument::Metrics;
+use dcn_sim::mimic::BatchClusterModel;
+use dcn_sim::pdes::run_partitioned_setup;
 use dcn_sim::simulator::Simulation;
 use dcn_sim::topology::{FatTree, NodeId};
 use dcn_transport::Protocol;
@@ -95,6 +99,133 @@ pub fn try_compose_partial(
         sim.set_cluster_model(c, Box::new(mimic));
     }
     Ok(sim)
+}
+
+/// [`compose`] with the Mimics behind the engine's batched aggregation
+/// point: one [`BatchedMimicFleet`] serves every non-observable cluster,
+/// and boundary packets queued across an event window share weight sweeps
+/// in batched LSTM forwards. Per-cluster seeds match [`compose`], so the
+/// fleet's feeder streams are identical to the scalar composition's.
+///
+/// # Panics
+/// On an invalid composition; use [`try_compose_batched`] for a typed
+/// error.
+pub fn compose_batched(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+) -> Simulation {
+    try_compose_batched(base, n_clusters, protocol, trained).expect("valid composition")
+}
+
+/// [`compose_batched`], surfacing invalid input as [`PipelineError`].
+pub fn try_compose_batched(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+) -> Result<Simulation, PipelineError> {
+    let (cfg, mut sim) = composed_engine(base, n_clusters, protocol)?;
+    sim.set_batch_model(Box::new(batched_fleet(&cfg, n_clusters, trained)));
+    Ok(sim)
+}
+
+/// [`compose_heterogeneous`] behind the batched aggregation point: lanes
+/// batch within each bundle group. Seeds match the scalar heterogeneous
+/// composition.
+pub fn try_compose_heterogeneous_batched(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    bundles: &[TrainedMimic],
+    assign: impl Fn(u32) -> usize,
+) -> Result<Simulation, PipelineError> {
+    if bundles.is_empty() {
+        return Err(PipelineError::InvalidComposition {
+            reason: "no trained bundles supplied".into(),
+        });
+    }
+    let (cfg, mut sim) = composed_engine(base, n_clusters, protocol)?;
+    let mut cluster_assign = Vec::new();
+    for c in 0..n_clusters {
+        if c == OBSERVABLE {
+            continue;
+        }
+        let idx = assign(c);
+        if idx >= bundles.len() {
+            return Err(PipelineError::InvalidComposition {
+                reason: format!(
+                    "assignment for cluster {c} points at bundle {idx}, but only {} exist",
+                    bundles.len()
+                ),
+            });
+        }
+        cluster_assign.push((c, idx, cfg.seed ^ (0x4E7E_0000 + c as u64)));
+    }
+    let fleet = BatchedMimicFleet::new_heterogeneous(
+        bundles.to_vec(),
+        cfg.topo,
+        n_clusters,
+        &cluster_assign,
+    );
+    sim.set_batch_model(Box::new(fleet));
+    Ok(sim)
+}
+
+/// Run the batched composition across `partitions` PDES logical processes
+/// and return the merged metrics. Every LP installs the full fleet (a
+/// cluster's lane only advances on the LP that owns the cluster), and the
+/// conservative window shrinks to `min(link latency, latency floor)` so
+/// batched re-injections always land at or beyond the next barrier.
+/// Bit-identical to the sequential [`compose_batched`] run (asserted by
+/// the integration suite).
+pub fn run_composed_partitioned(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+    partitions: usize,
+) -> Result<Metrics, PipelineError> {
+    let (cfg, _) = composed_engine(base, n_clusters, protocol)?;
+    let floor = batched_fleet(&cfg, n_clusters, trained).latency_floor();
+    let window = cfg.link.latency.min(floor);
+    Ok(run_partitioned_setup(
+        cfg,
+        partitions,
+        window,
+        &|| protocol.factory(),
+        &|sim| sim.set_batch_model(Box::new(batched_fleet(&cfg, n_clusters, trained))),
+    ))
+}
+
+/// Shared composition plumbing: scale the base config, validate it, and
+/// build the bare engine.
+fn composed_engine(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+) -> Result<(SimConfig, Simulation), PipelineError> {
+    if n_clusters < 2 {
+        return Err(PipelineError::InvalidComposition {
+            reason: format!("a composition needs at least two clusters, got {n_clusters}"),
+        });
+    }
+    let mut cfg = base;
+    cfg.topo.clusters = n_clusters;
+    cfg.queue = protocol.queue_setup(cfg.queue);
+    cfg.validate()?;
+    let sim = Simulation::with_transport(cfg, protocol.factory());
+    Ok((cfg, sim))
+}
+
+/// The homogeneous fleet for `cfg`, seeded exactly like [`compose`].
+fn batched_fleet(cfg: &SimConfig, n_clusters: u32, trained: &TrainedMimic) -> BatchedMimicFleet {
+    let cluster_seeds: Vec<(u32, u64)> = (0..n_clusters)
+        .filter(|&c| c != OBSERVABLE)
+        .map(|c| (c, cfg.seed ^ (0xC0DE_0000 + c as u64)))
+        .collect();
+    BatchedMimicFleet::new(trained.clone(), cfg.topo, n_clusters, &cluster_seeds)
 }
 
 /// Heterogeneous composition (paper Appendix A's relaxation: "it may be

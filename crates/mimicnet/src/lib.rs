@@ -53,6 +53,7 @@
 //! println!("p99 FCT ≈ {:.3}s", report.fct_p99);
 //! ```
 
+pub mod batch;
 pub mod compose;
 pub mod datagen;
 pub mod degrade;
@@ -67,6 +68,7 @@ pub mod pipeline;
 pub mod trace;
 pub mod tuning;
 
+pub use batch::BatchedMimicFleet;
 pub use degrade::{DegradationPolicy, DegradationReport};
 pub use drift::{DriftMonitor, FeatureEnvelope};
 pub use error::PipelineError;

@@ -58,6 +58,40 @@ pub enum DecisionMode {
     Threshold,
 }
 
+/// Project a boundary crossing onto the feature extractor's coordinate
+/// frame: the cluster-side endpoint's rack/server plus the ECMP choices the
+/// cluster's switches would have made. Shared by the scalar
+/// [`LearnedMimic`] and the batched fleet ([`crate::batch`]) so both feed
+/// their extractors identical views (the equivalence suite replays traces
+/// through it to build its scalar reference pipeline).
+pub fn packet_view(
+    topo: &FatTree,
+    dir: BoundaryDir,
+    pkt: &Packet,
+    now: SimTime,
+) -> PacketView {
+    // The cluster-side endpoint's local coordinates.
+    let local = match dir {
+        BoundaryDir::Ingress => pkt.dst,
+        BoundaryDir::Egress => pkt.src,
+    };
+    let (_, rack, server) = topo.host_coords(local);
+    let p = topo.params;
+    let agg = (ecmp_hash(pkt.flow, 1) % p.aggs_per_cluster as u64) as u32;
+    let core_j = (ecmp_hash(pkt.flow, 2) % p.cores_per_agg as u64) as u32;
+    PacketView {
+        time: now,
+        wire_bytes: pkt.wire_bytes(),
+        rack,
+        server,
+        agg,
+        core: agg * p.cores_per_agg + core_j,
+        kind: pkt.kind,
+        ecn: pkt.ecn,
+        prio: pkt.prio,
+    }
+}
+
 /// One direction's runtime state.
 struct DirRuntime {
     fx: FeatureExtractor,
@@ -139,26 +173,7 @@ impl LearnedMimic {
     }
 
     fn view_for(&self, dir: BoundaryDir, pkt: &Packet, now: SimTime) -> PacketView {
-        // The cluster-side endpoint's local coordinates.
-        let local = match dir {
-            BoundaryDir::Ingress => pkt.dst,
-            BoundaryDir::Egress => pkt.src,
-        };
-        let (_, rack, server) = self.topo.host_coords(local);
-        let p = self.topo.params;
-        let agg = (ecmp_hash(pkt.flow, 1) % p.aggs_per_cluster as u64) as u32;
-        let core_j = (ecmp_hash(pkt.flow, 2) % p.cores_per_agg as u64) as u32;
-        PacketView {
-            time: now,
-            wire_bytes: pkt.wire_bytes(),
-            rack,
-            server,
-            agg,
-            core: agg * p.cores_per_agg + core_j,
-            kind: pkt.kind,
-            ecn: pkt.ecn,
-            prio: pkt.prio,
-        }
+        packet_view(&self.topo, dir, pkt, now)
     }
 
     fn decide(&mut self, p: f64) -> bool {

@@ -90,3 +90,73 @@ fn pdes_larger_network() {
     let par = run_partitioned(c, 4, &|| p.factory());
     assert_identical(&seq, &par, "8 clusters x4");
 }
+
+// ---------------------------------------------------------------------
+// Composed (batched Mimic) PDES: the batched aggregation point must keep
+// partitioned runs bit-identical to the sequential composition, and the
+// learned drops must survive the metric merge.
+// ---------------------------------------------------------------------
+
+fn quick_trained() -> (mimicnet::mimic::TrainedMimic, SimConfig) {
+    use mimicnet::datagen::{generate, DataGenConfig};
+    use mimicnet::internal_model::InternalModel;
+
+    let mut dg = DataGenConfig::default();
+    dg.sim.duration_s = 0.3;
+    dg.sim.seed = 55;
+    let td = generate(&dg);
+    let tc = mimic_ml::train::TrainConfig {
+        epochs: 1,
+        window: 4,
+        ..mimic_ml::train::TrainConfig::default()
+    };
+    let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, 8, &tc)
+        .expect("valid training setup");
+    let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, 8, &tc)
+        .expect("valid training setup");
+    (
+        mimicnet::mimic::TrainedMimic {
+            ingress: ing,
+            egress: eg,
+            feature_cfg: td.feature_cfg,
+            feeder: td.feeder,
+            envelope: None,
+        },
+        dg.sim,
+    )
+}
+
+#[test]
+fn composed_batched_pdes_matches_sequential() {
+    use mimicnet::compose::{compose_batched, run_composed_partitioned};
+
+    let (trained, mut base) = quick_trained();
+    base.duration_s = 0.25;
+    base.seed = 31;
+    let p = Protocol::NewReno;
+    let seq = compose_batched(base, 4, p, &trained).run();
+    assert!(seq.flows_completed() > 0, "composition made no progress");
+    for parts in [1usize, 2, 4] {
+        let par = run_composed_partitioned(base, 4, p, &trained, parts)
+            .expect("valid composition");
+        assert_identical(&seq, &par, &format!("composed batched x{parts}"));
+        assert_eq!(
+            seq.mimic_drops, par.mimic_drops,
+            "composed batched x{parts}: mimic drops"
+        );
+    }
+}
+
+#[test]
+fn composed_batched_pdes_larger_network() {
+    use mimicnet::compose::{compose_batched, run_composed_partitioned};
+
+    let (trained, mut base) = quick_trained();
+    base.duration_s = 0.2;
+    base.seed = 7;
+    let p = Protocol::NewReno;
+    let seq = compose_batched(base, 8, p, &trained).run();
+    let par = run_composed_partitioned(base, 8, p, &trained, 4).expect("valid composition");
+    assert_identical(&seq, &par, "composed batched 8 clusters x4");
+    assert_eq!(seq.mimic_drops, par.mimic_drops, "composed: mimic drops");
+}
