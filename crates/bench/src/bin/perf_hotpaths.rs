@@ -90,6 +90,25 @@ struct ComposedNumbers {
     hidden: usize,
 }
 
+#[derive(Serialize, Deserialize, Default)]
+struct ObsNumbers {
+    /// Composed sequential run with obs off: min-of-N wall seconds.
+    off_s: f64,
+    /// A second, identical obs-off configuration, interleaved run-for-run
+    /// with the first (an A/A measurement).
+    off_repeat_s: f64,
+    /// The same run with engine tracing enabled: min-of-N wall seconds.
+    on_s: f64,
+    /// `|off - off_repeat| / min(off, off_repeat)`: the A/A resolution
+    /// floor. The disabled obs path differs from an obs-free build by one
+    /// null-check branch per event dispatch, so its true overhead is
+    /// bounded by this measurement floor; the CI gate requires it < 1%.
+    disabled_overhead_bound_frac: f64,
+    /// `on/off - 1` (informational — recording is cheap, not free).
+    enabled_overhead_frac: f64,
+    repeats: usize,
+}
+
 #[derive(Serialize, Deserialize)]
 struct PipelineNumbers {
     small_scale_sim_s: f64,
@@ -108,6 +127,11 @@ struct BenchReport {
     /// readable; a zeroed section disables its gate.
     #[serde(default)]
     composed: ComposedNumbers,
+    /// Observability overhead (disabled-path A/A bound + enabled cost).
+    /// Serde default keeps pre-obs baselines readable; a zeroed section
+    /// disables its gate.
+    #[serde(default)]
+    obs: ObsNumbers,
     training: TrainingNumbers,
     pipeline: PipelineNumbers,
 }
@@ -398,6 +422,77 @@ fn bench_composed(iters: usize) -> ComposedNumbers {
     }
 }
 
+/// Observability overhead on a composed sequential run. Three interleaved
+/// min-of-N series over identical simulations: obs off (A), obs off again
+/// (A/A control), and obs on. The A/A delta bounds what the disabled obs
+/// branches can possibly cost (they are one null check per event dispatch,
+/// far below run-to-run noise); off-vs-on prices actual recording.
+fn bench_obs(repeats: usize) -> ObsNumbers {
+    use dcn_transport::Protocol;
+    use mimic_ml::discretize::Discretizer;
+    use mimicnet::compose::compose_batched;
+    use mimicnet::features::FeatureConfig;
+    use mimicnet::feeder::{DirFit, FeederFit};
+    use mimicnet::internal_model::InternalModel;
+    use mimicnet::mimic::TrainedMimic;
+
+    const CLUSTERS: u32 = 4;
+    let mut base = dcn_sim::config::SimConfig::small_scale();
+    // Long enough that one run takes tens of milliseconds: the A/A bound
+    // below is pure timing noise, and on millisecond-scale runs scheduler
+    // jitter alone can approach the 1% gate.
+    base.duration_s = 2.0;
+    base.seed = 42;
+    let mut topo = base.topo;
+    topo.clusters = CLUSTERS;
+    let fc = FeatureConfig::from_topology(&topo);
+    let disc = Discretizer::new(2e-5, 1e-3, 100);
+    let mk = |seed| InternalModel {
+        model: SeqModel::new_stacked(fc.width(), HIDDEN, 1, seed),
+        disc,
+    };
+    let fit = DirFit::fit(&[1e-4, 2e-4, 3e-4, 5e-4], &[320.0, 1460.0, 1460.0]);
+    let bundle = TrainedMimic {
+        ingress: mk(7),
+        egress: mk(8),
+        feature_cfg: fc,
+        feeder: FeederFit {
+            ingress: fit.clone(),
+            egress: fit,
+        },
+        envelope: None,
+    };
+
+    let run_once = |trace: bool| -> f64 {
+        let mut sim = compose_batched(base, CLUSTERS, Protocol::NewReno, &bundle);
+        if trace {
+            sim.enable_obs();
+        }
+        let t0 = Instant::now();
+        let m = sim.run();
+        let s = t0.elapsed().as_secs_f64();
+        std::hint::black_box(m.events_processed);
+        s
+    };
+
+    run_once(false); // warm caches and the page allocator
+    let (mut off_a, mut off_b, mut on) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..repeats {
+        off_a = off_a.min(run_once(false));
+        off_b = off_b.min(run_once(false));
+        on = on.min(run_once(true));
+    }
+
+    ObsNumbers {
+        off_s: off_a,
+        off_repeat_s: off_b,
+        on_s: on,
+        disabled_overhead_bound_frac: (off_a - off_b).abs() / off_a.min(off_b).max(1e-9),
+        enabled_overhead_frac: on / off_a.max(1e-9) - 1.0,
+        repeats,
+    }
+}
+
 /// A learnable synthetic packet trace at the real feature width.
 fn train_dataset(n: usize) -> PacketDataset {
     let pool = feature_pool(n);
@@ -522,6 +617,25 @@ fn check_baseline(report: &BenchReport) -> Result<(), String> {
             base.composed.batched_ns_per_packet
         );
     }
+    // Observability gate: the disabled-path A/A bound must stay under 1%
+    // (skipped when the section was not measured).
+    if report.obs.off_s > 0.0 {
+        let bound = report.obs.disabled_overhead_bound_frac;
+        if bound >= 0.01 {
+            return Err(format!(
+                "obs disabled-overhead bound {:.2}% exceeds the 1% budget \
+                 (off {:.4}s vs off-repeat {:.4}s)",
+                bound * 100.0,
+                report.obs.off_s,
+                report.obs.off_repeat_s
+            ));
+        }
+        println!(
+            "obs disabled-overhead bound: {:.3}% (< 1%) — OK (enabled costs {:+.1}%)",
+            bound * 100.0,
+            report.obs.enabled_overhead_frac * 100.0
+        );
+    }
     Ok(())
 }
 
@@ -550,6 +664,20 @@ fn main() {
         "scalar on_packet:  {:>8.1} ns/packet\nbatched compose:   {:>8.1} ns/packet  ({:.2}x, flush {} items, hidden {})",
         composed.scalar_ns_per_packet, composed.batched_ns_per_packet, composed.speedup,
         composed.flush_size, composed.hidden
+    );
+
+    println!("\n-- observability overhead (composed sequential run, min-of-N) --");
+    let obs = bench_obs(match scale {
+        Scale::Quick => 10,
+        Scale::Full => 20,
+    });
+    println!(
+        "obs off:         {:>8.4} s (A/A repeat {:.4} s, bound {:.3}%)\nobs on:          {:>8.4} s ({:+.1}%)",
+        obs.off_s,
+        obs.off_repeat_s,
+        obs.disabled_overhead_bound_frac * 100.0,
+        obs.on_s,
+        obs.enabled_overhead_frac * 100.0
     );
 
     println!("\n-- training ({samples} samples x {epochs} epochs, batch 64, window 8) --");
@@ -583,6 +711,7 @@ fn main() {
         },
         inference,
         composed,
+        obs,
         training,
         pipeline,
     };

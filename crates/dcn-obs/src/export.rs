@@ -1,0 +1,315 @@
+//! Exporters: JSON snapshot, Chrome trace-event file, human-readable
+//! end-of-run report.
+//!
+//! The Chrome trace output is a plain array of complete (`ph: "X"`)
+//! trace events, loadable in `chrome://tracing` or Perfetto. Timestamps
+//! are microseconds (float) since the process obs epoch; partition tracks
+//! map to `tid` so PDES partitions render as parallel lanes.
+
+use crate::{Hist, ObsReport, SpanEvent};
+use serde_json::Value;
+
+impl ObsReport {
+    /// Full registry + span log as a JSON value.
+    pub fn to_json(&self) -> Value {
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), Value::U64(*v)))
+                .collect(),
+        );
+        let gauges = Value::Object(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::F64(*v)))
+                .collect(),
+        );
+        let hists = Value::Object(
+            self.hists
+                .iter()
+                .map(|(k, h)| (k.to_string(), hist_json(h)))
+                .collect(),
+        );
+        let series = Value::Object(
+            self.series
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.to_string(),
+                        Value::Array(s.iter().map(|v| Value::F64(*v)).collect()),
+                    )
+                })
+                .collect(),
+        );
+        let spans = Value::Array(self.spans.iter().map(span_json).collect());
+        Value::Object(vec![
+            ("counters".to_string(), counters),
+            ("gauges".to_string(), gauges),
+            ("hists".to_string(), hists),
+            ("series".to_string(), series),
+            ("spans".to_string(), spans),
+            (
+                "span_coverage".to_string(),
+                Value::F64(self.span_coverage()),
+            ),
+        ])
+    }
+
+    /// Pretty-printed JSON snapshot.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json()).expect("obs json")
+    }
+
+    /// Chrome trace-event JSON (array format): one complete event per
+    /// span. Open the file in `chrome://tracing` or https://ui.perfetto.dev.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events: Vec<Value> = Vec::with_capacity(self.spans.len());
+        for s in &self.spans {
+            let mut args = Vec::new();
+            if let Some(t) = s.sim_start_ns {
+                args.push(("sim_start_us".to_string(), Value::F64(t as f64 / 1e3)));
+            }
+            if let Some(t) = s.sim_end_ns {
+                args.push(("sim_end_us".to_string(), Value::F64(t as f64 / 1e3)));
+            }
+            events.push(Value::Object(vec![
+                ("name".to_string(), Value::Str(s.name.to_string())),
+                ("cat".to_string(), Value::Str(s.cat.to_string())),
+                ("ph".to_string(), Value::Str("X".to_string())),
+                ("ts".to_string(), Value::F64(s.start_ns as f64 / 1e3)),
+                ("dur".to_string(), Value::F64(s.dur_ns as f64 / 1e3)),
+                ("pid".to_string(), Value::U64(1)),
+                ("tid".to_string(), Value::U64(s.track as u64)),
+                ("args".to_string(), Value::Object(args)),
+            ]));
+        }
+        serde_json::to_string(&Value::Array(events)).expect("chrome trace json")
+    }
+
+    /// Human-readable end-of-run report (printed by `mimicnet --report`).
+    pub fn render_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== observability report ==");
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "spans: {} recorded, coverage {:.1}% of wall extent",
+                self.spans.len(),
+                self.span_coverage() * 100.0
+            );
+            // Aggregate wall time by span name.
+            let mut by_name: Vec<(&'static str, u64, u64)> = Vec::new();
+            for s in &self.spans {
+                match by_name.iter_mut().find(|(n, _, _)| *n == s.name) {
+                    Some((_, count, ns)) => {
+                        *count += 1;
+                        *ns += s.dur_ns;
+                    }
+                    None => by_name.push((s.name, 1, s.dur_ns)),
+                }
+            }
+            by_name.sort_by_key(|e| std::cmp::Reverse(e.2));
+            for (name, count, ns) in &by_name {
+                let _ = writeln!(
+                    out,
+                    "  {:<32} {:>8}x {:>12.3} ms",
+                    name,
+                    count,
+                    *ns as f64 / 1e6
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<40} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k:<40} {v:.6}");
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(out, "histograms (count / mean / p50 / p99 / max):");
+            for (k, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {:<32} {:>8} / {:>10.2} / {:>6} / {:>6} / {}",
+                    k,
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.max
+                );
+            }
+        }
+        if !self.series.is_empty() {
+            let _ = writeln!(out, "series (first..last):");
+            for (k, s) in &self.series {
+                match (s.first(), s.last()) {
+                    (Some(a), Some(b)) => {
+                        let _ = writeln!(out, "  {:<32} n={} {:.6} .. {:.6}", k, s.len(), a, b);
+                    }
+                    _ => {
+                        let _ = writeln!(out, "  {:<32} n=0", k);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn hist_json(h: &Hist) -> Value {
+    Value::Object(vec![
+        ("count".to_string(), Value::U64(h.count)),
+        ("sum".to_string(), Value::U64(h.sum)),
+        ("max".to_string(), Value::U64(h.max)),
+        ("mean".to_string(), Value::F64(h.mean())),
+        ("p50".to_string(), Value::U64(h.quantile(0.5))),
+        ("p99".to_string(), Value::U64(h.quantile(0.99))),
+        (
+            "buckets".to_string(),
+            Value::Array(h.buckets.iter().map(|&b| Value::U64(b)).collect()),
+        ),
+    ])
+}
+
+fn span_json(s: &SpanEvent) -> Value {
+    let mut fields = vec![
+        ("name".to_string(), Value::Str(s.name.to_string())),
+        ("cat".to_string(), Value::Str(s.cat.to_string())),
+        ("start_ns".to_string(), Value::U64(s.start_ns)),
+        ("dur_ns".to_string(), Value::U64(s.dur_ns)),
+        ("track".to_string(), Value::U64(s.track as u64)),
+    ];
+    if let Some(t) = s.sim_start_ns {
+        fields.push(("sim_start_ns".to_string(), Value::U64(t)));
+    }
+    if let Some(t) = s.sim_end_ns {
+        fields.push(("sim_end_ns".to_string(), Value::U64(t)));
+    }
+    Value::Object(fields)
+}
+
+/// Fraction of the wall-clock extent (earliest span start to latest span
+/// end, across all tracks) covered by the union of span intervals.
+/// Returns 0.0 with no spans. Used by the acceptance gate requiring spans
+/// to cover >= 95% of measured wall time.
+pub fn span_coverage(spans: &[SpanEvent]) -> f64 {
+    if spans.is_empty() {
+        return 0.0;
+    }
+    let mut intervals: Vec<(u64, u64)> = spans
+        .iter()
+        .map(|s| (s.start_ns, s.start_ns + s.dur_ns))
+        .collect();
+    intervals.sort_unstable();
+    let lo = intervals[0].0;
+    let hi = intervals.iter().map(|&(_, e)| e).max().unwrap();
+    if hi == lo {
+        return 1.0;
+    }
+    let mut covered = 0u64;
+    let (mut cur_s, mut cur_e) = intervals[0];
+    for &(s, e) in &intervals[1..] {
+        if s <= cur_e {
+            cur_e = cur_e.max(e);
+        } else {
+            covered += cur_e - cur_s;
+            cur_s = s;
+            cur_e = e;
+        }
+    }
+    covered += cur_e - cur_s;
+    covered as f64 / (hi - lo) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn sample_report() -> ObsReport {
+        let mut o = Obs::on();
+        o.begin("phase", "test", Some(0));
+        o.counter_add("sim.events.arrive", 10);
+        o.hist_observe("mimic.flush.batch_size", 32);
+        o.series_push("train.epoch_loss", 0.5);
+        o.gauge_set("drift.cluster.0", 0.1);
+        o.end(Some(1000));
+        o.take_report().unwrap()
+    }
+
+    #[test]
+    fn json_snapshot_round_trips_and_names_present() {
+        let r = sample_report();
+        let s = r.to_json_string();
+        let v: Value = serde_json::from_str(&s).unwrap();
+        let obj = v.as_object().unwrap();
+        let counters = obj
+            .iter()
+            .find(|(k, _)| k == "counters")
+            .map(|(_, v)| v)
+            .unwrap();
+        assert!(counters
+            .as_object()
+            .unwrap()
+            .iter()
+            .any(|(k, _)| k == "sim.events.arrive"));
+        assert!(s.contains("mimic.flush.batch_size"));
+        assert!(s.contains("train.epoch_loss"));
+        assert!(s.contains("drift.cluster.0"));
+        assert!(s.contains("span_coverage"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_event_array() {
+        let r = sample_report();
+        let s = r.to_chrome_trace();
+        let v: Value = serde_json::from_str(&s).unwrap();
+        let events = v.as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        let ev = events[0].as_object().unwrap();
+        let get = |name: &str| ev.iter().find(|(k, _)| k == name).map(|(_, v)| v).unwrap();
+        assert_eq!(get("ph").as_str().unwrap(), "X");
+        assert_eq!(get("name").as_str().unwrap(), "phase");
+        assert!(get("ts").as_f64().is_some());
+        assert!(get("dur").as_f64().is_some());
+    }
+
+    #[test]
+    fn coverage_unions_overlapping_spans() {
+        let mk = |start_ns, dur_ns| SpanEvent {
+            name: "s",
+            cat: "t",
+            start_ns,
+            dur_ns,
+            sim_start_ns: None,
+            sim_end_ns: None,
+            track: 0,
+        };
+        // [0,10) and [5,15): union 15 over extent 15 -> 1.0.
+        assert!((span_coverage(&[mk(0, 10), mk(5, 10)]) - 1.0).abs() < 1e-12);
+        // [0,10) and [20,30): union 20 over extent 30 -> 2/3.
+        let c = span_coverage(&[mk(0, 10), mk(20, 10)]);
+        assert!((c - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(span_coverage(&[]), 0.0);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let r = sample_report();
+        let text = r.render_report();
+        assert!(text.contains("observability report"));
+        assert!(text.contains("sim.events.arrive"));
+        assert!(text.contains("mimic.flush.batch_size"));
+        assert!(text.contains("train.epoch_loss"));
+        assert!(text.contains("drift.cluster.0"));
+        assert!(text.contains("coverage"));
+    }
+}

@@ -40,6 +40,29 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Number of event-kind variants (size for per-kind counter arrays).
+    pub const COUNT: usize = 6;
+
+    /// Dense per-kind index (the class rank), for per-event-type counters
+    /// in the observability layer.
+    pub fn index(&self) -> usize {
+        self.class() as usize
+    }
+
+    /// Stable snake_case name for reports and trace files, indexed
+    /// consistently with [`EventKind::index`].
+    pub fn name_of(index: usize) -> &'static str {
+        const NAMES: [&str; EventKind::COUNT] = [
+            "fault",
+            "tx_done",
+            "arrive",
+            "timer",
+            "flow_arrival",
+            "feeder_wake",
+        ];
+        NAMES[index]
+    }
+
     /// Class rank: fixes processing order among different event types that
     /// share a timestamp. Fault state changes apply first so every other
     /// event at the same instant observes the new link health; transmitter

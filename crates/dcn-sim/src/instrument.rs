@@ -178,6 +178,11 @@ pub struct Metrics {
     /// indexed by cluster id. `None` for packet-level clusters and models
     /// without drift monitoring.
     pub cluster_drift: Vec<Option<f64>>,
+    /// Observability report folded in by the engine when tracing is on
+    /// (`Simulation::enable_obs`); `None` otherwise. Boxed so the common
+    /// obs-off path pays one pointer. Merged across PDES partitions via
+    /// [`dcn_obs::ObsReport::merge`].
+    pub obs: Option<Box<dcn_obs::ObsReport>>,
 }
 
 impl Metrics {
@@ -197,6 +202,7 @@ impl Metrics {
             hops_forwarded: 0,
             queue_stats: Vec::new(),
             cluster_drift: Vec::new(),
+            obs: None,
         }
     }
 
@@ -223,13 +229,17 @@ impl Metrics {
     }
 
     /// Record `bytes` delivered to `host`'s application at `now`.
+    /// Out-of-range host ids are ignored, like `record_queue_depth` —
+    /// composed topologies can surface feeder-host ids beyond the
+    /// partition's own host count.
     pub fn record_delivery(&mut self, host: NodeId, now: SimTime, bytes: u64) {
         let idx = (now.as_nanos() / self.bin.as_nanos()) as usize;
-        let bins = &mut self.tput_bins[host.0 as usize];
-        if bins.len() <= idx {
-            bins.resize(idx + 1, 0);
+        if let Some(bins) = self.tput_bins.get_mut(host.0 as usize) {
+            if bins.len() <= idx {
+                bins.resize(idx + 1, 0);
+            }
+            bins[idx] += bytes;
         }
-        bins[idx] += bytes;
     }
 
     /// Number of flows that completed.
@@ -309,8 +319,7 @@ impl Metrics {
                 *m += t;
             }
         }
-        self.boundary.extend(other.boundary);
-        self.boundary.sort_by_key(|r| (r.time, r.pkt_id));
+        self.boundary = Self::merge_boundary(std::mem::take(&mut self.boundary), other.boundary);
         self.queue_drops += other.queue_drops;
         self.mimic_drops += other.mimic_drops;
         self.ecn_marks += other.ecn_marks;
@@ -339,6 +348,67 @@ impl Metrics {
                 *mine = theirs;
             }
         }
+        match (&mut self.obs, other.obs) {
+            (Some(mine), Some(theirs)) => mine.merge(*theirs),
+            (mine @ None, Some(theirs)) => *mine = Some(theirs),
+            _ => {}
+        }
+    }
+
+    /// Combine two boundary traces into one sorted by `(time, pkt_id)`.
+    /// Each partition emits its trace in event order, so both inputs are
+    /// normally already sorted and a linear merge suffices; an unsorted
+    /// input (possible when pkt-id ties interleave) falls back to a sort.
+    fn merge_boundary(a: Vec<BoundaryRecord>, b: Vec<BoundaryRecord>) -> Vec<BoundaryRecord> {
+        fn key(r: &BoundaryRecord) -> (SimTime, u64) {
+            (r.time, r.pkt_id)
+        }
+        fn is_sorted(v: &[BoundaryRecord]) -> bool {
+            v.windows(2).all(|w| key(&w[0]) <= key(&w[1]))
+        }
+        if a.is_empty() {
+            let mut b = b;
+            if !is_sorted(&b) {
+                b.sort_by_key(key);
+            }
+            return b;
+        }
+        if b.is_empty() {
+            let mut a = a;
+            if !is_sorted(&a) {
+                a.sort_by_key(key);
+            }
+            return a;
+        }
+        if !is_sorted(&a) || !is_sorted(&b) {
+            let mut v = a;
+            v.extend(b);
+            v.sort_by_key(key);
+            return v;
+        }
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let mut xs = a.into_iter().peekable();
+        let mut ys = b.into_iter().peekable();
+        loop {
+            match (xs.peek(), ys.peek()) {
+                (Some(x), Some(y)) => {
+                    if key(x) <= key(y) {
+                        merged.push(xs.next().unwrap());
+                    } else {
+                        merged.push(ys.next().unwrap());
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(xs);
+                    break;
+                }
+                (None, _) => {
+                    merged.extend(ys);
+                    break;
+                }
+            }
+        }
+        merged
     }
 }
 
@@ -445,6 +515,125 @@ mod tests {
         // Out-of-range link ids are ignored, not panics.
         m.record_queue_depth(99, 0, 100);
         assert_eq!(m.max_queue_depth(), 9);
+    }
+
+    fn boundary_rec(t: u64, pkt_id: u64) -> BoundaryRecord {
+        BoundaryRecord {
+            pkt_id,
+            flow: FlowId(1),
+            time: SimTime(t),
+            dir: BoundaryDir::Ingress,
+            phase: BoundaryPhase::Enter,
+            wire_bytes: 100,
+            ecn: Ecn::Ect,
+            kind: PacketKind::Data,
+            src: NodeId(0),
+            dst: NodeId(1),
+            core: NodeId(2),
+            prio: 0,
+        }
+    }
+
+    #[test]
+    fn delivery_out_of_range_host_is_ignored() {
+        let mut m = Metrics::new(2);
+        m.record_delivery(NodeId(0), SimTime::from_secs_f64(0.01), 100);
+        // Regression: this used to panic with an unchecked index.
+        m.record_delivery(NodeId(99), SimTime::from_secs_f64(0.01), 100);
+        assert_eq!(m.total_delivered_bytes(), 100);
+    }
+
+    #[test]
+    fn merge_boundary_linear_matches_sort() {
+        let mut a = Metrics::new(1);
+        let mut b = Metrics::new(1);
+        a.boundary = vec![boundary_rec(10, 1), boundary_rec(20, 5), boundary_rec(30, 2)];
+        b.boundary = vec![boundary_rec(5, 9), boundary_rec(20, 3), boundary_rec(40, 1)];
+        let mut expect: Vec<(SimTime, u64)> = a
+            .boundary
+            .iter()
+            .chain(&b.boundary)
+            .map(|r| (r.time, r.pkt_id))
+            .collect();
+        expect.sort();
+        a.merge(b);
+        let got: Vec<(SimTime, u64)> = a.boundary.iter().map(|r| (r.time, r.pkt_id)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn merge_boundary_unsorted_input_still_sorts() {
+        let mut a = Metrics::new(1);
+        let mut b = Metrics::new(1);
+        // Deliberately unsorted side exercises the fallback path.
+        a.boundary = vec![boundary_rec(30, 1), boundary_rec(10, 1)];
+        b.boundary = vec![boundary_rec(20, 1)];
+        a.merge(b);
+        let got: Vec<u64> = a.boundary.iter().map(|r| r.time.0).collect();
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn merge_sums_unequal_length_tput_bins() {
+        let mut a = Metrics::new(1);
+        let mut b = Metrics::new(3);
+        a.record_delivery(NodeId(0), SimTime::from_secs_f64(0.01), 100);
+        b.record_delivery(NodeId(0), SimTime::from_secs_f64(0.01), 50);
+        b.record_delivery(NodeId(0), SimTime::from_secs_f64(0.15), 25);
+        b.record_delivery(NodeId(2), SimTime::from_secs_f64(0.01), 7);
+        a.merge(b);
+        assert_eq!(a.total_delivered_bytes(), 182);
+        // Host 0 bins summed element-wise with the longer side kept.
+        let host0 = a.throughput_samples(|h| h.0 == 0);
+        assert_eq!(host0.len(), 2);
+        assert!(host0.contains(&1_500.0)); // 150 B in a 100 ms bin
+        assert!(host0.contains(&250.0));
+        // Host 2 exists only in `b`; merge must have widened `a`.
+        assert_eq!(a.throughput_samples(|h| h.0 == 2).len(), 1);
+    }
+
+    #[test]
+    fn merge_sums_queue_stats_histograms() {
+        let mut a = Metrics::new(1);
+        let mut b = Metrics::new(1);
+        a.enable_queue_stats(1);
+        b.enable_queue_stats(2);
+        a.record_queue_depth(0, 0, 3);
+        b.record_queue_depth(0, 0, 3);
+        b.record_queue_depth(0, 0, 100);
+        b.record_queue_depth(1, 1, 1);
+        a.merge(b);
+        assert_eq!(a.queue_stats.len(), 2);
+        assert_eq!(a.queue_stats[0][0].samples, 3);
+        assert_eq!(a.queue_stats[0][0].depth_hist[1], 2); // two depth-3 observations
+        assert_eq!(a.queue_stats[0][0].max_pkts, 100);
+        assert_eq!(a.queue_stats[1][1].samples, 1);
+    }
+
+    #[test]
+    fn merge_cluster_drift_overwrites_when_present() {
+        let mut a = Metrics::new(1);
+        let mut b = Metrics::new(1);
+        a.cluster_drift = vec![Some(0.1), Some(0.2), None];
+        b.cluster_drift = vec![None, Some(0.9), Some(0.3), Some(0.4)];
+        a.merge(b);
+        // `Some` on the incoming side wins; `None` leaves ours in place.
+        assert_eq!(a.cluster_drift, vec![Some(0.1), Some(0.9), Some(0.3), Some(0.4)]);
+    }
+
+    #[test]
+    fn merge_combines_obs_reports() {
+        let mut a = Metrics::new(1);
+        let mut b = Metrics::new(1);
+        let mut ra = dcn_obs::ObsReport::default();
+        ra.counters.insert("sim.windows".into(), 2);
+        b.obs = Some(Box::new(ra.clone()));
+        a.merge(b);
+        assert_eq!(a.obs.as_ref().unwrap().counter("sim.windows"), 2);
+        let mut c = Metrics::new(1);
+        c.obs = Some(Box::new(ra));
+        a.merge(c);
+        assert_eq!(a.obs.as_ref().unwrap().counter("sim.windows"), 4);
     }
 
     #[test]

@@ -128,6 +128,14 @@ pub trait BatchClusterModel {
         let _ = cluster;
         None
     }
+
+    /// Contribute model-side telemetry (lane-occupancy histograms, packet
+    /// counters, …) to the engine's observability report at fold time.
+    /// Called once per run, only when obs is enabled; the default adds
+    /// nothing.
+    fn append_obs(&self, out: &mut dcn_obs::ObsReport) {
+        let _ = out;
+    }
 }
 
 /// A reference model with constant latency and Bernoulli drops. Useful for

@@ -102,20 +102,53 @@ pub fn run_partitioned_setup(
                 let mut sim = Simulation::with_transport(cfg, make_factory());
                 setup(&mut sim);
                 sim.set_partition(owner.clone(), part as u8);
+                // Driver-level obs accounting (active only when the setup
+                // hook enabled obs on the engine): barrier stall time and
+                // cross-partition message counts, folded into the engine's
+                // report so they merge with everything else at the join.
+                let obs_on = sim.obs_enabled();
+                sim.obs_span_begin("pdes.lp", "pdes");
+                let mut barrier_wait_ns = 0u64;
+                let (mut exported, mut imported) = (0u64, 0u64);
                 let mut t = SimTime::ZERO;
                 while t < end {
                     let t_next = (t + window).min(end);
                     let outbox = sim.run_window(t_next);
+                    if obs_on {
+                        exported += outbox.len() as u64;
+                    }
                     for (time, node, pkt) in outbox {
                         let dest = owner[node.0 as usize] as usize;
                         senders[dest].send((time, node, pkt)).expect("LP alive");
                     }
-                    barrier.wait();
+                    if obs_on {
+                        let t0 = std::time::Instant::now();
+                        barrier.wait();
+                        barrier_wait_ns += t0.elapsed().as_nanos() as u64;
+                    } else {
+                        barrier.wait();
+                    }
                     while let Ok((time, node, pkt)) = rx.try_recv() {
+                        if obs_on {
+                            imported += 1;
+                        }
                         sim.inject_arrival(time, node, pkt);
                     }
-                    barrier.wait();
+                    if obs_on {
+                        let t0 = std::time::Instant::now();
+                        barrier.wait();
+                        barrier_wait_ns += t0.elapsed().as_nanos() as u64;
+                    } else {
+                        barrier.wait();
+                    }
                     t = t_next;
+                }
+                sim.obs_span_end();
+                if obs_on {
+                    sim.obs_counter_add("pdes.barrier_wait_ns", barrier_wait_ns);
+                    sim.obs_counter_add("pdes.msgs_exported", exported);
+                    sim.obs_counter_add("pdes.msgs_imported", imported);
+                    sim.obs_counter_add("pdes.partitions", 1);
                 }
                 sim.take_metrics()
             }));
@@ -187,6 +220,32 @@ mod tests {
             let other = m_par.flows.get(id).expect("flow missing in parallel run");
             assert_eq!(rec.end, other.end, "FCT mismatch for {id:?}");
         }
+    }
+
+    #[test]
+    fn obs_merges_across_partitions() {
+        let m_par = run_partitioned_setup(cfg(), 2, cfg().link.latency, &factory, &|sim| {
+            sim.enable_obs()
+        });
+        let m_seq = run_partitioned_setup(cfg(), 1, cfg().link.latency, &factory, &|sim| {
+            sim.enable_obs()
+        });
+        // Obs on must not perturb the trajectory.
+        assert_eq!(m_seq.total_delivered_bytes(), m_par.total_delivered_bytes());
+        let rp = m_par.obs.as_ref().expect("obs report present");
+        let rs = m_seq.obs.as_ref().expect("obs report present");
+        // Event counts are trajectory properties: identical after merge.
+        assert_eq!(rp.counter("sim.events.total"), rs.counter("sim.events.total"));
+        assert_eq!(rp.counter("pdes.partitions"), 2);
+        assert_eq!(rs.counter("pdes.partitions"), 1);
+        // Every exported message is imported by its destination partition.
+        assert_eq!(rp.counter("pdes.msgs_exported"), rp.counter("pdes.msgs_imported"));
+        assert!(rp.counter("pdes.msgs_exported") > 0, "no cross-partition traffic");
+        // Both partitions contributed window spans on distinct tracks.
+        let tracks: std::collections::HashSet<u32> =
+            rp.spans.iter().map(|s| s.track).collect();
+        assert_eq!(tracks.len(), 2);
+        assert_eq!(rp.counter("sim.windows"), 2 * rs.counter("sim.windows"));
     }
 
     #[test]

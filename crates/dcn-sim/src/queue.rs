@@ -79,6 +79,10 @@ pub struct PortQueue {
     pub dropped: u64,
     /// Cumulative count of packets CE-marked by this queue.
     pub marked: u64,
+    /// Cumulative count of packets accepted by this queue.
+    pub enqueued: u64,
+    /// High-watermark of byte occupancy ever reached.
+    pub peak_bytes: u64,
 }
 
 impl PortQueue {
@@ -90,6 +94,8 @@ impl PortQueue {
             pkts: 0,
             dropped: 0,
             marked: 0,
+            enqueued: 0,
+            peak_bytes: 0,
         }
     }
 
@@ -113,6 +119,8 @@ impl PortQueue {
         let band = (pkt.prio as usize).min(self.bands.len() - 1);
         self.bytes += size;
         self.pkts += 1;
+        self.enqueued += 1;
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
         self.bands[band].push_back(pkt);
         EnqueueOutcome::Enqueued { marked }
     }
@@ -276,5 +284,20 @@ mod tests {
         q.dequeue();
         assert_eq!(q.len_bytes(), 0);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn enqueue_and_peak_counters() {
+        let mut q = PortQueue::new(QueueConfig::drop_tail(3_000));
+        q.enqueue(pkt(1, MSS_BYTES, 0, false));
+        q.enqueue(pkt(2, MSS_BYTES, 0, false));
+        q.enqueue(pkt(3, MSS_BYTES, 0, false)); // dropped
+        assert_eq!(q.enqueued, 2);
+        assert_eq!(q.peak_bytes, 3_000);
+        q.dequeue();
+        q.enqueue(pkt(4, 0, 0, false));
+        // Peak is a high-watermark: occupancy fell, peak stays.
+        assert_eq!(q.peak_bytes, 3_000);
+        assert_eq!(q.enqueued, 3);
     }
 }

@@ -30,6 +30,42 @@ use crate::traffic::TrafficGen;
 use crate::transport::{Actions, FlowSpec, TransportCtx, TransportFactory};
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Registry names for per-event-kind counters, indexed by
+/// [`EventKind::index`]. Kept as flat constants so the dispatch loop uses
+/// fixed arrays and naming happens once, at fold time.
+const EVENT_COUNT_NAMES: [&str; EventKind::COUNT] = [
+    "sim.events.fault",
+    "sim.events.tx_done",
+    "sim.events.arrive",
+    "sim.events.timer",
+    "sim.events.flow_arrival",
+    "sim.events.feeder_wake",
+];
+const EVENT_WALL_NAMES: [&str; EventKind::COUNT] = [
+    "sim.events.fault.wall_ns",
+    "sim.events.tx_done.wall_ns",
+    "sim.events.arrive.wall_ns",
+    "sim.events.timer.wall_ns",
+    "sim.events.flow_arrival.wall_ns",
+    "sim.events.feeder_wake.wall_ns",
+];
+
+/// Engine-side observability accumulators ([`Simulation::enable_obs`]).
+/// The event loop touches only the fixed arrays (no map lookups); names
+/// are attached once when the run folds into `Metrics::obs`. Boxed behind
+/// an `Option` so the obs-off hot path pays a single branch.
+struct EngineObs {
+    event_count: [u64; EventKind::COUNT],
+    event_wall_ns: [u64; EventKind::COUNT],
+    /// Batched-flush sizes (items per `flush_batch` that did work).
+    flush_batch: dcn_obs::Hist,
+    flush_wall_ns: u64,
+    flushes: u64,
+    windows: u64,
+    obs: dcn_obs::Obs,
+}
 
 /// How one cluster is executed.
 pub enum ClusterMode {
@@ -118,6 +154,9 @@ pub struct Simulation {
     /// Shared batched-inference runtime for [`ClusterMode::Batched`]
     /// clusters; `None` when no batched model is installed.
     batch: Option<BatchRuntime>,
+    /// Observability accumulators; `None` (the default) is the no-op
+    /// recorder and costs one branch per event.
+    obs: Option<Box<EngineObs>>,
     // --- partitioning (None = own everything) ---
     owner_of_node: Option<Arc<Vec<u8>>>,
     my_partition: u8,
@@ -180,6 +219,7 @@ impl Simulation {
             fault,
             fault_schedule: None,
             batch: None,
+            obs: None,
             end: SimTime::from_secs_f64(cfg.duration_s),
             metrics,
             done: vec![HashSet::new(); cfg.topo.num_hosts() as usize],
@@ -309,6 +349,57 @@ impl Simulation {
         assert!(!self.initialized);
         self.owner_of_node = Some(owner);
         self.my_partition = mine;
+        if let Some(eo) = self.obs.as_mut() {
+            eo.obs.set_track(mine as u32);
+        }
+    }
+
+    /// Turn on observability for this engine: per-event-kind counts and
+    /// wall time, window spans with sim-time attribution, batched-flush
+    /// histograms. The report is folded into `Metrics::obs` when metrics
+    /// are taken. Recording is wall-clock only — the simulated trajectory
+    /// is bit-identical with obs on or off.
+    pub fn enable_obs(&mut self) {
+        let mut obs = dcn_obs::Obs::on();
+        obs.set_track(self.my_partition as u32);
+        self.obs = Some(Box::new(EngineObs {
+            event_count: [0; EventKind::COUNT],
+            event_wall_ns: [0; EventKind::COUNT],
+            flush_batch: dcn_obs::Hist::default(),
+            flush_wall_ns: 0,
+            flushes: 0,
+            windows: 0,
+            obs,
+        }));
+    }
+
+    /// Is the engine recording observability data?
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Add to a registry counter (no-op with obs off). Used by drivers
+    /// sitting above the engine, e.g. the PDES loop's barrier accounting.
+    pub fn obs_counter_add(&mut self, name: &'static str, v: u64) {
+        if let Some(eo) = self.obs.as_mut() {
+            eo.obs.counter_add(name, v);
+        }
+    }
+
+    /// Open a driver-level span on the engine's recorder (no-op when obs
+    /// is off). Used by the PDES driver to wrap a whole LP loop so the
+    /// trace timeline has no coverage gaps at barrier waits.
+    pub fn obs_span_begin(&mut self, name: &'static str, cat: &'static str) {
+        if let Some(eo) = self.obs.as_mut() {
+            eo.obs.begin(name, cat, None);
+        }
+    }
+
+    /// Close the innermost driver-level span (no-op when obs is off).
+    pub fn obs_span_end(&mut self) {
+        if let Some(eo) = self.obs.as_mut() {
+            eo.obs.end(None);
+        }
     }
 
     /// The topology being simulated.
@@ -401,7 +492,56 @@ impl Simulation {
             "unpartitioned run exported remote events"
         );
         self.collect_cluster_drift();
+        self.fold_obs();
         std::mem::replace(&mut self.metrics, Metrics::new(0))
+    }
+
+    /// Fold the engine-side observability accumulators into
+    /// `self.metrics.obs` (registry naming happens here, once per run).
+    /// No-op with obs off; consumes the recorder.
+    fn fold_obs(&mut self) {
+        let Some(mut eo) = self.obs.take() else {
+            return;
+        };
+        for i in 0..EventKind::COUNT {
+            if eo.event_count[i] > 0 {
+                eo.obs.counter_add(EVENT_COUNT_NAMES[i], eo.event_count[i]);
+                eo.obs.counter_add(EVENT_WALL_NAMES[i], eo.event_wall_ns[i]);
+            }
+        }
+        eo.obs.counter_add("sim.windows", eo.windows);
+        eo.obs
+            .counter_add("sim.events.total", self.metrics.events_processed);
+        if eo.flushes > 0 {
+            eo.obs.counter_add("mimic.flush.count", eo.flushes);
+            eo.obs.counter_add("mimic.flush.wall_ns", eo.flush_wall_ns);
+            eo.obs.hist_merge("mimic.flush.batch_size", &eo.flush_batch);
+        }
+        let (mut enq, mut drops, mut peak) = (0u64, 0u64, 0u64);
+        for link in &self.links {
+            for dir in [Dir::Up, Dir::Down] {
+                let q = &link.tx(dir).queue;
+                enq += q.enqueued;
+                drops += q.dropped;
+                peak = peak.max(q.peak_bytes);
+            }
+        }
+        eo.obs.counter_add("sim.queue.enqueued", enq);
+        eo.obs.counter_add("sim.queue.dropped", drops);
+        eo.obs.gauge_set("sim.queue.peak_bytes", peak as f64);
+        let mut report = eo.obs.take_report().unwrap_or_default();
+        if let Some(rt) = &self.batch {
+            rt.model.append_obs(&mut report);
+        }
+        for (c, drift) in self.metrics.cluster_drift.iter().enumerate() {
+            if let Some(v) = drift {
+                report.gauges.insert(format!("drift.cluster.{c}"), *v);
+            }
+        }
+        match &mut self.metrics.obs {
+            Some(existing) => existing.merge(report),
+            slot @ None => *slot = Some(Box::new(report)),
+        }
     }
 
     /// Copy each Mimic'ed cluster's drift score (if monitored) into the
@@ -440,6 +580,10 @@ impl Simulation {
     pub fn run_window(&mut self, until: SimTime) -> Vec<(SimTime, NodeId, Packet)> {
         self.init_schedule();
         let until = until.min(self.end + SimDuration::from_nanos(1));
+        if let Some(eo) = self.obs.as_mut() {
+            eo.windows += 1;
+            eo.obs.begin("sim.window", "sim", Some(self.now.as_nanos()));
+        }
         loop {
             let Some(t) = self.queue.peek_time() else {
                 if self.flush_batch() {
@@ -460,6 +604,8 @@ impl Simulation {
             let ev = self.queue.pop().expect("peeked event vanished");
             self.now = ev.time;
             self.metrics.events_processed += 1;
+            let kind_index = ev.kind.index();
+            let t0 = self.obs.as_ref().map(|_| Instant::now());
             match ev.kind {
                 EventKind::TxDone { link, dir } => self.handle_tx_done(link, dir),
                 EventKind::Arrive { node, packet } => self.handle_arrive(node, packet),
@@ -468,6 +614,14 @@ impl Simulation {
                 EventKind::FeederWake { cluster } => self.handle_feeder(cluster),
                 EventKind::Fault { index } => self.handle_fault(index),
             }
+            if let Some(t0) = t0 {
+                let eo = self.obs.as_mut().expect("obs checked above");
+                eo.event_count[kind_index] += 1;
+                eo.event_wall_ns[kind_index] += t0.elapsed().as_nanos() as u64;
+            }
+        }
+        if let Some(eo) = self.obs.as_mut() {
+            eo.obs.end(Some(self.now.as_nanos()));
         }
         std::mem::take(&mut self.outbox)
     }
@@ -499,8 +653,17 @@ impl Simulation {
         if rt.pending.is_empty() {
             return false;
         }
+        let batch_len = rt.pending.len() as u64;
+        let t0 = self.obs.as_ref().map(|_| Instant::now());
         rt.verdicts.clear();
         rt.model.infer_batch(&rt.pending, &mut rt.verdicts);
+        if let Some(t0) = t0 {
+            let eo = self.obs.as_mut().expect("obs checked above");
+            eo.flushes += 1;
+            eo.flush_batch.observe(batch_len);
+            eo.flush_wall_ns += t0.elapsed().as_nanos() as u64;
+        }
+        let rt = self.batch.as_mut().expect("still installed");
         debug_assert_eq!(rt.verdicts.len(), rt.pending.len(), "one verdict per item");
         // Swap the buffers out so re-injection can borrow the rest of
         // `self`; both keep their capacity across flushes.
@@ -540,6 +703,7 @@ impl Simulation {
     /// Extract metrics after the run (partitioned mode).
     pub fn take_metrics(&mut self) -> Metrics {
         self.collect_cluster_drift();
+        self.fold_obs();
         std::mem::replace(&mut self.metrics, Metrics::new(0))
     }
 
@@ -1318,6 +1482,74 @@ mod tests {
         sim.run_window(SimTime::from_secs_f64(0.01));
         let err = sim.set_fault_plan(&FaultPlan::none()).unwrap_err();
         assert!(matches!(err, SimError::AlreadyStarted { .. }));
+    }
+
+    #[test]
+    fn obs_on_does_not_change_trajectory() {
+        let base = {
+            let mut sim = Simulation::new(quick_cfg());
+            sim.run()
+        };
+        let mut sim = Simulation::new(quick_cfg());
+        sim.enable_obs();
+        let m = sim.run();
+        assert_eq!(m.events_processed, base.events_processed);
+        assert_eq!(m.total_delivered_bytes(), base.total_delivered_bytes());
+        assert_eq!(m.fct_samples(|_| true), base.fct_samples(|_| true));
+        assert!(base.obs.is_none());
+        assert!(m.obs.is_some());
+    }
+
+    #[test]
+    fn obs_event_counts_match_events_processed() {
+        let mut sim = Simulation::new(quick_cfg());
+        sim.enable_obs();
+        let m = sim.run();
+        let report = m.obs.as_ref().unwrap();
+        let sum: u64 = EVENT_COUNT_NAMES.iter().map(|n| report.counter(n)).sum();
+        assert_eq!(sum, m.events_processed);
+        assert_eq!(report.counter("sim.events.total"), m.events_processed);
+        assert_eq!(report.counter("sim.windows"), 1);
+        // The single whole-run window span exists and carries sim time.
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].name, "sim.window");
+        assert!(report.spans[0].sim_end_ns.unwrap() > 0);
+        // Queues saw traffic.
+        assert!(report.counter("sim.queue.enqueued") > 0);
+        assert!(report.gauges["sim.queue.peak_bytes"] > 0.0);
+    }
+
+    #[test]
+    fn obs_records_batched_flush_histogram() {
+        use crate::mimic::BoundaryItem;
+        struct ConstBatch {
+            clusters: Vec<u32>,
+        }
+        impl BatchClusterModel for ConstBatch {
+            fn clusters(&self) -> &[u32] {
+                &self.clusters
+            }
+            fn infer_batch(&mut self, items: &[BoundaryItem], verdicts: &mut Vec<Verdict>) {
+                verdicts.extend(items.iter().map(|_| Verdict::Deliver {
+                    latency: SimDuration::from_millis(2),
+                    mark_ce: false,
+                }));
+            }
+            fn latency_floor(&self) -> SimDuration {
+                SimDuration::from_millis(2)
+            }
+        }
+        let mut cfg = quick_cfg();
+        cfg.traffic.inter_cluster_fraction = 1.0;
+        let mut sim = Simulation::new(cfg);
+        sim.set_batch_model(Box::new(ConstBatch { clusters: vec![1] }));
+        sim.enable_obs();
+        let m = sim.run();
+        let report = m.obs.as_ref().unwrap();
+        assert!(report.counter("mimic.flush.count") > 0);
+        let h = &report.hists["mimic.flush.batch_size"];
+        assert_eq!(h.count, report.counter("mimic.flush.count"));
+        assert!(h.max >= 1);
     }
 
     #[test]

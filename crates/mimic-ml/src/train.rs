@@ -165,6 +165,23 @@ pub fn train(
     data: &PacketDataset,
     cfg: &TrainConfig,
 ) -> Result<TrainReport, TrainError> {
+    train_observed(model, data, cfg, &mut dcn_obs::Obs::off(), "train")
+}
+
+/// [`train`], recording telemetry into `obs` when it is on: one
+/// `train.epoch` span per epoch, `{prefix}.epoch_loss` and
+/// `{prefix}.epoch_throughput_sps` series, a pre-clip gradient-norm
+/// histogram (`{prefix}.grad_norm_milli`, in 1/1000ths so sub-unit norms
+/// land in distinct log2 buckets), and step/backoff counters. With an off
+/// recorder every record call is a no-op behind one branch, so `train`
+/// simply delegates here.
+pub fn train_observed(
+    model: &mut SeqModel,
+    data: &PacketDataset,
+    cfg: &TrainConfig,
+    obs: &mut dcn_obs::Obs,
+    prefix: &str,
+) -> Result<TrainReport, TrainError> {
     if data.is_empty() {
         return Err(TrainError::EmptyDataset);
     }
@@ -189,6 +206,8 @@ pub fn train(
 
     let mut epoch = 0usize;
     while epoch < cfg.epochs {
+        let epoch_t0 = obs.is_on().then(std::time::Instant::now);
+        obs.begin("train.epoch", "train", None);
         let batcher = WindowBatcher::new(data, cfg.window, &mut rng);
         let mut epoch_loss = 0.0f64;
         let mut samples = 0usize;
@@ -245,15 +264,25 @@ pub fn train(
                 epoch_loss += shard_losses[s];
             }
             samples += batch_rows;
+            if obs.is_on() {
+                obs.hist_observe(
+                    format!("{prefix}.grad_norm_milli"),
+                    (grad_buf.norm() as f64 * 1000.0) as u64,
+                );
+            }
             grad_buf.clip_to_norm(cfg.clip);
             let mut step = opt.step();
             model.visit_params(&mut grad_buf, &mut |p, g| step.apply(p, g));
             steps += 1;
         }
         let mean = epoch_loss / samples.max(1) as f64;
+        obs.end(None);
         if !mean.is_finite() {
             consecutive_bad += 1;
             report.backoffs += 1;
+            if obs.is_on() {
+                obs.counter_add(format!("{prefix}.backoffs"), 1);
+            }
             if consecutive_bad > MAX_BACKOFFS {
                 if let Some((ckpt, _)) = best {
                     *model = ckpt;
@@ -273,6 +302,14 @@ pub fn train(
         consecutive_bad = 0;
         report.steps += steps;
         report.epoch_losses.push(mean);
+        if obs.is_on() {
+            obs.series_push(format!("{prefix}.epoch_loss"), mean);
+            obs.counter_add(format!("{prefix}.steps"), steps as u64);
+            if let Some(t0) = epoch_t0 {
+                let secs = t0.elapsed().as_secs_f64().max(1e-9);
+                obs.series_push(format!("{prefix}.epoch_throughput_sps"), samples as f64 / secs);
+            }
+        }
         if best.as_ref().is_none_or(|(_, b)| mean < *b) {
             best = Some((model.clone(), mean));
         }
@@ -391,6 +428,34 @@ mod tests {
             m.to_json()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn observed_training_records_series_and_matches_report() {
+        let data = synthetic(300, 9);
+        let cfg = TrainConfig {
+            epochs: 3,
+            window: 3,
+            ..TrainConfig::default()
+        };
+        // Observation must not change the numerics.
+        let mut plain = SeqModel::new(2, 6, 11);
+        let plain_report = train(&mut plain, &data, &cfg).expect("valid training setup");
+        let mut model = SeqModel::new(2, 6, 11);
+        let mut obs = dcn_obs::Obs::on();
+        let report =
+            train_observed(&mut model, &data, &cfg, &mut obs, "train.test").expect("valid setup");
+        assert_eq!(plain.to_json(), model.to_json());
+        let snap = obs.take_report().expect("obs was on");
+        let losses = &snap.series["train.test.epoch_loss"];
+        assert_eq!(losses, &report.epoch_losses);
+        assert_eq!(losses, &plain_report.epoch_losses);
+        assert_eq!(snap.series["train.test.epoch_throughput_sps"].len(), 3);
+        assert!(snap.series["train.test.epoch_throughput_sps"].iter().all(|&t| t > 0.0));
+        assert_eq!(snap.counter("train.test.steps"), report.steps as u64);
+        // One grad-norm observation per optimizer step, one span per epoch.
+        assert_eq!(snap.hists["train.test.grad_norm_milli"].count, report.steps as u64);
+        assert_eq!(snap.spans.iter().filter(|s| s.name == "train.epoch").count(), 3);
     }
 
     #[test]

@@ -109,6 +109,12 @@ pub struct BatchedMimicFleet {
     /// Counters for instrumentation/tests.
     pub packets_seen: u64,
     pub feeder_packets: u64,
+    /// Weight-shared forward rounds executed (one per occupied round of
+    /// [`SeqModel::step_lanes`](mimic_ml::model::SeqModel::step_lanes)).
+    pub rounds: u64,
+    /// How many lanes each round fed — the realized batch dimension. A
+    /// mean near 1 means the fleet degenerated to scalar stepping.
+    pub lane_occupancy: dcn_obs::Hist,
 }
 
 impl BatchedMimicFleet {
@@ -227,6 +233,8 @@ impl BatchedMimicFleet {
             clusters,
             packets_seen: 0,
             feeder_packets: 0,
+            rounds: 0,
+            lane_occupancy: dcn_obs::Hist::default(),
         }
     }
 
@@ -280,6 +288,8 @@ impl BatchedMimicFleet {
             out,
             raw,
             scratch,
+            rounds,
+            lane_occupancy,
             ..
         } = self;
         let fleet = match dir {
@@ -317,6 +327,8 @@ impl BatchedMimicFleet {
                 if n == 0 {
                     break;
                 }
+                *rounds += 1;
+                lane_occupancy.observe(n as u64);
                 // One weight-shared forward for the whole round.
                 model.model.step_lanes(
                     &feats[..n * width],
@@ -467,5 +479,19 @@ impl BatchClusterModel for BatchedMimicFleet {
             .monitor
             .as_ref()
             .and_then(|m| m.score())
+    }
+
+    fn append_obs(&self, out: &mut dcn_obs::ObsReport) {
+        *out.counters
+            .entry("mimic.fleet.packets_seen".into())
+            .or_insert(0) += self.packets_seen;
+        *out.counters
+            .entry("mimic.fleet.feeder_packets".into())
+            .or_insert(0) += self.feeder_packets;
+        *out.counters.entry("mimic.fleet.rounds".into()).or_insert(0) += self.rounds;
+        out.hists
+            .entry("mimic.flush.lane_occupancy".into())
+            .or_default()
+            .merge(&self.lane_occupancy);
     }
 }

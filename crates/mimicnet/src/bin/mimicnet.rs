@@ -11,6 +11,12 @@
 //! Protocols: newreno (default), dctcp (with `--k`), vegas, westwood, homa.
 //! All randomness derives from `--seed`; re-running a command reproduces
 //! its outputs bit-for-bit.
+//!
+//! Observability (train/estimate/validate): `--trace-out FILE` writes a
+//! Chrome trace-event file (open in Perfetto or chrome://tracing),
+//! `--obs-out FILE` writes the full JSON telemetry snapshot, `--report`
+//! prints a human-readable summary to stderr. Tracing never changes the
+//! results.
 
 use dcn_transport::Protocol;
 use mimicnet::mimic::TrainedMimic;
@@ -29,6 +35,9 @@ fn usage() -> ! {
          validate --model FILE --clusters N [--duration S]\n\
          tune     [--evals E] [--scales 2,4] [--duration S] [--seed N]\n\
          \n\
+         observability (train/estimate/validate):\n\
+         \u{20}        [--trace-out FILE] [--obs-out FILE] [--report]\n\
+         \n\
          protocols: newreno dctcp vegas westwood homa"
     );
     exit(2);
@@ -42,7 +51,7 @@ fn parse_args(args: &[String]) -> HashMap<String, String> {
             eprintln!("unexpected argument: {}", args[i]);
             usage();
         };
-        if key == "json" {
+        if key == "json" || key == "report" {
             map.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -133,6 +142,35 @@ fn clusters_from(opts: &HashMap<String, String>) -> u32 {
     n
 }
 
+/// Whether any observability output was requested.
+fn obs_requested(opts: &HashMap<String, String>) -> bool {
+    opts.contains_key("trace-out") || opts.contains_key("obs-out") || opts.contains_key("report")
+}
+
+/// Drain the pipeline's telemetry and write/print whatever was asked for.
+fn export_obs(pipe: &mut Pipeline, opts: &HashMap<String, String>) {
+    let Some(report) = pipe.obs.take_report() else {
+        return;
+    };
+    if let Some(path) = opts.get("trace-out") {
+        std::fs::write(path, report.to_chrome_trace()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        eprintln!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
+    }
+    if let Some(path) = opts.get("obs-out") {
+        std::fs::write(path, report.to_json_string()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        eprintln!("wrote telemetry snapshot to {path}");
+    }
+    if opts.contains_key("report") {
+        eprint!("{}", report.render_report());
+    }
+}
+
 fn cmd_train(opts: HashMap<String, String>) {
     let out = opts.get("out").cloned().unwrap_or_else(|| {
         eprintln!("--out is required");
@@ -147,6 +185,9 @@ fn cmd_train(opts: HashMap<String, String>) {
         cfg.base.seed
     );
     let mut pipe = Pipeline::new(cfg);
+    if obs_requested(&opts) {
+        pipe = pipe.with_obs();
+    }
     let trained = pipe.train();
     std::fs::write(&out, trained.to_json()).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
@@ -158,12 +199,16 @@ fn cmd_train(opts: HashMap<String, String>) {
         pipe.timings.small_scale_sim,
         pipe.timings.training
     );
+    export_obs(&mut pipe, &opts);
 }
 
 fn cmd_estimate(opts: HashMap<String, String>) {
     let trained = load_model(&opts);
     let n = clusters_from(&opts);
     let mut pipe = Pipeline::new(pipeline_from(&opts));
+    if obs_requested(&opts) {
+        pipe = pipe.with_obs();
+    }
     let est = pipe.try_estimate(&trained, n, None).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
@@ -188,12 +233,16 @@ fn cmd_estimate(opts: HashMap<String, String>) {
         println!("  RTT  p50 {:.4}s  p99 {:.4}s", dcn_sim::stats::percentile(&est.samples.rtt, 50.0), est.rtt_p99);
         println!("  tput p99 {:.0} B/s", est.throughput_p99);
     }
+    export_obs(&mut pipe, &opts);
 }
 
 fn cmd_validate(opts: HashMap<String, String>) {
     let trained = load_model(&opts);
     let n = clusters_from(&opts);
     let mut pipe = Pipeline::new(pipeline_from(&opts));
+    if obs_requested(&opts) {
+        pipe = pipe.with_obs();
+    }
     eprintln!("running MimicNet and full-fidelity at {n} clusters...");
     let (report, mimic_wall, truth_wall) = pipe.validate(&trained, n);
     println!("W1(FCT)        = {:.5}", report.w1_fct);
@@ -211,6 +260,7 @@ fn cmd_validate(opts: HashMap<String, String>) {
         truth_wall.as_secs_f64(),
         truth_wall.as_secs_f64() / mimic_wall.as_secs_f64().max(1e-9)
     );
+    export_obs(&mut pipe, &opts);
 }
 
 fn cmd_tune(opts: HashMap<String, String>) {

@@ -187,6 +187,22 @@ pub fn run_composed_partitioned(
     trained: &TrainedMimic,
     partitions: usize,
 ) -> Result<Metrics, PipelineError> {
+    run_composed_partitioned_obs(base, n_clusters, protocol, trained, partitions, false)
+}
+
+/// [`run_composed_partitioned`] with optional engine tracing: when `trace`
+/// is set, every LP records its observability report (window spans,
+/// per-event-type wall time, flush batch sizes, barrier stalls, fleet lane
+/// occupancy) and the reports arrive merged in `Metrics::obs`. Tracing
+/// never changes the simulated trajectory.
+pub fn run_composed_partitioned_obs(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+    partitions: usize,
+    trace: bool,
+) -> Result<Metrics, PipelineError> {
     let (cfg, _) = composed_engine(base, n_clusters, protocol)?;
     let floor = batched_fleet(&cfg, n_clusters, trained).latency_floor();
     let window = cfg.link.latency.min(floor);
@@ -195,7 +211,12 @@ pub fn run_composed_partitioned(
         partitions,
         window,
         &|| protocol.factory(),
-        &|sim| sim.set_batch_model(Box::new(batched_fleet(&cfg, n_clusters, trained))),
+        &|sim| {
+            sim.set_batch_model(Box::new(batched_fleet(&cfg, n_clusters, trained)));
+            if trace {
+                sim.enable_obs();
+            }
+        },
     ))
 }
 

@@ -10,7 +10,7 @@ use mimic_ml::discretize::Discretizer;
 use mimic_ml::loss::sigmoid;
 use mimic_ml::model::ModelState;
 use mimic_ml::model::{SeqModel, OUT_DROP, OUT_ECN, OUT_LATENCY};
-use mimic_ml::train::{train, TrainConfig, TrainError, TrainReport};
+use mimic_ml::train::{train, train_observed, TrainConfig, TrainError, TrainReport};
 use serde::{Deserialize, Serialize};
 
 /// One direction's trained internal model.
@@ -57,6 +57,24 @@ impl InternalModel {
     ) -> Result<(InternalModel, TrainReport), TrainError> {
         let mut model = SeqModel::new_stacked(data.width(), hidden, layers, cfg.seed);
         let report = train(&mut model, data, cfg)?;
+        Ok((InternalModel { model, disc }, report))
+    }
+
+    /// [`InternalModel::train_stacked`] with telemetry: per-epoch losses,
+    /// throughput, and gradient norms are recorded into `obs` under
+    /// `prefix` (e.g. `train.ingress`). Identical numerics to the
+    /// unobserved path.
+    pub fn train_stacked_observed(
+        data: &PacketDataset,
+        disc: Discretizer,
+        hidden: usize,
+        layers: usize,
+        cfg: &TrainConfig,
+        obs: &mut dcn_obs::Obs,
+        prefix: &str,
+    ) -> Result<(InternalModel, TrainReport), TrainError> {
+        let mut model = SeqModel::new_stacked(data.width(), hidden, layers, cfg.seed);
+        let report = train_observed(&mut model, data, cfg, obs, prefix)?;
         Ok((InternalModel { model, disc }, report))
     }
 

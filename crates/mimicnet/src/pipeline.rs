@@ -114,6 +114,11 @@ impl EstimateReport {
 pub struct Pipeline {
     pub cfg: PipelineConfig,
     pub timings: PhaseTimings,
+    /// Telemetry recorder (off by default — see [`Pipeline::with_obs`]).
+    /// When on, each phase gets a span, training records per-epoch
+    /// series, and every simulation the pipeline runs has engine-side
+    /// tracing enabled; the engines' reports are folded in here.
+    pub obs: dcn_obs::Obs,
 }
 
 impl Pipeline {
@@ -121,6 +126,22 @@ impl Pipeline {
         Pipeline {
             cfg,
             timings: PhaseTimings::default(),
+            obs: dcn_obs::Obs::off(),
+        }
+    }
+
+    /// Turn on observability for every subsequent phase. Recording never
+    /// changes numerics: simulated trajectories and trained weights are
+    /// bit-identical with obs on or off.
+    pub fn with_obs(mut self) -> Pipeline {
+        self.obs = dcn_obs::Obs::on();
+        self
+    }
+
+    /// Absorb a finished simulation's engine-side report, if it has one.
+    fn absorb_sim_obs(&mut self, metrics: &mut Metrics) {
+        if let Some(r) = metrics.obs.take() {
+            self.obs.merge_report(*r);
         }
     }
 
@@ -158,24 +179,36 @@ impl Pipeline {
             horizon_guard_s: 0.05,
             congestion_feature: true,
         };
+        self.obs.begin("pipeline.datagen", "pipeline", None);
         let data = generate(&dg);
+        self.obs.end(None);
         self.timings.small_scale_sim = t0.elapsed();
 
         let t1 = Instant::now();
-        let (ingress, _) = InternalModel::train_stacked(
+        self.obs.begin("pipeline.train.ingress", "pipeline", None);
+        let ingress = InternalModel::train_stacked_observed(
             &data.ingress,
             data.ingress_disc,
             self.cfg.hidden,
             self.cfg.layers,
             &self.cfg.train,
-        )?;
-        let (egress, _) = InternalModel::train_stacked(
+            &mut self.obs,
+            "train.ingress",
+        );
+        self.obs.end(None);
+        let (ingress, _) = ingress?;
+        self.obs.begin("pipeline.train.egress", "pipeline", None);
+        let egress = InternalModel::train_stacked_observed(
             &data.egress,
             data.egress_disc,
             self.cfg.hidden,
             self.cfg.layers,
             &self.cfg.train,
-        )?;
+            &mut self.obs,
+            "train.egress",
+        );
+        self.obs.end(None);
+        let (egress, _) = egress?;
         self.timings.training = t1.elapsed();
 
         Ok((
@@ -209,7 +242,13 @@ impl Pipeline {
         if let Some(plan) = faults {
             sim.set_fault_plan(plan)?;
         }
-        let metrics = sim.run();
+        if self.obs.is_on() {
+            sim.enable_obs();
+        }
+        self.obs.begin("pipeline.estimate", "pipeline", None);
+        let mut metrics = sim.run();
+        self.obs.end(None);
+        self.absorb_sim_obs(&mut metrics);
         let wall = t0.elapsed();
         self.timings.large_scale_sim = wall;
         Ok(self.report_from(metrics, wall, n_clusters, None))
@@ -246,7 +285,13 @@ impl Pipeline {
         if let Some(plan) = faults {
             sim.set_fault_plan(plan)?;
         }
-        let metrics = sim.run();
+        if self.obs.is_on() {
+            sim.enable_obs();
+        }
+        self.obs.begin("pipeline.estimate", "pipeline", None);
+        let mut metrics = sim.run();
+        self.obs.end(None);
+        self.absorb_sim_obs(&mut metrics);
         let wall = t0.elapsed();
         self.timings.large_scale_sim += wall;
         Ok(self.report_from(metrics, probe.wall + wall, n_clusters, Some(decision)))

@@ -1,0 +1,133 @@
+//! Integration tests of the observability layer end to end: a traced
+//! composed PDES run must emit a well-formed report (engine counters,
+//! flush histograms, fleet telemetry, near-total span coverage) without
+//! perturbing the simulated trajectory, and the pipeline recorder must
+//! stitch training and estimation telemetry into one exportable snapshot.
+
+use dcn_sim::config::SimConfig;
+use dcn_transport::Protocol;
+use mimicnet::compose::{run_composed_partitioned, run_composed_partitioned_obs};
+use mimicnet::mimic::TrainedMimic;
+use mimicnet::pipeline::{Pipeline, PipelineConfig};
+
+fn quick_trained() -> (TrainedMimic, SimConfig) {
+    use mimicnet::datagen::{generate, DataGenConfig};
+    use mimicnet::internal_model::InternalModel;
+
+    let mut dg = DataGenConfig::default();
+    dg.sim.duration_s = 0.3;
+    dg.sim.seed = 55;
+    let td = generate(&dg);
+    let tc = mimic_ml::train::TrainConfig {
+        epochs: 1,
+        window: 4,
+        ..mimic_ml::train::TrainConfig::default()
+    };
+    let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, 8, &tc)
+        .expect("valid training setup");
+    let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, 8, &tc)
+        .expect("valid training setup");
+    (
+        TrainedMimic {
+            ingress: ing,
+            egress: eg,
+            feature_cfg: td.feature_cfg,
+            feeder: td.feeder,
+            envelope: None,
+        },
+        dg.sim,
+    )
+}
+
+#[test]
+fn traced_composed_run_emits_full_report_without_perturbing_results() {
+    let (trained, mut base) = quick_trained();
+    base.duration_s = 0.25;
+    base.seed = 31;
+    let p = Protocol::NewReno;
+
+    let plain = run_composed_partitioned(base, 4, p, &trained, 2).expect("valid composition");
+    let traced =
+        run_composed_partitioned_obs(base, 4, p, &trained, 2, true).expect("valid composition");
+
+    // Tracing must not change the trajectory.
+    assert_eq!(plain.total_delivered_bytes(), traced.total_delivered_bytes());
+    assert_eq!(plain.flows_completed(), traced.flows_completed());
+    assert_eq!(plain.mimic_drops, traced.mimic_drops);
+    assert!(plain.obs.is_none(), "untraced run must carry no report");
+
+    let r = traced.obs.as_ref().expect("traced run carries a report");
+    // Engine counters.
+    assert!(r.counter("sim.events.total") > 0);
+    assert_eq!(r.counter("sim.events.total"), traced.events_processed);
+    assert!(r.counter("sim.windows") > 0);
+    assert_eq!(r.counter("pdes.partitions"), 2);
+    // Batched-inference telemetry: flush count, batch sizes, and the
+    // fleet's own lane-occupancy/packets counters.
+    assert!(r.counter("mimic.flush.count") > 0);
+    let batch = &r.hists["mimic.flush.batch_size"];
+    assert!(batch.count > 0 && batch.max >= 1);
+    let lanes = &r.hists["mimic.flush.lane_occupancy"];
+    assert!(lanes.count > 0);
+    assert_eq!(r.counter("mimic.fleet.packets_seen"), batch.sum);
+    assert!(r.counter("mimic.fleet.rounds") >= lanes.count);
+    // The pdes.lp spans wrap each LP loop, so the merged timeline has no
+    // coverage gaps (acceptance: >= 95% of the traced wall extent).
+    let coverage = r.span_coverage();
+    assert!(coverage >= 0.95, "span coverage {coverage}");
+    // Both LPs contributed spans on distinct tracks.
+    let tracks: std::collections::HashSet<u32> = r.spans.iter().map(|s| s.track).collect();
+    assert_eq!(tracks.len(), 2);
+}
+
+#[test]
+fn pipeline_obs_stitches_training_and_estimation_into_one_snapshot() {
+    let mut cfg = PipelineConfig::default();
+    cfg.base.duration_s = 0.3;
+    cfg.base.seed = 12;
+    cfg.hidden = 8;
+    cfg.train.epochs = 2;
+    cfg.train.window = 4;
+
+    let mut pipe = Pipeline::new(cfg).with_obs();
+    let trained = pipe.train();
+    let est = pipe.estimate(&trained, 3);
+    assert!(est.fct_p99 > 0.0);
+    assert!(
+        est.metrics.obs.is_none(),
+        "engine report should have been absorbed by the pipeline recorder"
+    );
+
+    let r = pipe.obs.take_report().expect("obs was on");
+    // Phase spans.
+    for phase in [
+        "pipeline.datagen",
+        "pipeline.train.ingress",
+        "pipeline.train.egress",
+        "pipeline.estimate",
+    ] {
+        assert!(
+            r.spans.iter().any(|s| s.name == phase),
+            "missing span {phase}"
+        );
+    }
+    // Per-direction training series, one entry per epoch.
+    assert_eq!(r.series["train.ingress.epoch_loss"].len(), 2);
+    assert_eq!(r.series["train.egress.epoch_loss"].len(), 2);
+    assert!(r.hists["train.ingress.grad_norm_milli"].count > 0);
+    // Engine-side telemetry from the estimate folded into the same report.
+    assert!(r.counter("sim.events.total") > 0);
+    assert!(r.counter("sim.windows") > 0);
+
+    // The snapshot exports cleanly: JSON parses and the Chrome trace is a
+    // valid event array naming the phase spans.
+    let snap: serde_json::Value = serde_json::from_str(&r.to_json_string()).expect("snapshot parses");
+    assert!(snap.as_object().is_some());
+    let trace: serde_json::Value = serde_json::from_str(&r.to_chrome_trace()).expect("trace parses");
+    let events = trace.as_array().expect("trace is an array");
+    assert!(events
+        .iter()
+        .any(|e| e.as_object().and_then(|o| {
+            o.iter().find(|(k, _)| k == "name").map(|(_, v)| v.as_str() == Some("pipeline.estimate"))
+        }) == Some(true)));
+}
