@@ -40,6 +40,12 @@ const HIDDEN: usize = 32;
 #[derive(Serialize, Deserialize)]
 struct BenchConfig {
     scale: String,
+    /// CPU cores visible to the benchmark. Wall-clock speedups from the
+    /// worker fan-out and the overlap thread are only meaningful when this
+    /// is at least the worker budget; on a single-core runner they
+    /// degenerate to ~1x while the bit-identity checks still bind.
+    #[serde(default)]
+    cores: usize,
     features: usize,
     hidden: usize,
     inference_iters: usize,
@@ -118,6 +124,38 @@ struct PipelineNumbers {
     workers: usize,
 }
 
+#[derive(Serialize, Deserialize, Default)]
+struct TrainingParallelNumbers {
+    /// Pipeline training phase (both direction models), serial: workers=1.
+    serial_training_s: f64,
+    /// Same phase at a 4-worker budget: the per-direction fan-out runs
+    /// ingress and egress concurrently, each on a 2-worker shard split.
+    fanout_4w_training_s: f64,
+    /// serial / fanout (the tentpole's ≥1.5× acceptance number).
+    speedup: f64,
+    /// Runtime check: both budgets produce the same bundle, bit for bit.
+    bit_identical: bool,
+    workers: usize,
+}
+
+#[derive(Serialize, Deserialize, Default)]
+struct OverlapNumbers {
+    /// Composed sequential run, synchronous batched flushes: min-of-N wall
+    /// seconds (the event thread runs every `infer_batch` itself).
+    sync_s: f64,
+    /// Same run with flushes overlapped onto the helper thread.
+    overlap_s: f64,
+    /// sync / overlap.
+    speedup: f64,
+    /// Boundary packets the fleet served (identical in both modes).
+    boundary_packets: u64,
+    /// Event-thread wall per boundary packet, synchronous flushes.
+    sync_ns_per_boundary_pkt: f64,
+    /// Event-thread wall per boundary packet with inference off-thread.
+    overlap_ns_per_boundary_pkt: f64,
+    repeats: usize,
+}
+
 #[derive(Serialize, Deserialize)]
 struct BenchReport {
     config: BenchConfig,
@@ -133,6 +171,15 @@ struct BenchReport {
     #[serde(default)]
     obs: ObsNumbers,
     training: TrainingNumbers,
+    /// Model-level training fan-out (per-direction concurrency on top of
+    /// the sharded data parallelism). Serde default keeps older baselines
+    /// readable; a zeroed section disables its gate.
+    #[serde(default)]
+    training_parallel: TrainingParallelNumbers,
+    /// Off-thread (overlapped) batched boundary inference vs the
+    /// synchronous flush path. Serde default as above.
+    #[serde(default)]
+    overlap: OverlapNumbers,
     pipeline: PipelineNumbers,
 }
 
@@ -564,6 +611,118 @@ fn bench_training(samples: usize, epochs: usize) -> (TrainingNumbers, TrainConfi
     )
 }
 
+/// Model-level training fan-out: the full pipeline training phase (both
+/// direction models over the real generated dataset) serial vs at a
+/// 4-worker budget, where the ingress and egress models train concurrently
+/// on 2-worker shard splits. Both must produce the identical bundle.
+fn bench_training_parallel(scale: Scale) -> TrainingParallelNumbers {
+    let mut serial = Pipeline::new(pipeline_config(scale, 42).with_workers(1));
+    let bundle_serial = serial.train();
+    let serial_s = serial.timings.training.as_secs_f64();
+
+    let mut fan = Pipeline::new(pipeline_config(scale, 42).with_workers(4));
+    let bundle_fan = fan.train();
+    let fanout_s = fan.timings.training.as_secs_f64();
+
+    let identical = bundle_serial.to_json() == bundle_fan.to_json();
+    assert!(identical, "serial and fanned-out pipeline training diverged");
+    TrainingParallelNumbers {
+        serial_training_s: serial_s,
+        fanout_4w_training_s: fanout_s,
+        speedup: serial_s / fanout_s.max(1e-9),
+        bit_identical: identical,
+        workers: 4,
+    }
+}
+
+/// Overlapped (off-thread) batched flushing vs the synchronous flush path
+/// on a real composed run at the fig02 shape (8 clusters, 7 Mimic'ed,
+/// composition-width models). Both modes produce bit-identical
+/// trajectories — the concurrency suite asserts it — so the only thing
+/// measured here is event-thread wall clock.
+fn bench_overlap(duration_s: f64, repeats: usize) -> OverlapNumbers {
+    use dcn_transport::Protocol;
+    use mimic_ml::discretize::Discretizer;
+    use mimicnet::compose::{compose_batched, try_compose_batched_overlapped};
+    use mimicnet::features::FeatureConfig;
+    use mimicnet::feeder::{DirFit, FeederFit};
+    use mimicnet::internal_model::InternalModel;
+    use mimicnet::mimic::TrainedMimic;
+
+    const COMPOSED_HIDDEN: usize = 384;
+    const CLUSTERS: u32 = 8;
+
+    let mut base = dcn_sim::config::SimConfig::small_scale();
+    base.duration_s = duration_s;
+    base.seed = 42;
+    // Route every real flow across the cluster boundary so the flush path
+    // (the thing being overlapped) dominates the run, and keep the
+    // synthetic feeders sparse — `on_wake` state updates happen on the
+    // event thread in both modes and would otherwise swamp the signal.
+    base.traffic.inter_cluster_fraction = 1.0;
+    let mut topo = base.topo;
+    topo.clusters = CLUSTERS;
+    let fc = FeatureConfig::from_topology(&topo);
+    let disc = Discretizer::new(2e-5, 1e-3, 100);
+    let mk = |seed| InternalModel {
+        model: SeqModel::new_stacked(fc.width(), COMPOSED_HIDDEN, 1, seed),
+        disc,
+    };
+    let fit = DirFit::fit(&[2e-3, 4e-3, 8e-3, 1.6e-2], &[320.0, 1460.0, 1460.0]);
+    let bundle = TrainedMimic {
+        ingress: mk(7),
+        egress: mk(8),
+        feature_cfg: fc,
+        feeder: FeederFit {
+            ingress: fit.clone(),
+            egress: fit,
+        },
+        envelope: None,
+    };
+
+    // One traced run to count the boundary packets the fleet serves (the
+    // count is mode- and trace-independent).
+    let mut sim = compose_batched(base, CLUSTERS, Protocol::NewReno, &bundle);
+    sim.enable_obs();
+    let m = sim.run();
+    let boundary_packets = m
+        .obs
+        .as_ref()
+        .map(|r| r.counter("mimic.fleet.packets_seen"))
+        .unwrap_or(0);
+
+    let run_once = |overlap: bool| -> f64 {
+        let mut sim = if overlap {
+            try_compose_batched_overlapped(base, CLUSTERS, Protocol::NewReno, &bundle)
+                .expect("valid composition")
+        } else {
+            compose_batched(base, CLUSTERS, Protocol::NewReno, &bundle)
+        };
+        let t0 = Instant::now();
+        let m = sim.run();
+        std::hint::black_box(m.events_processed);
+        t0.elapsed().as_secs_f64()
+    };
+
+    run_once(false); // warm caches and the page allocator
+    let (mut sync_s, mut overlap_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..repeats {
+        sync_s = sync_s.min(run_once(false));
+        overlap_s = overlap_s.min(run_once(true));
+    }
+
+    let per_pkt = |s: f64| s * 1e9 / (boundary_packets.max(1) as f64);
+    OverlapNumbers {
+        sync_s,
+        overlap_s,
+        speedup: sync_s / overlap_s.max(1e-9),
+        boundary_packets,
+        sync_ns_per_boundary_pkt: per_pkt(sync_s),
+        overlap_ns_per_boundary_pkt: per_pkt(overlap_s),
+        repeats,
+    }
+}
+
 fn bench_pipeline(scale: Scale) -> PipelineNumbers {
     let workers = 4;
     let mut pipe = Pipeline::new(pipeline_config(scale, 42).with_workers(workers));
@@ -615,6 +774,38 @@ fn check_baseline(report: &BenchReport) -> Result<(), String> {
         println!(
             "composed baseline check: {current:.1} ns/packet vs {:.1} baseline (limit {allowed:.1}) — OK",
             base.composed.batched_ns_per_packet
+        );
+    }
+    // Training fan-out gate: the 4-worker pipeline training phase may not
+    // regress past +25% of the baseline (skipped for older baselines).
+    if base.training_parallel.fanout_4w_training_s > 0.0 {
+        let current = report.training_parallel.fanout_4w_training_s;
+        let allowed = base.training_parallel.fanout_4w_training_s * 1.25;
+        if current > allowed {
+            return Err(format!(
+                "training fan-out regression: {current:.2}s vs baseline {:.2}s (limit {allowed:.2}s, +25%)",
+                base.training_parallel.fanout_4w_training_s
+            ));
+        }
+        println!(
+            "training fan-out baseline check: {current:.2}s vs {:.2}s baseline (limit {allowed:.2}s) — OK",
+            base.training_parallel.fanout_4w_training_s
+        );
+    }
+    // Overlapped-flush gate: event-thread wall per boundary packet with the
+    // helper thread on, same +25% rule (skipped for older baselines).
+    if base.overlap.overlap_ns_per_boundary_pkt > 0.0 {
+        let current = report.overlap.overlap_ns_per_boundary_pkt;
+        let allowed = base.overlap.overlap_ns_per_boundary_pkt * 1.25;
+        if current > allowed {
+            return Err(format!(
+                "overlapped compose regression: {current:.0} ns/boundary pkt vs baseline {:.0} (limit {allowed:.0}, +25%)",
+                base.overlap.overlap_ns_per_boundary_pkt
+            ));
+        }
+        println!(
+            "overlap baseline check: {current:.0} ns/boundary pkt vs {:.0} baseline (limit {allowed:.0}) — OK",
+            base.overlap.overlap_ns_per_boundary_pkt
         );
     }
     // Observability gate: the disabled-path A/A bound must stay under 1%
@@ -690,6 +881,36 @@ fn main() {
         training.parallel_bit_identical
     );
 
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\n-- pipeline training fan-out (serial vs 4-worker budget) --");
+    let training_parallel = bench_training_parallel(scale);
+    if cores < training_parallel.workers {
+        println!("note: {cores} core(s) visible — wall-clock speedups below are core-bound");
+    }
+    println!(
+        "serial (1 worker):  {:>7.2} s\nfan-out (4 workers):{:>7.2} s  ({:.2}x)\nbundles bit-identical: {}",
+        training_parallel.serial_training_s,
+        training_parallel.fanout_4w_training_s,
+        training_parallel.speedup,
+        training_parallel.bit_identical
+    );
+
+    println!("\n-- overlapped boundary inference (fig02 shape, min-of-N) --");
+    let (ov_dur, ov_reps) = match scale {
+        Scale::Quick => (0.5, 3),
+        Scale::Full => (1.0, 5),
+    };
+    let overlap = bench_overlap(ov_dur, ov_reps);
+    println!(
+        "sync flushes:    {:>8.4} s  ({:.0} ns/boundary pkt)\noverlap flushes: {:>8.4} s  ({:.0} ns/boundary pkt, {:.2}x, {} pkts)",
+        overlap.sync_s,
+        overlap.sync_ns_per_boundary_pkt,
+        overlap.overlap_s,
+        overlap.overlap_ns_per_boundary_pkt,
+        overlap.speedup,
+        overlap.boundary_packets
+    );
+
     println!("\n-- end-to-end pipeline ({:?}) --", scale);
     let pipeline = bench_pipeline(scale);
     println!(
@@ -701,6 +922,7 @@ fn main() {
     let report = BenchReport {
         config: BenchConfig {
             scale: format!("{scale:?}").to_lowercase(),
+            cores,
             features: FEATURES,
             hidden: HIDDEN,
             inference_iters: iters,
@@ -713,6 +935,8 @@ fn main() {
         composed,
         obs,
         training,
+        training_parallel,
+        overlap,
         pipeline,
     };
 

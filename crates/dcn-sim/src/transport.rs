@@ -245,18 +245,35 @@ pub mod testing {
     }
 
     impl CumAckReceiver {
+        /// Merge `[start, end)` into the sorted disjoint range set, in
+        /// place. Touching or overlapping neighbours coalesce, so the
+        /// common in-order delivery is a branch and an O(1) extension of
+        /// the first range — the engine's per-packet hot path must not
+        /// allocate (see `dcn-sim/tests/alloc_steady_state.rs`).
         fn insert(&mut self, start: u64, end: u64) {
-            // Merge [start, end) into the range set.
-            self.received.push((start, end));
-            self.received.sort_unstable();
-            let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.received.len());
-            for &(s, e) in self.received.iter() {
-                match merged.last_mut() {
-                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
-                    _ => merged.push((s, e)),
+            let i = self.received.partition_point(|&(s, _)| s <= start);
+            if i > 0 && self.received[i - 1].1 >= start {
+                // Extend the predecessor, folding in any ranges the
+                // extension now touches.
+                self.received[i - 1].1 = self.received[i - 1].1.max(end);
+                let reach = self.received[i - 1].1;
+                let j = i + self.received[i..].partition_point(|&(s, _)| s <= reach);
+                if j > i {
+                    self.received[i - 1].1 = reach.max(self.received[j - 1].1);
+                    self.received.drain(i..j);
                 }
+                return;
             }
-            self.received = merged;
+            // No predecessor overlap: absorb any following ranges that
+            // `[start, end)` touches.
+            let j = i + self.received[i..].partition_point(|&(s, _)| s <= end);
+            if j == i {
+                self.received.insert(i, (start, end));
+            } else {
+                let e = end.max(self.received[j - 1].1);
+                self.received[i] = (start, e);
+                self.received.drain(i + 1..j);
+            }
         }
 
         fn cum_ack(&self) -> u64 {

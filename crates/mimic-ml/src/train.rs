@@ -318,6 +318,53 @@ pub fn train_observed(
     Ok(report)
 }
 
+/// Deterministic model-level fan-out: run `jobs` independent training
+/// jobs concurrently, splitting a total worker budget across them.
+///
+/// `run(job, share)` is invoked exactly once per job index with the
+/// per-job worker share; results come back in job-index order. The split
+/// is a pure function of `(jobs, workers)` — never of thread scheduling —
+/// and each job's own training is worker-count-invariant (see the module
+/// docs), so the returned values are bit-identical to running the jobs
+/// serially, at any budget including `workers == 1` (which *does* run
+/// them serially on the calling thread, preserving the old behavior
+/// exactly). With more jobs than workers the jobs run in fixed-order
+/// waves of at most `workers` threads, so the machine is never
+/// oversubscribed by the fan-out itself.
+pub fn fanout_jobs<T: Send>(
+    jobs: usize,
+    workers: usize,
+    run: &(dyn Fn(usize, usize) -> T + Sync),
+) -> Vec<T> {
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1);
+    if workers <= 1 || jobs == 1 {
+        return (0..jobs).map(|j| run(j, workers)).collect();
+    }
+    let lanes = workers.min(jobs);
+    let share = (workers / lanes).max(1);
+    let mut out: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    for (wave, slots) in out.chunks_mut(lanes).enumerate() {
+        std::thread::scope(|scope| {
+            let mut lane_iter = slots.iter_mut().enumerate();
+            // Lane 0 of each wave runs on the calling thread.
+            let own = lane_iter.next();
+            for (lane, slot) in lane_iter {
+                let job = wave * lanes + lane;
+                scope.spawn(move || *slot = Some(run(job, share)));
+            }
+            if let Some((lane, slot)) = own {
+                *slot = Some(run(wave * lanes + lane, share));
+            }
+        });
+    }
+    out.into_iter()
+        .map(|r| r.expect("every fan-out job ran"))
+        .collect()
+}
+
 /// Evaluate mean combined loss on a held-out set (no gradient).
 pub fn evaluate(model: &SeqModel, data: &PacketDataset, cfg: &TrainConfig) -> f64 {
     if data.is_empty() {
@@ -456,6 +503,52 @@ mod tests {
         // One grad-norm observation per optimizer step, one span per epoch.
         assert_eq!(snap.hists["train.test.grad_norm_milli"].count, report.steps as u64);
         assert_eq!(snap.spans.iter().filter(|s| s.name == "train.epoch").count(), 3);
+    }
+
+    #[test]
+    fn fanout_preserves_job_order_and_budget() {
+        // Results come back in job order regardless of scheduling, the
+        // worker split is pure in (jobs, workers), and workers == 1 runs
+        // serially (share 1 per job).
+        for (jobs, workers, want_share) in
+            [(2, 4, 2), (2, 1, 1), (3, 8, 2), (5, 2, 1), (1, 4, 4), (4, 4, 1)]
+        {
+            let got = fanout_jobs(jobs, workers, &|j, share| (j, share));
+            let want: Vec<(usize, usize)> = (0..jobs).map(|j| (j, want_share)).collect();
+            assert_eq!(got, want, "jobs={jobs} workers={workers}");
+        }
+        assert!(fanout_jobs(0, 4, &|j, _| j).is_empty());
+    }
+
+    #[test]
+    fn fanout_training_matches_serial() {
+        // Two independent models trained through the fan-out must be
+        // bit-identical to training them one after the other.
+        let data_a = synthetic(300, 9);
+        let data_b = synthetic(300, 10);
+        let cfg = TrainConfig {
+            epochs: 2,
+            window: 3,
+            ..TrainConfig::default()
+        };
+        let serial: Vec<String> = [(&data_a, 21u64), (&data_b, 22u64)]
+            .iter()
+            .map(|(d, seed)| {
+                let mut m = SeqModel::new(2, 6, *seed);
+                train(&mut m, d, &cfg).expect("valid training setup");
+                m.to_json()
+            })
+            .collect();
+        for workers in [1, 2, 4, 8] {
+            let fanned = fanout_jobs(2, workers, &|j, share| {
+                let (d, seed) = if j == 0 { (&data_a, 21) } else { (&data_b, 22) };
+                let mut m = SeqModel::new(2, 6, seed);
+                let cfg = TrainConfig { workers: share, ..cfg };
+                train(&mut m, d, &cfg).expect("valid training setup");
+                m.to_json()
+            });
+            assert_eq!(serial, fanned, "fan-out diverged at {workers} workers");
+        }
     }
 
     #[test]

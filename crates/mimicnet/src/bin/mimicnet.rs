@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! mimicnet train    [--duration S] [--seed N] [--protocol P] [--k K]
-//!                   [--epochs E] [--hidden H] [--window W] --out model.json
+//!                   [--epochs E] [--hidden H] [--window W] [--workers W]
+//!                   --out model.json
 //! mimicnet estimate --model model.json --clusters N [--duration S] [--json]
 //! mimicnet validate --model model.json --clusters N [--duration S]
-//! mimicnet tune     [--evals E] [--scales 2,4] [--duration S]
+//! mimicnet tune     [--evals E] [--scales 2,4] [--duration S] [--workers W]
 //! ```
 //!
 //! Protocols: newreno (default), dctcp (with `--k`), vegas, westwood, homa.
 //! All randomness derives from `--seed`; re-running a command reproduces
-//! its outputs bit-for-bit.
+//! its outputs bit-for-bit — including `--workers W`, which parallelizes
+//! training (per-direction models and gradient shards) without changing a
+//! single bit of the result.
 //!
 //! Observability (train/estimate/validate): `--trace-out FILE` writes a
 //! Chrome trace-event file (open in Perfetto or chrome://tracing),
@@ -31,9 +34,11 @@ fn usage() -> ! {
          \n\
          train    --out FILE [--duration S] [--seed N] [--protocol P] [--k K]\n\
          \u{20}        [--epochs E] [--hidden H] [--layers L] [--window W]\n\
+         \u{20}        [--workers W]\n\
          estimate --model FILE --clusters N [--duration S] [--json]\n\
          validate --model FILE --clusters N [--duration S]\n\
          tune     [--evals E] [--scales 2,4] [--duration S] [--seed N]\n\
+         \u{20}        [--workers W]\n\
          \n\
          observability (train/estimate/validate):\n\
          \u{20}        [--trace-out FILE] [--obs-out FILE] [--report]\n\
@@ -107,6 +112,9 @@ fn pipeline_from(opts: &HashMap<String, String>) -> PipelineConfig {
     }
     if let Some(w) = opts.get("window") {
         cfg.train.window = w.parse().expect("--window must be an integer");
+    }
+    if let Some(w) = opts.get("workers") {
+        cfg.train.workers = w.parse().expect("--workers must be an integer");
     }
     cfg
 }
@@ -279,6 +287,10 @@ fn cmd_tune(opts: HashMap<String, String>) {
             })
             .unwrap_or_else(|| vec![2, 4]),
         seed: cfg.base.seed ^ 0x7A7E,
+        workers: opts
+            .get("workers")
+            .map(|v| v.parse().expect("--workers must be an integer"))
+            .unwrap_or(1),
     };
     eprintln!(
         "Bayesian-optimizing {} evaluations over scales {:?}...",

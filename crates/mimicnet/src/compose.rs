@@ -131,6 +131,24 @@ pub fn try_compose_batched(
     Ok(sim)
 }
 
+/// [`try_compose_batched`] with batched flushes overlapped onto a helper
+/// thread ([`Simulation::set_batch_overlap`]): the helper runs the
+/// previous chunk's `infer_batch` while the event thread processes the
+/// current window's non-boundary events. Verdicts are chunking-invariant
+/// and re-injected at `enqueue + latency`, so the run is bit-identical to
+/// [`try_compose_batched`] (and to the scalar/PDES paths) — overlap is a
+/// pure wall-clock optimization.
+pub fn try_compose_batched_overlapped(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+) -> Result<Simulation, PipelineError> {
+    let mut sim = try_compose_batched(base, n_clusters, protocol, trained)?;
+    sim.set_batch_overlap(true);
+    Ok(sim)
+}
+
 /// [`compose_heterogeneous`] behind the batched aggregation point: lanes
 /// batch within each bundle group. Seeds match the scalar heterogeneous
 /// composition.
@@ -187,7 +205,20 @@ pub fn run_composed_partitioned(
     trained: &TrainedMimic,
     partitions: usize,
 ) -> Result<Metrics, PipelineError> {
-    run_composed_partitioned_obs(base, n_clusters, protocol, trained, partitions, false)
+    run_composed_partitioned_full(base, n_clusters, protocol, trained, partitions, false, false)
+}
+
+/// [`run_composed_partitioned`] with each LP's flushes overlapped onto its
+/// own helper thread. Bit-identical to the synchronous partitioned run
+/// (and to sequential) — asserted by the concurrency suite.
+pub fn run_composed_partitioned_overlapped(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+    partitions: usize,
+) -> Result<Metrics, PipelineError> {
+    run_composed_partitioned_full(base, n_clusters, protocol, trained, partitions, false, true)
 }
 
 /// [`run_composed_partitioned`] with optional engine tracing: when `trace`
@@ -203,6 +234,18 @@ pub fn run_composed_partitioned_obs(
     partitions: usize,
     trace: bool,
 ) -> Result<Metrics, PipelineError> {
+    run_composed_partitioned_full(base, n_clusters, protocol, trained, partitions, trace, false)
+}
+
+fn run_composed_partitioned_full(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+    partitions: usize,
+    trace: bool,
+    overlap: bool,
+) -> Result<Metrics, PipelineError> {
     let (cfg, _) = composed_engine(base, n_clusters, protocol)?;
     let floor = batched_fleet(&cfg, n_clusters, trained).latency_floor();
     let window = cfg.link.latency.min(floor);
@@ -213,6 +256,9 @@ pub fn run_composed_partitioned_obs(
         &|| protocol.factory(),
         &|sim| {
             sim.set_batch_model(Box::new(batched_fleet(&cfg, n_clusters, trained)));
+            if overlap {
+                sim.set_batch_overlap(true);
+            }
             if trace {
                 sim.enable_obs();
             }

@@ -185,29 +185,46 @@ impl Pipeline {
         self.timings.small_scale_sim = t0.elapsed();
 
         let t1 = Instant::now();
-        self.obs.begin("pipeline.train.ingress", "pipeline", None);
-        let ingress = InternalModel::train_stacked_observed(
-            &data.ingress,
-            data.ingress_disc,
-            self.cfg.hidden,
-            self.cfg.layers,
-            &self.cfg.train,
-            &mut self.obs,
-            "train.ingress",
-        );
-        self.obs.end(None);
+        // The two direction models share nothing, so they fan out across
+        // the worker budget (`TrainConfig::workers`): each job gets a
+        // deterministic share and is itself worker-count-invariant, so
+        // the trained parameters are bit-identical to the old
+        // ingress-then-egress serial loop at any budget (workers == 1
+        // *is* that loop). Each job records into a private recorder on
+        // its own track; reports merge back in fixed ingress-then-egress
+        // order so traced output is scheduling-independent.
+        let obs_on = self.obs.is_on();
+        let (hidden, layers, base_train) = (self.cfg.hidden, self.cfg.layers, self.cfg.train);
+        let dirs: [(&'static str, &str, &_, _, u32); 2] = [
+            ("pipeline.train.ingress", "train.ingress", &data.ingress, data.ingress_disc, 1),
+            ("pipeline.train.egress", "train.egress", &data.egress, data.egress_disc, 2),
+        ];
+        let mut results = mimic_ml::train::fanout_jobs(2, base_train.workers, &|j, share| {
+            let (span, prefix, ds, disc, track) = dirs[j];
+            let mut obs = if obs_on { dcn_obs::Obs::on() } else { dcn_obs::Obs::off() };
+            obs.set_track(track);
+            obs.begin(span, "pipeline", None);
+            let out = InternalModel::train_stacked_observed(
+                ds,
+                disc,
+                hidden,
+                layers,
+                &TrainConfig { workers: share, ..base_train },
+                &mut obs,
+                prefix,
+            );
+            obs.end(None);
+            (out, obs.take_report())
+        });
+        let (egress, egress_report) = results.pop().expect("egress job ran");
+        let (ingress, ingress_report) = results.pop().expect("ingress job ran");
+        if let Some(r) = ingress_report {
+            self.obs.merge_report(r);
+        }
+        if let Some(r) = egress_report {
+            self.obs.merge_report(r);
+        }
         let (ingress, _) = ingress?;
-        self.obs.begin("pipeline.train.egress", "pipeline", None);
-        let egress = InternalModel::train_stacked_observed(
-            &data.egress,
-            data.egress_disc,
-            self.cfg.hidden,
-            self.cfg.layers,
-            &self.cfg.train,
-            &mut self.obs,
-            "train.egress",
-        );
-        self.obs.end(None);
         let (egress, _) = egress?;
         self.timings.training = t1.elapsed();
 
@@ -221,6 +238,30 @@ impl Pipeline {
             },
             data,
         ))
+    }
+
+    /// Bundle prep for heterogeneous composition
+    /// ([`crate::compose::try_compose_heterogeneous_batched`]): train
+    /// several independent mimic bundles concurrently through the same
+    /// fixed-order fan-out as the per-direction models. `workers` is the
+    /// total budget; each bundle gets a deterministic share and splits it
+    /// again across its two directions, so results are bit-identical to
+    /// training the bundles one after another at any budget (and
+    /// `workers == 1` *is* that serial loop). Bundles come back in
+    /// `cfgs` order; the first failing bundle's error (in that order)
+    /// wins.
+    pub fn try_train_bundles(
+        cfgs: &[PipelineConfig],
+        workers: usize,
+    ) -> Result<Vec<TrainedMimic>, PipelineError> {
+        let results = mimic_ml::train::fanout_jobs(cfgs.len(), workers, &|j, share| {
+            let mut pipe = Pipeline::new(PipelineConfig {
+                train: TrainConfig { workers: share, ..cfgs[j].train },
+                ..cfgs[j]
+            });
+            pipe.try_train_with_data().map(|(trained, _)| trained)
+        });
+        results.into_iter().collect()
     }
 
     /// Phase ❺: the composed large-scale estimate at `n_clusters`.

@@ -73,6 +73,13 @@ pub struct TuningConfig {
     pub scales: Vec<u32>,
     /// Seed for the BO proposals and the held-out validation workload.
     pub seed: u64,
+    /// Worker budget handed to each trial's training fan-out. Trials
+    /// themselves stay serial — Bayesian optimization is sequential by
+    /// nature (each proposal conditions on every prior observation) — so
+    /// the full budget goes to the per-direction/per-shard parallelism
+    /// inside one trial. Training is bit-identical at any worker count,
+    /// so the proposal stream and history are too.
+    pub workers: usize,
 }
 
 impl Default for TuningConfig {
@@ -81,6 +88,7 @@ impl Default for TuningConfig {
             evals: 8,
             scales: vec![2, 4],
             seed: 99,
+            workers: 1,
         }
     }
 }
@@ -139,6 +147,7 @@ pub fn tune(base_cfg: &PipelineConfig, tcfg: &TuningConfig) -> TuningResult {
         let params = TunedParams::from_raw(&raw);
         let mut cfg = val_cfg;
         params.apply(&mut cfg);
+        cfg.train.workers = tcfg.workers.max(1);
         let mut pipe = Pipeline::new(cfg);
         let trained = pipe.train();
         // End-to-end objective across validation scales.
@@ -216,11 +225,40 @@ mod tests {
             evals: 3,
             scales: vec![2],
             seed: 5,
+            ..TuningConfig::default()
         };
         let result = tune(&cfg, &tcfg);
         assert_eq!(result.history.len(), 3);
         let first = result.history[0].1;
         assert!(result.best_objective <= first);
         assert!(result.best_objective.is_finite());
+    }
+
+    #[test]
+    fn tuning_worker_budget_is_trajectory_invariant() {
+        // One cheap trial, run at worker budgets 1 and 4: training is
+        // bit-identical at any worker count, so the proposal stream, the
+        // per-trial objectives, and the winner must match exactly.
+        let mut cfg = PipelineConfig::default();
+        cfg.base.duration_s = 0.2;
+        cfg.train.epochs = 1;
+        cfg.train.window = 4;
+        let mut results = Vec::new();
+        for workers in [1usize, 4] {
+            let tcfg = TuningConfig {
+                evals: 1,
+                scales: vec![2],
+                seed: 5,
+                workers,
+            };
+            results.push(tune(&cfg, &tcfg));
+        }
+        let (a, b) = (&results[0], &results[1]);
+        assert_eq!(a.history.len(), b.history.len());
+        for ((pa, oa), (pb, ob)) in a.history.iter().zip(&b.history) {
+            assert_eq!(pa.to_raw(), pb.to_raw(), "proposal drifted with workers");
+            assert_eq!(oa.to_bits(), ob.to_bits(), "objective drifted with workers");
+        }
+        assert_eq!(a.best_objective.to_bits(), b.best_objective.to_bits());
     }
 }

@@ -1,0 +1,171 @@
+//! Concurrency-determinism suite: the pipeline's parallel training fan-out
+//! and the engine's overlapped (off-thread) batched flushing are pure
+//! wall-clock optimizations — results must be bit-identical to their
+//! serial/synchronous counterparts at every worker count, partition
+//! count, and kernel mode. `RUST_TEST_THREADS` variation in CI re-runs
+//! this binary under contention to shake out scheduling sensitivity.
+
+use dcn_sim::config::SimConfig;
+use dcn_transport::Protocol;
+use mimicnet::pipeline::{Pipeline, PipelineConfig};
+
+fn quick_cfg(seed: u64) -> PipelineConfig {
+    let mut cfg = PipelineConfig::default();
+    cfg.base.duration_s = 0.25;
+    cfg.base.seed = seed;
+    cfg.hidden = 8;
+    cfg.train.epochs = 1;
+    cfg.train.window = 4;
+    cfg
+}
+
+fn assert_identical(
+    seq: &dcn_sim::instrument::Metrics,
+    par: &dcn_sim::instrument::Metrics,
+    label: &str,
+) {
+    assert_eq!(seq.flows_started(), par.flows_started(), "{label}: flows started");
+    assert_eq!(
+        seq.flows_completed(),
+        par.flows_completed(),
+        "{label}: flows completed"
+    );
+    assert_eq!(
+        seq.total_delivered_bytes(),
+        par.total_delivered_bytes(),
+        "{label}: delivered bytes"
+    );
+    assert_eq!(seq.queue_drops, par.queue_drops, "{label}: drops");
+    assert_eq!(seq.ecn_marks, par.ecn_marks, "{label}: marks");
+    assert_eq!(seq.mimic_drops, par.mimic_drops, "{label}: mimic drops");
+    for (id, rec) in &seq.flows {
+        let other = par.flows.get(id).unwrap_or_else(|| panic!("{label}: flow {id:?} missing"));
+        assert_eq!(rec.end, other.end, "{label}: FCT of {id:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel training: the per-direction and per-bundle fan-outs must be
+// bit-identical to serial training at any worker budget.
+// ---------------------------------------------------------------------
+
+#[test]
+fn direction_fanout_matches_serial_training() {
+    let serial = Pipeline::new(quick_cfg(91)).train().to_json();
+    for workers in [2usize, 4, 8] {
+        let mut cfg = quick_cfg(91);
+        cfg.train.workers = workers;
+        let parallel = Pipeline::new(cfg).train().to_json();
+        assert_eq!(serial, parallel, "direction fan-out diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn bundle_fanout_matches_serial_training() {
+    let cfgs = [quick_cfg(17), quick_cfg(23)];
+    let serial: Vec<String> = Pipeline::try_train_bundles(&cfgs, 1)
+        .expect("serial bundle training")
+        .iter()
+        .map(|t| t.to_json())
+        .collect();
+    for workers in [2usize, 4, 8] {
+        let parallel: Vec<String> = Pipeline::try_train_bundles(&cfgs, workers)
+            .expect("parallel bundle training")
+            .iter()
+            .map(|t| t.to_json())
+            .collect();
+        assert_eq!(serial, parallel, "bundle fan-out diverged at {workers} workers");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overlapped flushing: off-thread batched inference must leave composed
+// trajectories byte-identical to the synchronous path — sequentially,
+// across PDES partition counts, and under either matrix kernel mode.
+// ---------------------------------------------------------------------
+
+fn quick_trained() -> (mimicnet::mimic::TrainedMimic, SimConfig) {
+    use mimicnet::datagen::{generate, DataGenConfig};
+    use mimicnet::internal_model::InternalModel;
+
+    let mut dg = DataGenConfig::default();
+    dg.sim.duration_s = 0.3;
+    dg.sim.seed = 55;
+    let td = generate(&dg);
+    let tc = mimic_ml::train::TrainConfig {
+        epochs: 1,
+        window: 4,
+        ..mimic_ml::train::TrainConfig::default()
+    };
+    let (ing, _) = InternalModel::train_new(&td.ingress, td.ingress_disc, 8, &tc)
+        .expect("valid training setup");
+    let (eg, _) = InternalModel::train_new(&td.egress, td.egress_disc, 8, &tc)
+        .expect("valid training setup");
+    (
+        mimicnet::mimic::TrainedMimic {
+            ingress: ing,
+            egress: eg,
+            feature_cfg: td.feature_cfg,
+            feeder: td.feeder,
+            envelope: None,
+        },
+        dg.sim,
+    )
+}
+
+#[test]
+fn overlapped_compose_matches_synchronous() {
+    use mimicnet::compose::{
+        run_composed_partitioned_overlapped, try_compose_batched, try_compose_batched_overlapped,
+    };
+
+    let (trained, mut base) = quick_trained();
+    base.duration_s = 0.25;
+    base.seed = 31;
+    let p = Protocol::NewReno;
+    let sync = try_compose_batched(base, 4, p, &trained)
+        .expect("valid composition")
+        .run();
+    assert!(sync.flows_completed() > 0, "composition made no progress");
+    let overlap = try_compose_batched_overlapped(base, 4, p, &trained)
+        .expect("valid composition")
+        .run();
+    assert_identical(&sync, &overlap, "sequential overlap");
+    assert_eq!(
+        sync.events_processed, overlap.events_processed,
+        "sequential overlap: event count"
+    );
+    for parts in [1usize, 2, 4] {
+        let par = run_composed_partitioned_overlapped(base, 4, p, &trained, parts)
+            .expect("valid composition");
+        assert_identical(&sync, &par, &format!("overlapped pdes x{parts}"));
+    }
+}
+
+#[test]
+fn overlapped_compose_kernel_mode_invariant() {
+    use mimic_ml::matrix::{set_kernel_mode, KernelMode};
+    use mimicnet::compose::{try_compose_batched, try_compose_batched_overlapped};
+
+    let (trained, mut base) = quick_trained();
+    base.duration_s = 0.2;
+    base.seed = 7;
+    let p = Protocol::NewReno;
+    // Both kernel modes are bit-identical by construction, so flipping the
+    // process-wide mode mid-suite cannot perturb concurrently running
+    // tests; restore the default anyway.
+    let mut runs = Vec::new();
+    for mode in [KernelMode::Naive, KernelMode::Blocked] {
+        set_kernel_mode(mode);
+        let sync = try_compose_batched(base, 4, p, &trained)
+            .expect("valid composition")
+            .run();
+        let overlap = try_compose_batched_overlapped(base, 4, p, &trained)
+            .expect("valid composition")
+            .run();
+        assert_identical(&sync, &overlap, &format!("overlap under {mode:?}"));
+        runs.push(sync);
+    }
+    set_kernel_mode(KernelMode::Blocked);
+    assert_identical(&runs[0], &runs[1], "kernel modes");
+}
