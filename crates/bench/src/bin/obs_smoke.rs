@@ -76,8 +76,10 @@ fn main() {
     // --- exported artifacts ------------------------------------------
     let trace_path = std::env::var("TRACE_OUT").unwrap_or_else(|_| "obs_trace.json".into());
     let snap_path = std::env::var("SNAP_OUT").unwrap_or_else(|_| "obs_snapshot.json".into());
-    std::fs::write(&trace_path, report.to_chrome_trace()).expect("write trace");
-    std::fs::write(&snap_path, report.to_json_string()).expect("write snapshot");
+    dcn_sim::snapshot::atomic_write(trace_path.as_ref(), report.to_chrome_trace().as_bytes())
+        .expect("write trace");
+    dcn_sim::snapshot::atomic_write(snap_path.as_ref(), report.to_json_string().as_bytes())
+        .expect("write snapshot");
 
     let snap_text = std::fs::read_to_string(&snap_path).expect("read snapshot back");
     let snap: Result<serde_json::Value, _> = serde_json::from_str(&snap_text);

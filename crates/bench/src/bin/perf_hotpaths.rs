@@ -942,7 +942,8 @@ fn main() {
 
     let out = std::env::var("OUT").unwrap_or_else(|_| "BENCH_mlperf.json".into());
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out, json + "\n").expect("write report");
+    dcn_sim::snapshot::atomic_write(out.as_ref(), (json + "\n").as_bytes())
+        .expect("write report");
     println!("\nwrote {out}");
 
     if let Err(e) = check_baseline(&report) {

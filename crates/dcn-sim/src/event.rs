@@ -190,6 +190,115 @@ impl EventQueue {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot support
+// ---------------------------------------------------------------------------
+
+use crate::snapshot::{self, SnapReader, SnapWriter, SnapshotError};
+
+impl EventKind {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            EventKind::TxDone { link, dir } => {
+                w.put_u8(0);
+                w.put_u32(link.0);
+                w.put_u8(dir.index() as u8);
+            }
+            EventKind::Arrive { node, packet } => {
+                w.put_u8(1);
+                w.put_u32(node.0);
+                snapshot::put_packet(w, packet);
+            }
+            EventKind::Timer { host, flow, token } => {
+                w.put_u8(2);
+                w.put_u32(host.0);
+                w.put_u64(flow.0);
+                w.put_u64(*token);
+            }
+            EventKind::FlowArrival { host } => {
+                w.put_u8(3);
+                w.put_u32(host.0);
+            }
+            EventKind::FeederWake { cluster } => {
+                w.put_u8(4);
+                w.put_u32(*cluster);
+            }
+            EventKind::Fault { index } => {
+                w.put_u8(5);
+                w.put_u32(*index);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<EventKind, SnapshotError> {
+        Ok(match r.get_u8()? {
+            0 => EventKind::TxDone {
+                link: LinkId(r.get_u32()?),
+                dir: match r.get_u8()? {
+                    0 => Dir::Up,
+                    1 => Dir::Down,
+                    b => return Err(SnapshotError::Corrupt(format!("bad Dir {b}"))),
+                },
+            },
+            1 => EventKind::Arrive {
+                node: NodeId(r.get_u32()?),
+                packet: snapshot::get_packet(r)?,
+            },
+            2 => EventKind::Timer {
+                host: NodeId(r.get_u32()?),
+                flow: FlowId(r.get_u64()?),
+                token: r.get_u64()?,
+            },
+            3 => EventKind::FlowArrival {
+                host: NodeId(r.get_u32()?),
+            },
+            4 => EventKind::FeederWake {
+                cluster: r.get_u32()?,
+            },
+            5 => EventKind::Fault {
+                index: r.get_u32()?,
+            },
+            b => return Err(SnapshotError::Corrupt(format!("bad EventKind {b}"))),
+        })
+    }
+}
+
+impl EventQueue {
+    /// Serialize the full future event list plus scheduling counters.
+    ///
+    /// Events are written in deterministic pop order (by draining a clone of
+    /// the heap), and each event keeps its original insertion `seq`, so the
+    /// restored queue reproduces the exact total order — including
+    /// last-resort `seq` tiebreaks — of the uninterrupted run.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.heap.len() as u64);
+        let mut drain = self.heap.clone();
+        while let Some(e) = drain.pop() {
+            w.put_u64(e.time.0);
+            w.put_u64(e.seq);
+            e.kind.save(w);
+        }
+        w.put_u64(self.seq);
+        w.put_u64(self.scheduled);
+    }
+
+    /// Rebuild the future event list from [`EventQueue::save_state`] bytes.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_count(17)?;
+        let mut heap = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let time = SimTime(r.get_u64()?);
+            let seq = r.get_u64()?;
+            let kind = EventKind::load(r)?;
+            heap.push(Event::new(time, kind, seq));
+        }
+        self.heap = heap;
+        self.seq = r.get_u64()?;
+        self.scheduled = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,7 @@
 
 use crate::packet::FlowId;
 use crate::topology::NodeId;
-use crate::transport::{PacketIdAlloc, Transport};
+use crate::transport::{FlowSpec, PacketIdAlloc, Transport};
 use std::collections::HashMap;
 
 /// Which side of the flow this endpoint is.
@@ -20,6 +20,9 @@ pub enum Role {
 pub struct Endpoint {
     pub transport: Box<dyn Transport>,
     pub role: Role,
+    /// The flow this endpoint serves; kept so a checkpoint restore can
+    /// re-create the transport from the factory before loading its state.
+    pub spec: FlowSpec,
 }
 
 /// Mutable state of one host.
@@ -41,8 +44,16 @@ impl HostState {
     }
 
     /// Register a new endpoint. Panics on duplicate (flow ids are unique).
-    pub fn add_endpoint(&mut self, flow: FlowId, transport: Box<dyn Transport>, role: Role) {
-        let prev = self.flows.insert(flow, Endpoint { transport, role });
+    pub fn add_endpoint(&mut self, spec: FlowSpec, transport: Box<dyn Transport>, role: Role) {
+        let flow = spec.id;
+        let prev = self.flows.insert(
+            flow,
+            Endpoint {
+                transport,
+                role,
+                spec,
+            },
+        );
         assert!(prev.is_none(), "duplicate endpoint for flow {flow:?}");
     }
 
@@ -82,7 +93,7 @@ mod tests {
             rto: SimDuration::from_millis(1),
         };
         let mut h = HostState::new(NodeId(0));
-        h.add_endpoint(FlowId(1), f.sender(&spec()), Role::Sender);
+        h.add_endpoint(spec(), f.sender(&spec()), Role::Sender);
         assert_eq!(h.active_flows(), 1);
         h.remove_endpoint(FlowId(1));
         assert_eq!(h.active_flows(), 0);
@@ -98,7 +109,7 @@ mod tests {
             rto: SimDuration::from_millis(1),
         };
         let mut h = HostState::new(NodeId(0));
-        h.add_endpoint(FlowId(1), f.sender(&spec()), Role::Sender);
-        h.add_endpoint(FlowId(1), f.receiver(&spec()), Role::Receiver);
+        h.add_endpoint(spec(), f.sender(&spec()), Role::Sender);
+        h.add_endpoint(spec(), f.receiver(&spec()), Role::Receiver);
     }
 }

@@ -412,6 +412,208 @@ impl Metrics {
     }
 }
 
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
+
+impl Metrics {
+    /// Serialize every deterministic measurement. Keys of the flow map are
+    /// sorted, so equal metrics always produce equal bytes — the byte-identity
+    /// tests compare exactly these serializations. The `obs` report is
+    /// excluded: it holds wall-clock timings that are legitimately different
+    /// across runs.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let mut flow_ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        flow_ids.sort_unstable();
+        w.put_u64(flow_ids.len() as u64);
+        for id in flow_ids {
+            let f = &self.flows[&id];
+            w.put_u64(f.flow.0);
+            w.put_u32(f.src.0);
+            w.put_u32(f.dst.0);
+            w.put_u64(f.size_bytes);
+            w.put_u64(f.start.0);
+            w.put_opt_u64(f.end.map(|t| t.0));
+        }
+        w.put_u64(self.rtt.len() as u64);
+        for s in &self.rtt {
+            w.put_u32(s.host.0);
+            w.put_u64(s.time.0);
+            w.put_u64(s.rtt.0);
+        }
+        w.put_u64(self.tput_bins.len() as u64);
+        for bins in &self.tput_bins {
+            w.put_u64_slice(bins);
+        }
+        w.put_u64(self.bin.0);
+        w.put_u64(self.boundary.len() as u64);
+        for b in &self.boundary {
+            w.put_u64(b.pkt_id);
+            w.put_u64(b.flow.0);
+            w.put_u64(b.time.0);
+            w.put_u8(match b.dir {
+                crate::mimic::BoundaryDir::Ingress => 0,
+                crate::mimic::BoundaryDir::Egress => 1,
+            });
+            w.put_u8(match b.phase {
+                BoundaryPhase::Enter => 0,
+                BoundaryPhase::Exit => 1,
+            });
+            w.put_u32(b.wire_bytes);
+            w.put_u8(match b.ecn {
+                Ecn::NotEct => 0,
+                Ecn::Ect => 1,
+                Ecn::Ce => 2,
+            });
+            w.put_u8(match b.kind {
+                PacketKind::Data => 0,
+                PacketKind::Ack => 1,
+                PacketKind::Grant => 2,
+            });
+            w.put_u32(b.src.0);
+            w.put_u32(b.dst.0);
+            w.put_u32(b.core.0);
+            w.put_u8(b.prio);
+        }
+        w.put_u64(self.queue_drops);
+        w.put_u64(self.mimic_drops);
+        w.put_u64(self.ecn_marks);
+        w.put_u64(self.fault_drops);
+        w.put_u64(self.reroutes);
+        w.put_u64(self.events_processed);
+        w.put_u64(self.hops_forwarded);
+        w.put_u64(self.queue_stats.len() as u64);
+        for entry in &self.queue_stats {
+            for s in entry {
+                w.put_u32(s.max_pkts);
+                for &c in &s.depth_hist {
+                    w.put_u64(c);
+                }
+                w.put_u64(s.samples);
+            }
+        }
+        w.put_u64(self.cluster_drift.len() as u64);
+        for d in &self.cluster_drift {
+            w.put_opt_f64(*d);
+        }
+    }
+
+    /// Restore measurements from [`Metrics::save_state`] bytes. `obs` is
+    /// left untouched (it restarts fresh on resume).
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let nflows = r.get_count(25)?;
+        self.flows = HashMap::with_capacity(nflows);
+        for _ in 0..nflows {
+            let flow = FlowId(r.get_u64()?);
+            let src = NodeId(r.get_u32()?);
+            let dst = NodeId(r.get_u32()?);
+            let size_bytes = r.get_u64()?;
+            let start = SimTime(r.get_u64()?);
+            let end = r.get_opt_u64()?.map(SimTime);
+            self.flows.insert(
+                flow,
+                FlowRecord {
+                    flow,
+                    src,
+                    dst,
+                    size_bytes,
+                    start,
+                    end,
+                },
+            );
+        }
+        let nrtt = r.get_count(20)?;
+        self.rtt = (0..nrtt)
+            .map(|_| {
+                Ok(RttSample {
+                    host: NodeId(r.get_u32()?),
+                    time: SimTime(r.get_u64()?),
+                    rtt: SimDuration(r.get_u64()?),
+                })
+            })
+            .collect::<Result<_, SnapshotError>>()?;
+        let nhosts = r.get_count(8)?;
+        self.tput_bins = (0..nhosts)
+            .map(|_| r.get_u64_vec())
+            .collect::<Result<_, SnapshotError>>()?;
+        self.bin = SimDuration(r.get_u64()?);
+        let nb = r.get_count(40)?;
+        self.boundary = (0..nb)
+            .map(|_| {
+                Ok(BoundaryRecord {
+                    pkt_id: r.get_u64()?,
+                    flow: FlowId(r.get_u64()?),
+                    time: SimTime(r.get_u64()?),
+                    dir: match r.get_u8()? {
+                        0 => BoundaryDir::Ingress,
+                        1 => BoundaryDir::Egress,
+                        b => {
+                            return Err(SnapshotError::Corrupt(format!("bad BoundaryDir {b}")))
+                        }
+                    },
+                    phase: match r.get_u8()? {
+                        0 => BoundaryPhase::Enter,
+                        1 => BoundaryPhase::Exit,
+                        b => {
+                            return Err(SnapshotError::Corrupt(format!("bad BoundaryPhase {b}")))
+                        }
+                    },
+                    wire_bytes: r.get_u32()?,
+                    ecn: match r.get_u8()? {
+                        0 => Ecn::NotEct,
+                        1 => Ecn::Ect,
+                        2 => Ecn::Ce,
+                        b => return Err(SnapshotError::Corrupt(format!("bad Ecn {b}"))),
+                    },
+                    kind: match r.get_u8()? {
+                        0 => PacketKind::Data,
+                        1 => PacketKind::Ack,
+                        2 => PacketKind::Grant,
+                        b => return Err(SnapshotError::Corrupt(format!("bad PacketKind {b}"))),
+                    },
+                    src: NodeId(r.get_u32()?),
+                    dst: NodeId(r.get_u32()?),
+                    core: NodeId(r.get_u32()?),
+                    prio: r.get_u8()?,
+                })
+            })
+            .collect::<Result<_, SnapshotError>>()?;
+        self.queue_drops = r.get_u64()?;
+        self.mimic_drops = r.get_u64()?;
+        self.ecn_marks = r.get_u64()?;
+        self.fault_drops = r.get_u64()?;
+        self.reroutes = r.get_u64()?;
+        self.events_processed = r.get_u64()?;
+        self.hops_forwarded = r.get_u64()?;
+        let nq = r.get_count(280)?;
+        self.queue_stats = (0..nq)
+            .map(|_| {
+                let mut entry = [QueueStats::default(), QueueStats::default()];
+                for s in &mut entry {
+                    s.max_pkts = r.get_u32()?;
+                    for c in &mut s.depth_hist {
+                        *c = r.get_u64()?;
+                    }
+                    s.samples = r.get_u64()?;
+                }
+                Ok(entry)
+            })
+            .collect::<Result<_, SnapshotError>>()?;
+        let nd = r.get_count(1)?;
+        self.cluster_drift = (0..nd)
+            .map(|_| r.get_opt_f64())
+            .collect::<Result<_, SnapshotError>>()?;
+        Ok(())
+    }
+
+    /// The canonical byte serialization of these metrics: equal metrics ⇔
+    /// equal bytes. Used by the bit-identity suites and the kill-and-resume
+    /// CI check to compare runs byte-for-byte.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        self.save_state(&mut w);
+        w.into_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

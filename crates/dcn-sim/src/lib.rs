@@ -71,6 +71,7 @@ pub mod queue;
 pub mod rng;
 pub mod routing;
 pub mod simulator;
+pub mod snapshot;
 pub mod stats;
 pub mod switch;
 pub mod time;

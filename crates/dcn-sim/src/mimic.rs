@@ -18,6 +18,7 @@
 //!   up to and including arrival at the destination host.
 
 use crate::packet::Packet;
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +65,25 @@ pub trait ClusterModel {
     /// [`crate::instrument::Metrics::cluster_drift`].
     fn drift(&self) -> Option<f64> {
         None
+    }
+
+    /// Serialize the model's mutable state (RNG streams, feeder cursors,
+    /// recurrent hidden state, …) for a checkpoint. Immutable weights are
+    /// *not* written; a restore re-creates the model from its bundle and
+    /// then calls [`ClusterModel::load_state`]. The default refuses, so
+    /// only opted-in models participate in checkpointed runs.
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported(
+            "this ClusterModel implementation",
+        ))
+    }
+
+    /// Overwrite the model's mutable state from a checkpoint produced by
+    /// [`ClusterModel::save_state`] on an identically-configured model.
+    fn load_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported(
+            "this ClusterModel implementation",
+        ))
     }
 }
 
@@ -141,6 +161,23 @@ pub trait BatchClusterModel: Send {
     fn append_obs(&self, out: &mut dcn_obs::ObsReport) {
         let _ = out;
     }
+
+    /// Serialize mutable state for a checkpoint; see
+    /// [`ClusterModel::save_state`] for the contract. Must only be called
+    /// with no batch in flight (the engine settles first).
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported(
+            "this BatchClusterModel implementation",
+        ))
+    }
+
+    /// Overwrite mutable state from a checkpoint; see
+    /// [`ClusterModel::load_state`].
+    fn load_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported(
+            "this BatchClusterModel implementation",
+        ))
+    }
 }
 
 /// A reference model with constant latency and Bernoulli drops. Useful for
@@ -174,6 +211,16 @@ impl ClusterModel for ConstModel {
                 mark_ce: false,
             }
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        w.put_u64(self.rng.state());
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.rng.set_state(r.get_u64()?);
+        Ok(())
     }
 }
 

@@ -67,7 +67,7 @@ pub const MSS_BYTES: u32 = 1460;
 pub const INITIAL_TTL: u8 = 64;
 
 /// A simulated packet.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct Packet {
     /// Globally unique, deterministically allocated id (host id in high
     /// bits, per-host counter in low bits).

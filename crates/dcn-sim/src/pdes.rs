@@ -20,11 +20,16 @@
 use crate::config::SimConfig;
 use crate::instrument::Metrics;
 use crate::simulator::Simulation;
+use crate::snapshot::{atomic_write, read_snapshot_file, write_snapshot_file, SnapshotError};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{FatTree, NodeId, NodeKind};
 use crate::transport::TransportFactory;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 
 /// Map every node to a partition: clusters round-robin, cores round-robin.
 pub fn partition_by_cluster(topo: &FatTree, partitions: usize) -> Vec<u8> {
@@ -45,6 +50,68 @@ pub fn partition_by_cluster(topo: &FatTree, partitions: usize) -> Vec<u8> {
 }
 
 type RemoteMsg = (SimTime, NodeId, crate::packet::Packet);
+
+/// Name of the checkpoint directory's manifest file. The manifest is the
+/// commit point: part files are written first (each atomically), then the
+/// manifest is atomically replaced to point at the new generation. A crash
+/// at any instant leaves the manifest referencing a complete generation.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// The manifest of a checkpoint directory: which generation is current and
+/// what run it belongs to.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CheckpointManifest {
+    /// Snapshot container format version (see [`crate::snapshot`]).
+    pub format_version: u32,
+    /// Simulated time of the cut, nanoseconds.
+    pub time_ns: u64,
+    /// Number of logical processes; a resume must use the same count.
+    pub partitions: u32,
+    /// Conservative window used by the checkpointing run, nanoseconds.
+    pub window_ns: u64,
+    /// Config fingerprint (canonical JSON of the [`SimConfig`]); a resume
+    /// must be built from an identical configuration.
+    pub config: String,
+    /// Sub-directory holding this generation's `part-<i>.snap` files.
+    pub generation: String,
+}
+
+/// Read and parse `dir`'s manifest.
+pub fn read_manifest(dir: &Path) -> Result<CheckpointManifest, SnapshotError> {
+    let text = fs::read_to_string(dir.join(MANIFEST_FILE))?;
+    serde_json::from_str(&text)
+        .map_err(|e| SnapshotError::Corrupt(format!("checkpoint manifest: {e}")))
+}
+
+/// Where and how often a partitioned run writes checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointPlan {
+    /// Checkpoint directory; created if missing. Holds `MANIFEST.json`
+    /// plus one `gen-<nanos>/` sub-directory per retained generation.
+    pub dir: PathBuf,
+    /// Simulated-time interval between checkpoints. Cuts land on the first
+    /// window barrier at or after each due time.
+    pub every: SimDuration,
+}
+
+fn generation_name(t: SimTime) -> String {
+    format!("gen-{:020}", t.as_nanos())
+}
+
+/// Remove retired generations, keeping `keep`. Best-effort: a failure to
+/// delete old data never fails the run.
+fn prune_generations(dir: &Path, keep: &str) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("gen-") && name != keep {
+            let _ = fs::remove_dir_all(entry.path());
+        }
+    }
+}
 
 /// Run `cfg` across `partitions` logical processes on OS threads and return
 /// the merged metrics. `make_factory` is invoked once per LP.
@@ -76,12 +143,69 @@ pub fn run_partitioned_setup(
     make_factory: &(dyn Fn() -> Box<dyn TransportFactory> + Sync),
     setup: &(dyn Fn(&mut Simulation) + Sync),
 ) -> Metrics {
+    run_partitioned_resumable(cfg, partitions, window, make_factory, setup, None, None)
+        .expect("no checkpoint I/O requested, so no snapshot error can occur")
+}
+
+/// [`run_partitioned_setup`] with crash resilience: optionally write a
+/// consistent cross-LP checkpoint every `checkpoint.every` of simulated
+/// time, and/or start from the cut recorded in `resume_from` instead of
+/// `t = 0`.
+///
+/// Checkpoints are cut at window barriers, where every LP has imported all
+/// remote arrivals for past windows — the per-LP snapshots therefore
+/// jointly describe the exact global state the run would reach at that
+/// simulated time, and a resumed run's trajectory (and final metrics) are
+/// bit-identical to an uninterrupted one. Each generation directory is
+/// populated with atomically-written `part-<i>.snap` files first; the
+/// manifest rename is the commit point, so a crash at any instant (even
+/// SIGKILL mid-checkpoint) leaves the directory resumable from the last
+/// complete generation.
+pub fn run_partitioned_resumable(
+    cfg: SimConfig,
+    partitions: usize,
+    window: SimDuration,
+    make_factory: &(dyn Fn() -> Box<dyn TransportFactory> + Sync),
+    setup: &(dyn Fn(&mut Simulation) + Sync),
+    checkpoint: Option<&CheckpointPlan>,
+    resume_from: Option<&Path>,
+) -> Result<Metrics, SnapshotError> {
     assert!(partitions >= 1);
     let topo = FatTree::new(cfg.topo);
     let owner = Arc::new(partition_by_cluster(&topo, partitions));
 
     assert!(window > SimDuration::ZERO, "zero lookahead breaks conservative PDES");
     let end = SimTime::from_secs_f64(cfg.duration_s) + SimDuration::from_nanos(1);
+
+    if let Some(plan) = checkpoint {
+        assert!(plan.every > SimDuration::ZERO, "zero checkpoint interval");
+        fs::create_dir_all(&plan.dir)?;
+    }
+
+    // Validate the resume target up front, in one place: manifest shape,
+    // partition count, and configuration must all match before any LP
+    // thread is spawned.
+    let resume: Option<(SimTime, PathBuf)> = match resume_from {
+        None => None,
+        Some(dir) => {
+            let manifest = read_manifest(dir)?;
+            if manifest.partitions != partitions as u32 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "checkpoint was taken with {} partitions, resuming with {partitions}",
+                    manifest.partitions
+                )));
+            }
+            let fp = serde_json::to_string(&cfg)
+                .map_err(|e| SnapshotError::Corrupt(format!("config fingerprint: {e}")))?;
+            if manifest.config != fp {
+                return Err(SnapshotError::Corrupt(
+                    "checkpoint belongs to a different simulation configuration".into(),
+                ));
+            }
+            Some((SimTime(manifest.time_ns), dir.join(&manifest.generation)))
+        }
+    };
+    let resume = &resume;
 
     let channels: Vec<(Sender<RemoteMsg>, Receiver<RemoteMsg>)> =
         (0..partitions).map(|_| channel()).collect();
@@ -90,18 +214,45 @@ pub fn run_partitioned_setup(
         channels.into_iter().map(|(_, r)| Some(r)).collect();
 
     let barrier = Arc::new(Barrier::new(partitions));
+    // First checkpoint or restore failure wins; `abort` is only ever set
+    // *before* a barrier and read *after* one, so every LP observes the
+    // same value at the same loop position and barrier counts stay
+    // matched (no LP can deadlock waiting on one that already returned).
+    let abort = AtomicBool::new(false);
+    let first_err: Mutex<Option<SnapshotError>> = Mutex::new(None);
+    let record_err = |e: SnapshotError| {
+        let mut slot = first_err.lock().expect("error mutex");
+        slot.get_or_insert(e);
+        abort.store(true, Ordering::SeqCst);
+    };
 
-    std::thread::scope(|scope| {
+    let merged = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(partitions);
         for (part, receiver) in receivers.iter_mut().enumerate() {
             let owner = owner.clone();
             let senders = senders.clone();
             let rx = receiver.take().expect("receiver taken once");
             let barrier = barrier.clone();
-            handles.push(scope.spawn(move || {
+            let record_err = &record_err;
+            let abort = &abort;
+            handles.push(scope.spawn(move || -> Option<Metrics> {
                 let mut sim = Simulation::with_transport(cfg, make_factory());
                 setup(&mut sim);
                 sim.set_partition(owner.clone(), part as u8);
+                let mut t = SimTime::ZERO;
+                if let Some((resume_t, gen_dir)) = resume {
+                    let restored = read_snapshot_file(&gen_dir.join(format!("part-{part}.snap")))
+                        .and_then(|payload| sim.restore_snapshot(&payload));
+                    match restored {
+                        Ok(()) => t = *resume_t,
+                        Err(e) => record_err(e),
+                    }
+                    barrier.wait();
+                    if abort.load(Ordering::SeqCst) {
+                        return None;
+                    }
+                }
+                let mut next_ckpt = checkpoint.map(|plan| t + plan.every);
                 // Driver-level obs accounting (active only when the setup
                 // hook enabled obs on the engine): barrier stall time and
                 // cross-partition message counts, folded into the engine's
@@ -110,7 +261,6 @@ pub fn run_partitioned_setup(
                 sim.obs_span_begin("pdes.lp", "pdes");
                 let mut barrier_wait_ns = 0u64;
                 let (mut exported, mut imported) = (0u64, 0u64);
-                let mut t = SimTime::ZERO;
                 while t < end {
                     let t_next = (t + window).min(end);
                     let outbox = sim.run_window(t_next);
@@ -142,6 +292,60 @@ pub fn run_partitioned_setup(
                         barrier.wait();
                     }
                     t = t_next;
+                    // All LPs share t and the plan, so they branch (and hit
+                    // the checkpoint barriers) in lockstep.
+                    let due = matches!(next_ckpt, Some(due) if t >= due) && t < end;
+                    if due {
+                        let plan = checkpoint.expect("due implies a plan");
+                        let gen = generation_name(t);
+                        let gen_dir = plan.dir.join(&gen);
+                        let written = fs::create_dir_all(&gen_dir)
+                            .map_err(SnapshotError::from)
+                            .and_then(|()| sim.save_snapshot())
+                            .and_then(|payload| {
+                                write_snapshot_file(
+                                    &gen_dir.join(format!("part-{part}.snap")),
+                                    &payload,
+                                )
+                            });
+                        if let Err(e) = written {
+                            record_err(e);
+                        }
+                        barrier.wait();
+                        if abort.load(Ordering::SeqCst) {
+                            return None;
+                        }
+                        if part == 0 {
+                            // Every part file of this generation is durable;
+                            // commit it.
+                            let manifest = CheckpointManifest {
+                                format_version: crate::snapshot::FORMAT_VERSION,
+                                time_ns: t.as_nanos(),
+                                partitions: partitions as u32,
+                                window_ns: window.as_nanos(),
+                                config: serde_json::to_string(&cfg)
+                                    .expect("config serialized once already"),
+                                generation: gen.clone(),
+                            };
+                            let committed = serde_json::to_string(&manifest)
+                                .map_err(|e| {
+                                    SnapshotError::Corrupt(format!("checkpoint manifest: {e}"))
+                                })
+                                .and_then(|text| {
+                                    atomic_write(&plan.dir.join(MANIFEST_FILE), text.as_bytes())
+                                        .map_err(SnapshotError::from)
+                                });
+                            match committed {
+                                Ok(()) => prune_generations(&plan.dir, &gen),
+                                Err(e) => record_err(e),
+                            }
+                        }
+                        barrier.wait();
+                        if abort.load(Ordering::SeqCst) {
+                            return None;
+                        }
+                        next_ckpt = Some(t + plan.every);
+                    }
                 }
                 sim.obs_span_end();
                 if obs_on {
@@ -150,19 +354,26 @@ pub fn run_partitioned_setup(
                     sim.obs_counter_add("pdes.msgs_imported", imported);
                     sim.obs_counter_add("pdes.partitions", 1);
                 }
-                sim.take_metrics()
+                Some(sim.take_metrics())
             }));
         }
         let mut merged: Option<Metrics> = None;
         for h in handles {
-            let m = h.join().expect("LP panicked");
+            let Some(m) = h.join().expect("LP panicked") else {
+                continue;
+            };
             match &mut merged {
                 None => merged = Some(m),
                 Some(acc) => acc.merge(m),
             }
         }
-        merged.expect("at least one partition")
-    })
+        merged
+    });
+
+    if let Some(e) = first_err.into_inner().expect("error mutex") {
+        return Err(e);
+    }
+    Ok(merged.expect("at least one partition"))
 }
 
 #[cfg(test)]
@@ -246,6 +457,146 @@ mod tests {
             rp.spans.iter().map(|s| s.track).collect();
         assert_eq!(tracks.len(), 2);
         assert_eq!(rp.counter("sim.windows"), 2 * rs.counter("sim.windows"));
+    }
+
+    fn temp_ckpt_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dcn-pdes-ckpt-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpointed_run_matches_uninterrupted() {
+        let dir = temp_ckpt_dir("match");
+        let m_full = run_partitioned(cfg(), 2, &factory);
+        let plan = CheckpointPlan {
+            dir: dir.clone(),
+            every: SimDuration::from_nanos(50_000_000),
+        };
+        let m_ck = run_partitioned_resumable(
+            cfg(),
+            2,
+            cfg().link.latency,
+            &factory,
+            &|_| {},
+            Some(&plan),
+            None,
+        )
+        .expect("checkpointed run");
+        // Writing checkpoints must not perturb the trajectory.
+        assert_eq!(m_ck.canonical_bytes(), m_full.canonical_bytes());
+        // The directory holds a committed manifest pointing at a complete
+        // generation.
+        let manifest = read_manifest(&dir).expect("manifest committed");
+        assert_eq!(manifest.partitions, 2);
+        let gen_dir = dir.join(&manifest.generation);
+        assert!(gen_dir.join("part-0.snap").is_file());
+        assert!(gen_dir.join("part-1.snap").is_file());
+        // Resuming from the last checkpoint replays the tail bit-identically:
+        // final metrics equal the uninterrupted run's.
+        let m_res = run_partitioned_resumable(
+            cfg(),
+            2,
+            cfg().link.latency,
+            &factory,
+            &|_| {},
+            None,
+            Some(&dir),
+        )
+        .expect("resumed run");
+        assert_eq!(m_res.canonical_bytes(), m_full.canonical_bytes());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_wrong_partition_count_and_config() {
+        let dir = temp_ckpt_dir("reject");
+        let plan = CheckpointPlan {
+            dir: dir.clone(),
+            every: SimDuration::from_nanos(50_000_000),
+        };
+        run_partitioned_resumable(
+            cfg(),
+            2,
+            cfg().link.latency,
+            &factory,
+            &|_| {},
+            Some(&plan),
+            None,
+        )
+        .expect("checkpointed run");
+        // Wrong partition count: typed error, not a panic.
+        let err = run_partitioned_resumable(
+            cfg(),
+            3,
+            cfg().link.latency,
+            &factory,
+            &|_| {},
+            None,
+            Some(&dir),
+        )
+        .err()
+        .expect("partition mismatch must be rejected");
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err:?}");
+        // Different configuration: typed error.
+        let mut other = cfg();
+        other.seed ^= 1;
+        let err = run_partitioned_resumable(
+            other,
+            2,
+            cfg().link.latency,
+            &factory,
+            &|_| {},
+            None,
+            Some(&dir),
+        )
+        .err()
+        .expect("config mismatch must be rejected");
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err:?}");
+        // Missing directory: typed I/O error.
+        let err = run_partitioned_resumable(
+            cfg(),
+            2,
+            cfg().link.latency,
+            &factory,
+            &|_| {},
+            None,
+            Some(&dir.join("nope")),
+        )
+        .err()
+        .expect("missing checkpoint must be rejected");
+        assert!(matches!(err, SnapshotError::Io(_)), "{err:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_generations_are_pruned() {
+        let dir = temp_ckpt_dir("prune");
+        let plan = CheckpointPlan {
+            dir: dir.clone(),
+            every: SimDuration::from_nanos(40_000_000),
+        };
+        run_partitioned_resumable(
+            cfg(),
+            1,
+            cfg().link.latency,
+            &factory,
+            &|_| {},
+            Some(&plan),
+            None,
+        )
+        .expect("checkpointed run");
+        // A 0.2 s run with a 40 ms interval cuts several checkpoints; only
+        // the committed generation survives.
+        let gens: Vec<String> = fs::read_dir(&dir)
+            .expect("dir exists")
+            .flatten()
+            .filter_map(|e| e.file_name().to_str().map(String::from))
+            .filter(|n| n.starts_with("gen-"))
+            .collect();
+        let manifest = read_manifest(&dir).expect("manifest committed");
+        assert_eq!(gens, vec![manifest.generation]);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

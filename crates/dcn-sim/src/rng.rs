@@ -36,6 +36,16 @@ impl SplitMix64 {
         g
     }
 
+    /// Current internal state, for checkpointing (see [`crate::snapshot`]).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Overwrite the internal state, restoring a checkpointed stream.
+    pub fn set_state(&mut self, state: u64) {
+        self.state = state;
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -978,6 +978,341 @@ impl Simulation {
     }
 
     // ------------------------------------------------------------------
+    // Checkpoint / restore
+    // ------------------------------------------------------------------
+
+    /// Serialize the complete deterministic state of this engine: event
+    /// queue, clock, RNG streams, link transmitters and queues, per-flow
+    /// transport endpoints, traffic generators, fault streams, cluster
+    /// model state, and metrics. The payload is raw — callers frame it
+    /// with [`crate::snapshot::write_snapshot_file`] to add the versioned
+    /// header and checksum.
+    ///
+    /// Requires a settled engine: batched inference is settled first
+    /// (collecting any overlapped flush), and the outbox must be empty —
+    /// the PDES driver snapshots at inter-window barriers where both hold.
+    /// A transport or model that does not implement its `save_state` hook
+    /// surfaces [`SnapshotError::Unsupported`].
+    ///
+    /// Restoring onto an identically-configured engine and continuing is
+    /// bit-identical to never having stopped: wall-clock-only state
+    /// (observability recorders) is deliberately excluded.
+    pub fn save_snapshot(&mut self) -> Result<Vec<u8>, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{SnapWriter, SnapshotError};
+        self.settle_batch();
+        if !self.outbox.is_empty() {
+            return Err(SnapshotError::Corrupt(
+                "cannot snapshot with undrained outbox (snapshot at a window barrier)".into(),
+            ));
+        }
+        let mut w = SnapWriter::new();
+        // Config fingerprint: a restore must target an engine built from
+        // the same configuration, or the rebuilt immutable state (topology,
+        // routing, link specs) would silently diverge from the snapshot.
+        let fp = serde_json::to_string(&self.cfg)
+            .map_err(|e| SnapshotError::Corrupt(format!("config fingerprint: {e}")))?;
+        w.put_str(&fp);
+        w.put_u8(self.my_partition);
+        w.put_bool(self.initialized);
+        w.put_u64(self.now.as_nanos());
+        w.put_u64(self.end.as_nanos());
+        self.queue.save_state(&mut w);
+        w.put_u64(self.links.len() as u64);
+        for link in &self.links {
+            w.put_bool(link.health.up);
+            w.put_f64(link.health.extra_loss);
+            w.put_f64(link.health.rate_factor);
+            for dir in [Dir::Up, Dir::Down] {
+                let tx = link.tx(dir);
+                w.put_bool(tx.busy);
+                tx.queue.save_state(&mut w);
+            }
+        }
+        w.put_u64(self.hosts.len() as u64);
+        for host in &self.hosts {
+            w.put_u64(host.ids.counter());
+            let mut flows: Vec<&FlowId> = host.flows.keys().collect();
+            flows.sort();
+            w.put_u64(flows.len() as u64);
+            for flow in flows {
+                let ep = &host.flows[flow];
+                w.put_u64(flow.0);
+                w.put_u8(match ep.role {
+                    Role::Sender => 0,
+                    Role::Receiver => 1,
+                });
+                w.put_u64(ep.spec.id.0);
+                w.put_u32(ep.spec.src.0);
+                w.put_u32(ep.spec.dst.0);
+                w.put_u64(ep.spec.size_bytes);
+                w.put_u64(ep.spec.start.as_nanos());
+                ep.transport.save_state(&mut w)?;
+            }
+        }
+        for done in &self.done {
+            let mut ids: Vec<u64> = done.iter().map(|f| f.0).collect();
+            ids.sort_unstable();
+            w.put_u64(ids.len() as u64);
+            for id in ids {
+                w.put_u64(id);
+            }
+        }
+        self.traffic.save_state(&mut w);
+        match &self.fault {
+            None => w.put_bool(false),
+            Some(streams) => {
+                w.put_bool(true);
+                w.put_u64(streams.len() as u64);
+                for pair in streams {
+                    w.put_u64(pair[0].state());
+                    w.put_u64(pair[1].state());
+                }
+            }
+        }
+        w.put_opt_u64(
+            self.fault_schedule
+                .as_ref()
+                .map(|s| s.len() as u64),
+        );
+        w.put_opt_u64(self.trace_cluster.map(u64::from));
+        w.put_u64(self.cluster_modes.len() as u64);
+        for mode in &self.cluster_modes {
+            match mode {
+                ClusterMode::Full => w.put_u8(0),
+                ClusterMode::Mimic {
+                    model,
+                    ingress,
+                    egress,
+                } => {
+                    w.put_u8(1);
+                    w.put_bool(*ingress);
+                    w.put_bool(*egress);
+                    model.save_state(&mut w)?;
+                }
+                ClusterMode::Batched => w.put_u8(2),
+            }
+        }
+        match &self.batch {
+            None => w.put_bool(false),
+            Some(rt) => {
+                w.put_bool(true);
+                debug_assert!(rt.pending.is_empty(), "settled above");
+                rt.model
+                    .as_ref()
+                    .expect("model in hand after settle")
+                    .save_state(&mut w)?;
+            }
+        }
+        self.metrics.save_state(&mut w);
+        Ok(w.into_bytes())
+    }
+
+    /// Overwrite this engine's mutable state from a snapshot payload
+    /// produced by [`Simulation::save_snapshot`]. The engine must be
+    /// freshly configured exactly as the snapshotted one was — same
+    /// [`SimConfig`], same partition map, same models/fault plan/transport
+    /// factory installed — and must not have started running. Endpoint
+    /// transports are re-created from the factory using each flow's stored
+    /// spec, then overwritten with their saved state.
+    pub fn restore_snapshot(
+        &mut self,
+        payload: &[u8],
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::{SnapReader, SnapshotError};
+        assert!(
+            !self.initialized,
+            "restore targets a freshly configured engine"
+        );
+        let mut r = SnapReader::new(payload);
+        let fp = serde_json::to_string(&self.cfg)
+            .map_err(|e| SnapshotError::Corrupt(format!("config fingerprint: {e}")))?;
+        let saved_fp = r.get_str()?;
+        if saved_fp != fp {
+            return Err(SnapshotError::Corrupt(
+                "snapshot was taken under a different simulation config".into(),
+            ));
+        }
+        let part = r.get_u8()?;
+        if part != self.my_partition {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot is for partition {part}, engine is partition {}",
+                self.my_partition
+            )));
+        }
+        let initialized = r.get_bool()?;
+        let now = SimTime(r.get_u64()?);
+        let end = SimTime(r.get_u64()?);
+        self.queue.load_state(&mut r)?;
+        let nlinks = r.get_count(17)?;
+        if nlinks != self.links.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {nlinks} links, engine has {}",
+                self.links.len()
+            )));
+        }
+        for link in &mut self.links {
+            link.health.up = r.get_bool()?;
+            link.health.extra_loss = r.get_f64()?;
+            link.health.rate_factor = r.get_f64()?;
+            for dir in [Dir::Up, Dir::Down] {
+                let tx = link.tx_mut(dir);
+                tx.busy = r.get_bool()?;
+                tx.queue.load_state(&mut r)?;
+            }
+        }
+        let nhosts = r.get_count(16)?;
+        if nhosts != self.hosts.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {nhosts} hosts, engine has {}",
+                self.hosts.len()
+            )));
+        }
+        for hi in 0..nhosts {
+            let counter = r.get_u64()?;
+            let nflows = r.get_count(30)?;
+            let mut endpoints = Vec::with_capacity(nflows);
+            for _ in 0..nflows {
+                let flow = FlowId(r.get_u64()?);
+                let role = match r.get_u8()? {
+                    0 => Role::Sender,
+                    1 => Role::Receiver,
+                    v => {
+                        return Err(SnapshotError::Corrupt(format!("bad endpoint role {v}")));
+                    }
+                };
+                let spec = FlowSpec {
+                    id: FlowId(r.get_u64()?),
+                    src: NodeId(r.get_u32()?),
+                    dst: NodeId(r.get_u32()?),
+                    size_bytes: r.get_u64()?,
+                    start: SimTime(r.get_u64()?),
+                };
+                if spec.id != flow {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "endpoint key {flow:?} does not match spec id {:?}",
+                        spec.id
+                    )));
+                }
+                let mut transport = match role {
+                    Role::Sender => self.factory.sender(&spec),
+                    Role::Receiver => self.factory.receiver(&spec),
+                };
+                transport.load_state(&mut r)?;
+                endpoints.push((spec, transport, role));
+            }
+            let host = &mut self.hosts[hi];
+            host.ids.set_counter(counter);
+            host.flows.clear();
+            for (spec, transport, role) in endpoints {
+                host.add_endpoint(spec, transport, role);
+            }
+        }
+        for done in &mut self.done {
+            let n = r.get_count(8)?;
+            done.clear();
+            for _ in 0..n {
+                done.insert(FlowId(r.get_u64()?));
+            }
+        }
+        self.traffic.load_state(&mut r)?;
+        let has_fault = r.get_bool()?;
+        match (&mut self.fault, has_fault) {
+            (None, false) => {}
+            (Some(streams), true) => {
+                let n = r.get_count(16)?;
+                if n != streams.len() {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "snapshot has {n} fault streams, engine has {}",
+                        streams.len()
+                    )));
+                }
+                for pair in streams.iter_mut() {
+                    pair[0].set_state(r.get_u64()?);
+                    pair[1].set_state(r.get_u64()?);
+                }
+            }
+            _ => {
+                return Err(SnapshotError::Corrupt(
+                    "fault-stream presence differs (install the same fault plan before restoring)"
+                        .into(),
+                ));
+            }
+        }
+        let saved_sched = r.get_opt_u64()?;
+        let here_sched = self.fault_schedule.as_ref().map(|s| s.len() as u64);
+        if saved_sched != here_sched {
+            return Err(SnapshotError::Corrupt(
+                "fault schedule differs (install the same fault plan before restoring)".into(),
+            ));
+        }
+        let trace = r.get_opt_u64()?;
+        self.trace_cluster = match trace {
+            None => None,
+            Some(c) => Some(
+                u32::try_from(c)
+                    .map_err(|_| SnapshotError::Corrupt(format!("bad trace cluster {c}")))?,
+            ),
+        };
+        let nmodes = r.get_count(1)?;
+        if nmodes != self.cluster_modes.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {nmodes} clusters, engine has {}",
+                self.cluster_modes.len()
+            )));
+        }
+        for (c, mode) in self.cluster_modes.iter_mut().enumerate() {
+            let disc = r.get_u8()?;
+            match (disc, mode) {
+                (0, ClusterMode::Full) => {}
+                (
+                    1,
+                    ClusterMode::Mimic {
+                        model,
+                        ingress,
+                        egress,
+                    },
+                ) => {
+                    let (si, se) = (r.get_bool()?, r.get_bool()?);
+                    if si != *ingress || se != *egress {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "cluster {c} mimic directions differ from snapshot"
+                        )));
+                    }
+                    model.load_state(&mut r)?;
+                }
+                (2, ClusterMode::Batched) => {}
+                (d, _) => {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "cluster {c} mode {d} does not match the engine's configuration"
+                    )));
+                }
+            }
+        }
+        let has_batch = r.get_bool()?;
+        match (&mut self.batch, has_batch) {
+            (None, false) => {}
+            (Some(rt), true) => {
+                rt.model
+                    .as_mut()
+                    .expect("model in hand before the run starts")
+                    .load_state(&mut r)?;
+            }
+            _ => {
+                return Err(SnapshotError::Corrupt(
+                    "batched-model presence differs from snapshot".into(),
+                ));
+            }
+        }
+        self.metrics.load_state(&mut r)?;
+        r.finish()?;
+        // Commit the scalars last, after every fallible read succeeded.
+        self.initialized = initialized;
+        self.now = now;
+        self.end = end;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Event handlers
     // ------------------------------------------------------------------
 
@@ -1004,7 +1339,7 @@ impl Simulation {
         );
         let sender = self.factory.sender(&spec);
         let h = &mut self.hosts[spec.src.0 as usize];
-        h.add_endpoint(spec.id, sender, Role::Sender);
+        h.add_endpoint(spec.clone(), sender, Role::Sender);
         let mut out = std::mem::take(&mut self.scratch);
         out.clear();
         {
@@ -1368,7 +1703,7 @@ impl Simulation {
                 start: self.now,
             };
             let recv = self.factory.receiver(&spec);
-            self.hosts[idx].add_endpoint(pkt.flow, recv, Role::Receiver);
+            self.hosts[idx].add_endpoint(spec, recv, Role::Receiver);
         }
         let mut out = std::mem::take(&mut self.scratch);
         out.clear();

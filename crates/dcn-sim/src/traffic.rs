@@ -191,6 +191,36 @@ impl TrafficGen {
     }
 }
 
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
+
+impl TrafficGen {
+    /// Serialize the mutable per-host generator state (RNG positions and
+    /// flow counters). The fitted distributions are rebuilt from config.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.hosts.len() as u64);
+        for g in &self.hosts {
+            w.put_u64(g.rng.state());
+            w.put_u64(g.flow_counter);
+        }
+    }
+
+    /// Restore per-host generator state from [`TrafficGen::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_count(16)?;
+        if n != self.hosts.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "traffic generator has {} hosts, snapshot has {n}",
+                self.hosts.len()
+            )));
+        }
+        for g in &mut self.hosts {
+            g.rng.set_state(r.get_u64()?);
+            g.flow_counter = r.get_u64()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

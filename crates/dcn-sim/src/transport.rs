@@ -14,6 +14,7 @@
 //! the framework to delete Mimic-Mimic connections wholesale.
 
 use crate::packet::{FlowId, Packet};
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::NodeId;
 use serde::{Deserialize, Serialize};
@@ -55,6 +56,16 @@ impl PacketIdAlloc {
     pub fn next(&mut self) -> u64 {
         self.counter += 1;
         ((self.host as u64) << 40) | self.counter
+    }
+
+    /// Ids allocated so far, for checkpointing.
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// Restore the allocation counter from a checkpoint.
+    pub fn set_counter(&mut self, counter: u64) {
+        self.counter = counter;
     }
 }
 
@@ -100,6 +111,19 @@ pub trait Transport {
     fn on_packet(&mut self, pkt: &Packet, ctx: &mut TransportCtx, out: &mut Actions);
     /// A previously armed timer fired.
     fn on_timer(&mut self, token: u64, ctx: &mut TransportCtx, out: &mut Actions);
+
+    /// Capture the endpoint's mutable state for a checkpoint (see
+    /// [`crate::snapshot`]). The default refuses, so custom transports
+    /// opt in explicitly; all in-tree transports implement both hooks.
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported("this Transport implementation"))
+    }
+
+    /// Restore state captured by [`Transport::save_state`] into a freshly
+    /// constructed endpoint for the same [`FlowSpec`].
+    fn load_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported("this Transport implementation"))
+    }
 }
 
 /// Creates sender/receiver endpoints for new flows.
@@ -235,6 +259,20 @@ pub mod testing {
             self.fill_window(ctx, out);
             self.arm_timer(out);
         }
+
+        fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+            w.put_u64(self.next_seq);
+            w.put_u64(self.acked);
+            w.put_u64(self.timer_gen);
+            Ok(())
+        }
+
+        fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+            self.next_seq = r.get_u64()?;
+            self.acked = r.get_u64()?;
+            self.timer_gen = r.get_u64()?;
+            Ok(())
+        }
     }
 
     /// Cumulative-ack receiver shared by the testing transport.
@@ -313,6 +351,25 @@ pub mod testing {
         }
 
         fn on_timer(&mut self, _token: u64, _ctx: &mut TransportCtx, _out: &mut Actions) {}
+
+        fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+            w.put_u64(self.received.len() as u64);
+            for &(s, e) in &self.received {
+                w.put_u64(s);
+                w.put_u64(e);
+            }
+            w.put_u64(self.delivered);
+            Ok(())
+        }
+
+        fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+            let n = r.get_count(16)?;
+            self.received = (0..n)
+                .map(|_| Ok((r.get_u64()?, r.get_u64()?)))
+                .collect::<Result<_, SnapshotError>>()?;
+            self.delivered = r.get_u64()?;
+            Ok(())
+        }
     }
 }
 

@@ -5,6 +5,7 @@
 //! and Westwood is *how the window reacts* to acknowledgments, ECN echoes,
 //! and losses. That reaction is factored into [`CongControl`].
 
+use dcn_sim::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use dcn_sim::time::{SimDuration, SimTime};
 
 /// Sender window state manipulated by congestion controllers.
@@ -76,6 +77,17 @@ pub trait CongControl: Send {
     /// Whether data packets should be marked ECN-capable.
     fn ecn_capable(&self) -> bool {
         false
+    }
+
+    /// Serialize controller-private state for a checkpoint. Stateless
+    /// controllers (New Reno) keep the no-op default; stateful ones
+    /// (DCTCP's α, Vegas's epoch, Westwood's BWE) must override both
+    /// hooks or a restored sender would silently reset their estimators.
+    fn save_state(&self, _w: &mut SnapWriter) {}
+
+    /// Overwrite controller-private state from a checkpoint.
+    fn load_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        Ok(())
     }
 }
 

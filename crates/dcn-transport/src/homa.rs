@@ -23,6 +23,7 @@
 //! `seq = flow_size`.
 
 use dcn_sim::packet::{Packet, PacketKind, MSS_BYTES};
+use dcn_sim::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use dcn_sim::time::{SimDuration, SimTime};
 use dcn_sim::transport::{Actions, FlowSpec, Transport, TransportCtx, TransportFactory};
 
@@ -214,6 +215,24 @@ impl Transport for HomaSender {
         out.sends.push(seg);
         self.arm_timer(out);
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        w.put_u64(self.snd_nxt);
+        w.put_u64(self.granted);
+        w.put_bool(self.completed);
+        w.put_u64(self.timer_gen);
+        w.put_u64(self.retransmits);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.snd_nxt = r.get_u64()?;
+        self.granted = r.get_u64()?;
+        self.completed = r.get_bool()?;
+        self.timer_gen = r.get_u64()?;
+        self.retransmits = r.get_u64()?;
+        Ok(())
+    }
 }
 
 /// The receiving side of a Homa message: reassembly, grant pacing, and
@@ -327,6 +346,34 @@ impl Transport for HomaReceiver {
         let g = self.grant_packet(self.granted_sent, true, SimTime::ZERO, ctx);
         out.sends.push(g);
         self.arm_timer(out);
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        w.put_u64(self.ranges.len() as u64);
+        for &(s, e) in &self.ranges {
+            w.put_u64(s);
+            w.put_u64(e);
+        }
+        w.put_u64(self.delivered);
+        w.put_u64(self.granted_sent);
+        w.put_u64(self.timer_gen);
+        w.put_bool(self.completed);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_count(16)?;
+        self.ranges.clear();
+        for _ in 0..n {
+            let s = r.get_u64()?;
+            let e = r.get_u64()?;
+            self.ranges.push((s, e));
+        }
+        self.delivered = r.get_u64()?;
+        self.granted_sent = r.get_u64()?;
+        self.timer_gen = r.get_u64()?;
+        self.completed = r.get_bool()?;
+        Ok(())
     }
 }
 

@@ -40,10 +40,11 @@
 
 use crate::drift::DriftMonitor;
 use crate::internal_model::InternalModel;
-use crate::mimic::{packet_view, DecisionMode, TrainedMimic};
+use crate::mimic::{load_model_state, packet_view, save_model_state, DecisionMode, TrainedMimic};
 use dcn_sim::mimic::{BatchClusterModel, BoundaryDir, BoundaryItem, Verdict};
 use dcn_sim::packet::FlowId;
 use dcn_sim::rng::SplitMix64;
+use dcn_sim::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use dcn_sim::time::{SimDuration, SimTime};
 use dcn_sim::topology::{FatTree, FatTreeParams};
 use mimic_ml::loss::sigmoid;
@@ -479,6 +480,94 @@ impl BatchClusterModel for BatchedMimicFleet {
             .monitor
             .as_ref()
             .and_then(|m| m.score())
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        // Flush buffers (per-lane queues/cursors, feats/out/raw, scratch)
+        // are transient within one infer_batch call; the engine settles
+        // every pending batch before snapshotting, so only durable lane
+        // state is written.
+        for fleet in [&self.ingress, &self.egress] {
+            w.put_u64(fleet.lanes.len() as u64);
+            for (li, lane) in fleet.lanes.iter().enumerate() {
+                lane.fx.save_state(w);
+                w.put_u64(lane.rng.state());
+                let mut exits: Vec<(u64, u64)> = lane
+                    .last_exit
+                    .iter()
+                    .map(|(f, t)| (f.0, t.as_nanos()))
+                    .collect();
+                exits.sort_unstable();
+                w.put_u64(exits.len() as u64);
+                for (f, t) in exits {
+                    w.put_u64(f);
+                    w.put_u64(t);
+                }
+                w.put_bool(lane.monitor.is_some());
+                if let Some(mon) = &lane.monitor {
+                    mon.save_state(w);
+                }
+                save_model_state(&fleet.states[li], w);
+                fleet.feeders[li].save_state(w);
+            }
+        }
+        w.put_u64(self.packets_seen);
+        w.put_u64(self.feeder_packets);
+        w.put_u64(self.rounds);
+        w.put_u64_slice(&self.lane_occupancy.buckets);
+        w.put_u64(self.lane_occupancy.count);
+        w.put_u64(self.lane_occupancy.sum);
+        w.put_u64(self.lane_occupancy.max);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        for fleet in [&mut self.ingress, &mut self.egress] {
+            let n = r.get_u64()? as usize;
+            if n != fleet.lanes.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "fleet has {} lanes, snapshot has {n}",
+                    fleet.lanes.len()
+                )));
+            }
+            for (li, lane) in fleet.lanes.iter_mut().enumerate() {
+                lane.fx.load_state(r)?;
+                lane.rng.set_state(r.get_u64()?);
+                let n_exits = r.get_count(16)?;
+                lane.last_exit.clear();
+                for _ in 0..n_exits {
+                    let flow = FlowId(r.get_u64()?);
+                    let exit = SimTime(r.get_u64()?);
+                    lane.last_exit.insert(flow, exit);
+                }
+                if r.get_bool()? != lane.monitor.is_some() {
+                    return Err(SnapshotError::Corrupt(
+                        "drift-monitor presence does not match the bundle".into(),
+                    ));
+                }
+                if let Some(mon) = &mut lane.monitor {
+                    mon.load_state(r)?;
+                }
+                load_model_state(&mut fleet.states[li], r)?;
+                fleet.feeders[li].load_state(r)?;
+                lane.queue.clear();
+                lane.cursor = 0;
+            }
+        }
+        self.packets_seen = r.get_u64()?;
+        self.feeder_packets = r.get_u64()?;
+        self.rounds = r.get_u64()?;
+        let buckets = r.get_u64_vec()?;
+        if buckets.len() != self.lane_occupancy.buckets.len() {
+            return Err(SnapshotError::Corrupt(
+                "lane-occupancy histogram has the wrong bucket count".into(),
+            ));
+        }
+        self.lane_occupancy.buckets.copy_from_slice(&buckets);
+        self.lane_occupancy.count = r.get_u64()?;
+        self.lane_occupancy.sum = r.get_u64()?;
+        self.lane_occupancy.max = r.get_u64()?;
+        Ok(())
     }
 
     fn append_obs(&self, out: &mut dcn_obs::ObsReport) {

@@ -20,12 +20,24 @@
 //! `--obs-out FILE` writes the full JSON telemetry snapshot, `--report`
 //! prints a human-readable summary to stderr. Tracing never changes the
 //! results.
+//!
+//! Crash resilience: `train --checkpoint DIR` persists the full training
+//! state after every epoch and resumes from it on restart;
+//! `estimate`/`validate` accept `--checkpoint-every S` (simulated seconds,
+//! checkpoints into `--checkpoint-dir`) and `--resume DIR` to restart an
+//! interrupted composed run. Checkpointed, resumed, and uninterrupted
+//! runs all produce bit-identical results. All file outputs are written
+//! atomically (temp file + rename), so a crash never leaves a torn file.
 
+use dcn_sim::pdes::CheckpointPlan;
+use dcn_sim::snapshot::atomic_write;
+use dcn_sim::time::SimDuration;
 use dcn_transport::Protocol;
 use mimicnet::mimic::TrainedMimic;
 use mimicnet::pipeline::{Pipeline, PipelineConfig};
 use mimicnet::tuning::{tune, TuningConfig};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::exit;
 
 fn usage() -> ! {
@@ -34,11 +46,15 @@ fn usage() -> ! {
          \n\
          train    --out FILE [--duration S] [--seed N] [--protocol P] [--k K]\n\
          \u{20}        [--epochs E] [--hidden H] [--layers L] [--window W]\n\
-         \u{20}        [--workers W]\n\
+         \u{20}        [--workers W] [--checkpoint DIR]\n\
          estimate --model FILE --clusters N [--duration S] [--json]\n\
          validate --model FILE --clusters N [--duration S]\n\
          tune     [--evals E] [--scales 2,4] [--duration S] [--seed N]\n\
          \u{20}        [--workers W]\n\
+         \n\
+         crash resilience (estimate/validate):\n\
+         \u{20}        [--partitions P] [--checkpoint-every S]\n\
+         \u{20}        [--checkpoint-dir DIR] [--resume DIR]\n\
          \n\
          observability (train/estimate/validate):\n\
          \u{20}        [--trace-out FILE] [--obs-out FILE] [--report]\n\
@@ -150,6 +166,39 @@ fn clusters_from(opts: &HashMap<String, String>) -> u32 {
     n
 }
 
+/// Parse the crash-resilience flags shared by `estimate` and `validate`.
+/// Returns `None` when none were given, which keeps the in-process engine
+/// (with fault/obs support) on the default path.
+fn resumable_from(
+    opts: &HashMap<String, String>,
+) -> Option<(usize, Option<CheckpointPlan>, Option<PathBuf>)> {
+    if !opts.contains_key("partitions")
+        && !opts.contains_key("checkpoint-every")
+        && !opts.contains_key("resume")
+    {
+        return None;
+    }
+    let partitions: usize = opts
+        .get("partitions")
+        .map(|v| v.parse().expect("--partitions must be a positive integer"))
+        .unwrap_or(1);
+    let resume = opts.get("resume").map(PathBuf::from);
+    let plan = opts.get("checkpoint-every").map(|s| {
+        let secs: f64 = s
+            .parse()
+            .expect("--checkpoint-every must be a number of simulated seconds");
+        // Checkpoints land next to whatever we resume from unless told
+        // otherwise, so a crash-restart loop keeps using one directory.
+        let dir = opts
+            .get("checkpoint-dir")
+            .map(PathBuf::from)
+            .or_else(|| resume.clone())
+            .unwrap_or_else(|| PathBuf::from("mimicnet-ckpt"));
+        CheckpointPlan { dir, every: SimDuration::from_secs_f64(secs) }
+    });
+    Some((partitions.max(1), plan, resume))
+}
+
 /// Whether any observability output was requested.
 fn obs_requested(opts: &HashMap<String, String>) -> bool {
     opts.contains_key("trace-out") || opts.contains_key("obs-out") || opts.contains_key("report")
@@ -161,14 +210,14 @@ fn export_obs(pipe: &mut Pipeline, opts: &HashMap<String, String>) {
         return;
     };
     if let Some(path) = opts.get("trace-out") {
-        std::fs::write(path, report.to_chrome_trace()).unwrap_or_else(|e| {
+        atomic_write(path.as_ref(), report.to_chrome_trace().as_bytes()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             exit(1);
         });
         eprintln!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
     }
     if let Some(path) = opts.get("obs-out") {
-        std::fs::write(path, report.to_json_string()).unwrap_or_else(|e| {
+        atomic_write(path.as_ref(), report.to_json_string().as_bytes()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             exit(1);
         });
@@ -196,8 +245,17 @@ fn cmd_train(opts: HashMap<String, String>) {
     if obs_requested(&opts) {
         pipe = pipe.with_obs();
     }
-    let trained = pipe.train();
-    std::fs::write(&out, trained.to_json()).unwrap_or_else(|e| {
+    let ckpt_dir = opts.get("checkpoint").map(PathBuf::from);
+    if let Some(dir) = &ckpt_dir {
+        eprintln!("checkpointing training state into {} after every epoch", dir.display());
+    }
+    let (trained, _) = pipe
+        .try_train_with_data_checkpointed(ckpt_dir.as_deref())
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1);
+        });
+    atomic_write(out.as_ref(), trained.to_json().as_bytes()).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
         exit(1);
     });
@@ -217,10 +275,21 @@ fn cmd_estimate(opts: HashMap<String, String>) {
     if obs_requested(&opts) {
         pipe = pipe.with_obs();
     }
-    let est = pipe.try_estimate(&trained, n, None).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    });
+    let est = if let Some((partitions, plan, resume)) = resumable_from(&opts) {
+        if let Some(dir) = &resume {
+            eprintln!("resuming from checkpoint {}...", dir.display());
+        }
+        pipe.try_estimate_resumable(&trained, n, partitions, plan.as_ref(), resume.as_deref())
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            })
+    } else {
+        pipe.try_estimate(&trained, n, None).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    };
     if opts.contains_key("json") {
         let out = serde_json::json!({
             "clusters": n,
@@ -252,7 +321,22 @@ fn cmd_validate(opts: HashMap<String, String>) {
         pipe = pipe.with_obs();
     }
     eprintln!("running MimicNet and full-fidelity at {n} clusters...");
-    let (report, mimic_wall, truth_wall) = pipe.validate(&trained, n);
+    let (report, mimic_wall, truth_wall) =
+        if let Some((partitions, plan, resume)) = resumable_from(&opts) {
+            if let Some(dir) = &resume {
+                eprintln!("resuming from checkpoint {}...", dir.display());
+            }
+            let est = pipe
+                .try_estimate_resumable(&trained, n, partitions, plan.as_ref(), resume.as_deref())
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                });
+            let (truth, _, truth_wall) = pipe.run_ground_truth(n);
+            (mimicnet::metrics::compare(&truth, &est.samples), est.wall, truth_wall)
+        } else {
+            pipe.validate(&trained, n)
+        };
     println!("W1(FCT)        = {:.5}", report.w1_fct);
     println!("W1(throughput) = {:.0}", report.w1_throughput);
     println!("W1(RTT)        = {:.6}", report.w1_rtt);

@@ -6,15 +6,16 @@
 //! constant from the small-scale to the final simulation."
 
 use crate::batch::BatchedMimicFleet;
-use crate::error::PipelineError;
+use crate::error::{ComposeRunError, PipelineError};
 use crate::mimic::{LearnedMimic, TrainedMimic};
 use dcn_sim::config::SimConfig;
 use dcn_sim::instrument::Metrics;
 use dcn_sim::mimic::BatchClusterModel;
-use dcn_sim::pdes::run_partitioned_setup;
+use dcn_sim::pdes::{run_partitioned_resumable, run_partitioned_setup, CheckpointPlan};
 use dcn_sim::simulator::Simulation;
 use dcn_sim::topology::{FatTree, NodeId};
 use dcn_transport::Protocol;
+use std::path::Path;
 
 /// Cluster index of the observable cluster in compositions.
 pub const OBSERVABLE: u32 = 0;
@@ -235,6 +236,44 @@ pub fn run_composed_partitioned_obs(
     trace: bool,
 ) -> Result<Metrics, PipelineError> {
     run_composed_partitioned_full(base, n_clusters, protocol, trained, partitions, trace, false)
+}
+
+/// [`run_composed_partitioned`] with crash resilience: optionally cut a
+/// consistent cross-LP checkpoint every `checkpoint.every` of simulated
+/// time, and/or resume from the committed cut in `resume_from`. A resumed
+/// run's final metrics are bit-identical to an uninterrupted one — flush
+/// chunking invariance means settling the fleet's pending batch at the
+/// checkpoint barrier never changes a verdict. Works for sequential runs
+/// too (`partitions == 1`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_composed_partitioned_checkpointed(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+    partitions: usize,
+    overlap: bool,
+    checkpoint: Option<&CheckpointPlan>,
+    resume_from: Option<&Path>,
+) -> Result<Metrics, ComposeRunError> {
+    let (cfg, _) = composed_engine(base, n_clusters, protocol)?;
+    let floor = batched_fleet(&cfg, n_clusters, trained).latency_floor();
+    let window = cfg.link.latency.min(floor);
+    run_partitioned_resumable(
+        cfg,
+        partitions,
+        window,
+        &|| protocol.factory(),
+        &|sim| {
+            sim.set_batch_model(Box::new(batched_fleet(&cfg, n_clusters, trained)));
+            if overlap {
+                sim.set_batch_overlap(true);
+            }
+        },
+        checkpoint,
+        resume_from,
+    )
+    .map_err(ComposeRunError::from)
 }
 
 fn run_composed_partitioned_full(

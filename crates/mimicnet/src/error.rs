@@ -57,6 +57,49 @@ impl From<SimError> for PipelineError {
     }
 }
 
+/// An error raised by a checkpointed or resumed composed run: either the
+/// composition itself is invalid, or checkpoint I/O / snapshot decoding
+/// failed. Kept separate from [`PipelineError`] so snapshot failures stay
+/// fully typed ([`dcn_sim::snapshot::SnapshotError`] carries
+/// `std::io::Error`, which is neither `Clone` nor `PartialEq`).
+#[derive(Debug)]
+pub enum ComposeRunError {
+    /// Assembling the composition failed.
+    Pipeline(PipelineError),
+    /// Writing or restoring a checkpoint failed.
+    Snapshot(dcn_sim::snapshot::SnapshotError),
+}
+
+impl fmt::Display for ComposeRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeRunError::Pipeline(e) => write!(f, "{e}"),
+            ComposeRunError::Snapshot(e) => write!(f, "checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ComposeRunError::Pipeline(e) => Some(e),
+            ComposeRunError::Snapshot(e) => Some(e),
+        }
+    }
+}
+
+impl From<PipelineError> for ComposeRunError {
+    fn from(e: PipelineError) -> Self {
+        ComposeRunError::Pipeline(e)
+    }
+}
+
+impl From<dcn_sim::snapshot::SnapshotError> for ComposeRunError {
+    fn from(e: dcn_sim::snapshot::SnapshotError) -> Self {
+        ComposeRunError::Snapshot(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,7 @@ use mimic_ml::discretize::Discretizer;
 use mimic_ml::loss::sigmoid;
 use mimic_ml::model::ModelState;
 use mimic_ml::model::{SeqModel, OUT_DROP, OUT_ECN, OUT_LATENCY};
-use mimic_ml::train::{train, train_observed, TrainConfig, TrainError, TrainReport};
+use mimic_ml::train::{train, TrainConfig, TrainError, TrainReport};
 use serde::{Deserialize, Serialize};
 
 /// One direction's trained internal model.
@@ -73,8 +73,28 @@ impl InternalModel {
         obs: &mut dcn_obs::Obs,
         prefix: &str,
     ) -> Result<(InternalModel, TrainReport), TrainError> {
+        Self::train_stacked_checkpointed(data, disc, hidden, layers, cfg, obs, prefix, None)
+    }
+
+    /// [`InternalModel::train_stacked_observed`] with crash resilience:
+    /// when `ckpt` is given the full training-loop state is persisted to
+    /// `ckpt.path` after every epoch, and an interrupted run picks up from
+    /// it bit-identically (see [`mimic_ml::train::train_checkpointed`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_stacked_checkpointed(
+        data: &PacketDataset,
+        disc: Discretizer,
+        hidden: usize,
+        layers: usize,
+        cfg: &TrainConfig,
+        obs: &mut dcn_obs::Obs,
+        prefix: &str,
+        ckpt: Option<&mimic_ml::train::CheckpointSpec<'_>>,
+    ) -> Result<(InternalModel, TrainReport), TrainError> {
         let mut model = SeqModel::new_stacked(data.width(), hidden, layers, cfg.seed);
-        let report = train_observed(&mut model, data, cfg, obs, prefix)?;
+        let report = mimic_ml::train::train_checkpointed_observed(
+            &mut model, data, cfg, obs, prefix, ckpt,
+        )?;
         Ok((InternalModel { model, disc }, report))
     }
 

@@ -16,6 +16,7 @@ use crate::internal_model::InternalModel;
 use dcn_sim::mimic::{BoundaryDir, ClusterModel, Verdict};
 use dcn_sim::packet::Packet;
 use dcn_sim::rng::SplitMix64;
+use dcn_sim::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use dcn_sim::routing::ecmp_hash;
 use dcn_sim::time::{SimDuration, SimTime};
 use dcn_sim::topology::{FatTree, FatTreeParams};
@@ -90,6 +91,47 @@ pub fn packet_view(
         ecn: pkt.ecn,
         prio: pkt.prio,
     }
+}
+
+/// Serialize an LSTM stack's recurrent state (hidden + cell per layer)
+/// for a checkpoint. Weights are configuration and are not written.
+pub(crate) fn save_model_state(st: &ModelState, w: &mut SnapWriter) {
+    w.put_u64(st.layers.len() as u64);
+    for l in &st.layers {
+        w.put_f32_slice(&l.h.data);
+        w.put_f32_slice(&l.c.data);
+    }
+}
+
+/// Overwrite an LSTM stack's recurrent state from a checkpoint, refusing
+/// shape mismatches (a snapshot from a differently-sized model).
+pub(crate) fn load_model_state(
+    st: &mut ModelState,
+    r: &mut SnapReader<'_>,
+) -> Result<(), SnapshotError> {
+    let n = r.get_u64()? as usize;
+    if n != st.layers.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "model has {} LSTM layers, snapshot has {n}",
+            st.layers.len()
+        )));
+    }
+    for l in &mut st.layers {
+        let h = r.get_f32_vec()?;
+        let c = r.get_f32_vec()?;
+        if h.len() != l.h.data.len() || c.len() != l.c.data.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "LSTM state dims {}x{} do not match snapshot ({}, {})",
+                l.h.data.len(),
+                l.c.data.len(),
+                h.len(),
+                c.len()
+            )));
+        }
+        l.h.data = h;
+        l.c.data = c;
+    }
+    Ok(())
 }
 
 /// One direction's runtime state.
@@ -256,6 +298,42 @@ impl ClusterModel for LearnedMimic {
 
     fn drift(&self) -> Option<f64> {
         self.monitor.as_ref().and_then(|m| m.score())
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        for rt in [&self.ingress, &self.egress] {
+            rt.fx.save_state(w);
+            save_model_state(&rt.state, w);
+            rt.feeder.save_state(w);
+        }
+        w.put_u64(self.rng.state());
+        w.put_bool(self.monitor.is_some());
+        if let Some(mon) = &self.monitor {
+            mon.save_state(w);
+        }
+        w.put_u64(self.packets_seen);
+        w.put_u64(self.feeder_packets);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        for rt in [&mut self.ingress, &mut self.egress] {
+            rt.fx.load_state(r)?;
+            load_model_state(&mut rt.state, r)?;
+            rt.feeder.load_state(r)?;
+        }
+        self.rng.set_state(r.get_u64()?);
+        if r.get_bool()? != self.monitor.is_some() {
+            return Err(SnapshotError::Corrupt(
+                "drift-monitor presence does not match the bundle".into(),
+            ));
+        }
+        if let Some(mon) = &mut self.monitor {
+            mon.load_state(r)?;
+        }
+        self.packets_seen = r.get_u64()?;
+        self.feeder_packets = r.get_u64()?;
+        Ok(())
     }
 }
 

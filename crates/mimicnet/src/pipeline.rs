@@ -5,11 +5,14 @@
 //! phase. "A key feature of MimicNet is that the traditionally slow steps
 //! … are all done at small scale and are, therefore, fast as well."
 
-use crate::compose::{ground_truth, try_compose, try_compose_partial, OBSERVABLE};
+use crate::compose::{
+    ground_truth, run_composed_partitioned_checkpointed, try_compose, try_compose_partial,
+    OBSERVABLE,
+};
 use crate::datagen::{generate, DataGenConfig, TrainingData};
 use crate::degrade::{DegradationPolicy, DegradationReport};
 use crate::drift::FeatureEnvelope;
-use crate::error::PipelineError;
+use crate::error::{ComposeRunError, PipelineError};
 use crate::internal_model::InternalModel;
 use crate::metrics::{compare, observed, AccuracyReport, ObservedSamples};
 use crate::mimic::TrainedMimic;
@@ -168,6 +171,26 @@ impl Pipeline {
     /// [`Pipeline::train_with_data`], surfacing training failures (empty
     /// small-scale trace, diverged loss, ...) as [`PipelineError`].
     pub fn try_train_with_data(&mut self) -> Result<(TrainedMimic, TrainingData), PipelineError> {
+        self.try_train_with_data_checkpointed(None)
+    }
+
+    /// [`Pipeline::try_train_with_data`] with crash resilience: each
+    /// direction model's full training-loop state is persisted into
+    /// `ckpt_dir` (as `train.ingress.ckpt.json` / `train.egress.ckpt.json`)
+    /// after every epoch, and an interrupted run resumes from those files
+    /// bit-identically to a run that was never killed. Data generation is
+    /// deterministic in the config, so it is simply replayed.
+    pub fn try_train_with_data_checkpointed(
+        &mut self,
+        ckpt_dir: Option<&std::path::Path>,
+    ) -> Result<(TrainedMimic, TrainingData), PipelineError> {
+        if let Some(dir) = ckpt_dir {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                PipelineError::Train(mimic_ml::train::TrainError::Checkpoint {
+                    message: format!("create {}: {e}", dir.display()),
+                })
+            })?;
+        }
         let t0 = Instant::now();
         let mut dg_sim = self.cfg.base;
         dg_sim.duration_s *= self.cfg.datagen_duration_factor.max(1.0);
@@ -204,7 +227,11 @@ impl Pipeline {
             let mut obs = if obs_on { dcn_obs::Obs::on() } else { dcn_obs::Obs::off() };
             obs.set_track(track);
             obs.begin(span, "pipeline", None);
-            let out = InternalModel::train_stacked_observed(
+            let ckpt_path = ckpt_dir.map(|d| d.join(format!("{prefix}.ckpt.json")));
+            let spec = ckpt_path
+                .as_deref()
+                .map(|path| mimic_ml::train::CheckpointSpec { path, resume: true });
+            let out = InternalModel::train_stacked_checkpointed(
                 ds,
                 disc,
                 hidden,
@@ -212,6 +239,7 @@ impl Pipeline {
                 &TrainConfig { workers: share, ..base_train },
                 &mut obs,
                 prefix,
+                spec.as_ref(),
             );
             obs.end(None);
             (out, obs.take_report())
@@ -290,6 +318,37 @@ impl Pipeline {
         let mut metrics = sim.run();
         self.obs.end(None);
         self.absorb_sim_obs(&mut metrics);
+        let wall = t0.elapsed();
+        self.timings.large_scale_sim = wall;
+        Ok(self.report_from(metrics, wall, n_clusters, None))
+    }
+
+    /// [`Pipeline::try_estimate`] on the partitioned PDES engine with
+    /// crash resilience: `checkpoint` periodically persists the complete
+    /// simulation state at window barriers, and `resume_from` restarts
+    /// from a previously committed checkpoint directory. Both the
+    /// checkpointed and the resumed run produce metrics bit-identical to
+    /// an uninterrupted run at the same partition count (`partitions == 1`
+    /// is the sequential engine).
+    pub fn try_estimate_resumable(
+        &mut self,
+        trained: &TrainedMimic,
+        n_clusters: u32,
+        partitions: usize,
+        checkpoint: Option<&dcn_sim::pdes::CheckpointPlan>,
+        resume_from: Option<&std::path::Path>,
+    ) -> Result<EstimateReport, ComposeRunError> {
+        let t0 = Instant::now();
+        let metrics = run_composed_partitioned_checkpointed(
+            self.cfg.base,
+            n_clusters,
+            self.cfg.protocol,
+            trained,
+            partitions,
+            false,
+            checkpoint,
+            resume_from,
+        )?;
         let wall = t0.elapsed();
         self.timings.large_scale_sim = wall;
         Ok(self.report_from(metrics, wall, n_clusters, None))
