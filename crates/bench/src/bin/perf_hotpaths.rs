@@ -55,6 +55,23 @@ struct BenchConfig {
     train_window: usize,
 }
 
+#[derive(Serialize, Deserialize, Default)]
+struct EventEngineNumbers {
+    /// `BinaryHeap<Event>` reference queue: ns per pop+reschedule pair at
+    /// steady state.
+    heap_ns_per_event: f64,
+    /// Slab-pooled index-heap queue, same workload.
+    pooled_ns_per_event: f64,
+    heap_events_per_sec: f64,
+    pooled_events_per_sec: f64,
+    /// heap / pooled (the arena tentpole's ≥1.3× acceptance number).
+    speedup: f64,
+    /// Events resident in the queue throughout the measurement.
+    hold: usize,
+    /// Pop+reschedule pairs measured per engine.
+    events: usize,
+}
+
 #[derive(Serialize, Deserialize)]
 struct InferenceNumbers {
     /// Pre-optimization step: per-packet allocation + zero-skip + strided head.
@@ -159,6 +176,12 @@ struct OverlapNumbers {
 #[derive(Serialize, Deserialize)]
 struct BenchReport {
     config: BenchConfig,
+    /// Core event-engine throughput: pooled index-heap queue vs the
+    /// `BinaryHeap` reference. Serde default keeps baselines recorded
+    /// before the section existed readable; a zeroed section disables its
+    /// gate.
+    #[serde(default)]
+    event_engine: EventEngineNumbers,
     inference: InferenceNumbers,
     /// Composed (batched fleet vs scalar Mimic) boundary inference. Serde
     /// default keeps baselines recorded before the section existed
@@ -255,6 +278,83 @@ fn feature_pool(n: usize) -> Vec<Vec<f32>> {
             v
         })
         .collect()
+}
+
+/// Event-engine throughput at simulation steady state: a hold-K queue
+/// (pop one, reschedule one) over the engine's real event mix — half
+/// packet-carrying `Arrive` events, the rest `TxDone`/`Timer` bookkeeping.
+/// The identical workload runs against the pooled index-heap queue and the
+/// `BinaryHeap<Event>` reference; the pooled engine's entire case is that
+/// sifting 4-byte indices beats memmoving whole `Event` values (a `Packet`
+/// payload rides in every `Arrive`).
+fn bench_event_engine(iters: usize) -> EventEngineNumbers {
+    use dcn_sim::event::{EventKind, EventQueue};
+    use dcn_sim::link::Dir;
+    use dcn_sim::packet::{FlowId, Packet};
+    use dcn_sim::time::SimTime;
+    use dcn_sim::topology::{LinkId, NodeId};
+
+    const HOLD: usize = 8192;
+
+    let kind = |i: u64| -> EventKind {
+        match i % 4 {
+            0 | 1 => EventKind::Arrive {
+                node: NodeId((i % 64) as u32),
+                packet: Packet::data(
+                    i,
+                    FlowId(i % 256),
+                    NodeId((i % 64) as u32),
+                    NodeId(((i + 1) % 64) as u32),
+                    i % 1000,
+                    1460,
+                    true,
+                    SimTime(i),
+                ),
+            },
+            2 => EventKind::TxDone {
+                link: LinkId((i % 96) as u32),
+                dir: if i.is_multiple_of(2) { Dir::Up } else { Dir::Down },
+            },
+            _ => EventKind::Timer {
+                host: NodeId((i % 64) as u32),
+                flow: FlowId(i % 256),
+                token: i,
+            },
+        }
+    };
+
+    let run = |mut q: EventQueue| -> f64 {
+        for i in 0..HOLD as u64 {
+            let t = i.wrapping_mul(0x9E3779B97F4A7C15) % 1_000_000;
+            q.schedule(SimTime(t), kind(i));
+        }
+        // Warm the pool/heap to steady-state capacity before timing.
+        for i in 0..(HOLD as u64 * 4) {
+            let e = q.pop().expect("queue primed");
+            q.schedule(SimTime(e.time.0 + 100 + (i % 97)), kind(i));
+        }
+        let t0 = Instant::now();
+        for i in 0..iters as u64 {
+            let e = q.pop().expect("queue primed");
+            std::hint::black_box(e.time.0);
+            q.schedule(SimTime(e.time.0 + 100 + (i % 97)), kind(i));
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        std::hint::black_box(q.len());
+        ns
+    };
+
+    let heap_ns = run(EventQueue::new_reference());
+    let pooled_ns = run(EventQueue::new());
+    EventEngineNumbers {
+        heap_ns_per_event: heap_ns,
+        pooled_ns_per_event: pooled_ns,
+        heap_events_per_sec: 1e9 / heap_ns.max(1e-9),
+        pooled_events_per_sec: 1e9 / pooled_ns.max(1e-9),
+        speedup: heap_ns / pooled_ns.max(1e-9),
+        hold: HOLD,
+        events: iters,
+    }
 }
 
 fn bench_inference(iters: usize) -> InferenceNumbers {
@@ -748,6 +848,22 @@ fn check_baseline(report: &BenchReport) -> Result<(), String> {
         .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
     let base: BenchReport =
         serde_json::from_str(&text).map_err(|e| format!("cannot parse baseline {path}: {e}"))?;
+    // Event-engine gate: pooled ns/event may not regress past +25% of the
+    // baseline (skipped for baselines recorded before the section existed).
+    if base.event_engine.pooled_ns_per_event > 0.0 {
+        let current = report.event_engine.pooled_ns_per_event;
+        let allowed = base.event_engine.pooled_ns_per_event * 1.25;
+        if current > allowed {
+            return Err(format!(
+                "event engine regression: {current:.1} ns/event vs baseline {:.1} (limit {allowed:.1}, +25%)",
+                base.event_engine.pooled_ns_per_event
+            ));
+        }
+        println!(
+            "event engine baseline check: {current:.1} ns/event vs {:.1} baseline (limit {allowed:.1}) — OK",
+            base.event_engine.pooled_ns_per_event
+        );
+    }
     let current = report.inference.optimized_ns_per_packet;
     let allowed = base.inference.optimized_ns_per_packet * 1.25;
     if current > allowed {
@@ -830,6 +946,51 @@ fn check_baseline(report: &BenchReport) -> Result<(), String> {
     Ok(())
 }
 
+/// Absolute speedup gates, applied on every run (no baseline needed).
+///
+/// The event-engine gate is single-threaded and binds everywhere. The
+/// wall-clock speedups of the training fan-out and the overlapped flush
+/// path are only meaningful with cores to fan out to: on a single-core
+/// runner they degenerate to ~1× while the bit-identity checks still bind,
+/// so those two gates skip with a note instead of failing.
+fn check_speedup_gates(report: &BenchReport) -> Result<(), String> {
+    let ee = report.event_engine.speedup;
+    if ee < 1.3 {
+        return Err(format!(
+            "pooled event engine speedup {ee:.2}x below the 1.3x gate \
+             (heap {:.1} ns/event, pooled {:.1} ns/event)",
+            report.event_engine.heap_ns_per_event, report.event_engine.pooled_ns_per_event
+        ));
+    }
+    println!("event engine gate: pooled {ee:.2}x over heap (>= 1.3x) — OK");
+
+    if report.config.cores < 2 {
+        println!(
+            "multi-core gates: skipped — {} core(s) visible; training fan-out \
+             and overlap wall-clock speedups are core-bound here (their \
+             bit-identity checks above still bind)",
+            report.config.cores
+        );
+        return Ok(());
+    }
+    let tp = report.training_parallel.speedup;
+    if tp < 1.5 {
+        return Err(format!(
+            "training fan-out speedup {tp:.2}x below the 1.5x gate on {} cores",
+            report.config.cores
+        ));
+    }
+    let ov = report.overlap.speedup;
+    if ov < 1.5 {
+        return Err(format!(
+            "overlapped flush speedup {ov:.2}x below the 1.5x gate on {} cores",
+            report.config.cores
+        ));
+    }
+    println!("multi-core gates: training fan-out {tp:.2}x, overlap {ov:.2}x (>= 1.5x) — OK");
+    Ok(())
+}
+
 fn main() {
     let scale = Scale::from_env();
     header(
@@ -840,6 +1001,17 @@ fn main() {
         Scale::Quick => (200_000usize, 2048usize, 2usize),
         Scale::Full => (1_000_000, 8192, 3),
     };
+
+    println!("\n-- event engine ({iters} pop+reschedule pairs, hold 8192, mixed kinds) --");
+    let event_engine = bench_event_engine(iters);
+    println!(
+        "heap reference:  {:>8.1} ns/event  ({:>11.0} events/s)\npooled engine:   {:>8.1} ns/event  ({:>11.0} events/s, {:.2}x)",
+        event_engine.heap_ns_per_event,
+        event_engine.heap_events_per_sec,
+        event_engine.pooled_ns_per_event,
+        event_engine.pooled_events_per_sec,
+        event_engine.speedup
+    );
 
     println!("\n-- inference ({iters} packets, {FEATURES} features x {HIDDEN} hidden) --");
     let inference = bench_inference(iters);
@@ -931,6 +1103,7 @@ fn main() {
             train_batch: tcfg.batch_size,
             train_window: tcfg.window,
         },
+        event_engine,
         inference,
         composed,
         obs,
@@ -946,7 +1119,7 @@ fn main() {
         .expect("write report");
     println!("\nwrote {out}");
 
-    if let Err(e) = check_baseline(&report) {
+    if let Err(e) = check_speedup_gates(&report).and_then(|()| check_baseline(&report)) {
         eprintln!("FAIL: {e}");
         std::process::exit(1);
     }

@@ -10,6 +10,18 @@
 //! id, link id, timer identity) that is identical however the event was
 //! produced, and `seq` is a last-resort insertion tiebreak.
 
+//! Two interchangeable queue implementations back the engine:
+//!
+//! * [`PooledEventQueue`] (the default) keeps event payloads in a slab of
+//!   pooled nodes linked by `u32` indices with a freelist, and orders them
+//!   through a binary heap *of indices*. Sifting moves 4-byte indices, not
+//!   whole `Event` values, so `Arrive` events stop copying their
+//!   `Packet` payloads through the heap, and completed nodes are recycled
+//!   instead of reallocated.
+//! * [`HeapEventQueue`] is the original `BinaryHeap<Event>` kept as the
+//!   debug/reference implementation; property tests lock the two to
+//!   byte-identical orderings and snapshots.
+
 use crate::link::Dir;
 use crate::packet::{FlowId, Packet};
 use crate::time::SimTime;
@@ -146,17 +158,21 @@ impl Ord for Event {
     }
 }
 
-/// The future event list.
+/// The original future event list: a `BinaryHeap` of whole [`Event`]
+/// values. Kept as the debug/reference implementation the pooled queue is
+/// property-tested against; every sift copies the full event (including any
+/// `Arrive` packet payload), which is exactly the constant factor
+/// [`PooledEventQueue`] removes.
 #[derive(Default)]
-pub struct EventQueue {
+pub struct HeapEventQueue {
     heap: BinaryHeap<Event>,
     seq: u64,
     scheduled: u64,
 }
 
-impl EventQueue {
-    pub fn new() -> EventQueue {
-        EventQueue::default()
+impl HeapEventQueue {
+    pub fn new() -> HeapEventQueue {
+        HeapEventQueue::default()
     }
 
     /// Schedule `kind` at absolute time `time`.
@@ -187,6 +203,283 @@ impl EventQueue {
     /// Total events ever scheduled (the paper's "events/second" metric).
     pub fn total_scheduled(&self) -> u64 {
         self.scheduled
+    }
+}
+
+/// Index marking the end of the freelist / an unlinked node.
+const NIL: u32 = u32::MAX;
+
+/// One pooled event node. Freed nodes stay in the slab (their `kind`
+/// replaced by a placeholder — `EventKind` owns no heap data, so stale
+/// payload bytes are inert) and are chained through `next_free` for reuse.
+#[derive(Debug)]
+struct Node {
+    time: SimTime,
+    class: u8,
+    tag: u64,
+    seq: u64,
+    kind: EventKind,
+    /// Freelist link; `NIL` while the node is live in the heap.
+    next_free: u32,
+}
+
+impl Node {
+    #[inline]
+    fn key(&self) -> (SimTime, u8, u64, u64) {
+        (self.time, self.class, self.tag, self.seq)
+    }
+}
+
+/// Placeholder written into freed nodes so the previous payload (possibly a
+/// packet-carrying `Arrive`) is moved out rather than cloned.
+#[inline]
+fn tombstone() -> EventKind {
+    EventKind::Fault { index: NIL }
+}
+
+/// Slab-backed future event list. Event payloads live in pooled [`Node`]s
+/// addressed by `u32` index; ordering is a hand-rolled binary min-heap over
+/// those indices comparing the same `(time, class, tag, seq)` key as the
+/// reference implementation, so pop order is bit-identical. Completed nodes
+/// are pushed onto an intrusive freelist and recycled, so a steady-state
+/// simulation stops allocating per event entirely once the slab has grown to
+/// the high-water mark of in-flight events.
+pub struct PooledEventQueue {
+    nodes: Vec<Node>,
+    /// Head of the freed-node chain (`NIL` when every node is live).
+    free_head: u32,
+    /// Binary min-heap of slab indices ordered by `Node::key`.
+    heap: Vec<u32>,
+    seq: u64,
+    scheduled: u64,
+}
+
+impl Default for PooledEventQueue {
+    fn default() -> PooledEventQueue {
+        PooledEventQueue {
+            nodes: Vec::new(),
+            free_head: NIL,
+            heap: Vec::new(),
+            seq: 0,
+            scheduled: 0,
+        }
+    }
+}
+
+impl PooledEventQueue {
+    pub fn new() -> PooledEventQueue {
+        PooledEventQueue::default()
+    }
+
+    /// Schedule `kind` at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.scheduled += 1;
+        let seq = self.seq;
+        self.insert(time, kind, seq);
+    }
+
+    /// Core insert preserving an explicit `seq` (used both by `schedule`
+    /// and by snapshot restore, which must keep original tiebreaks).
+    fn insert(&mut self, time: SimTime, kind: EventKind, seq: u64) {
+        let class = kind.class();
+        let tag = kind.tag();
+        let idx = if self.free_head != NIL {
+            let idx = self.free_head;
+            let node = &mut self.nodes[idx as usize];
+            self.free_head = node.next_free;
+            node.time = time;
+            node.class = class;
+            node.tag = tag;
+            node.seq = seq;
+            node.kind = kind;
+            node.next_free = NIL;
+            idx
+        } else {
+            let idx = u32::try_from(self.nodes.len()).expect("event pool exceeds u32 indices");
+            self.nodes.push(Node {
+                time,
+                class,
+                tag,
+                seq,
+                kind,
+                next_free: NIL,
+            });
+            idx
+        };
+        self.heap.push(idx);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Pop the next event in deterministic order, recycling its node.
+    pub fn pop(&mut self) -> Option<Event> {
+        let root = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty heap");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        let node = &mut self.nodes[root as usize];
+        let time = node.time;
+        let seq = node.seq;
+        let kind = std::mem::replace(&mut node.kind, tombstone());
+        node.next_free = self.free_head;
+        self.free_head = root;
+        Some(Event::new(time, kind, seq))
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|&i| self.nodes[i as usize].time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (the paper's "events/second" metric).
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Slab capacity (live + free nodes) — the pool's high-water mark.
+    pub fn pool_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    fn less(&self, a: u32, b: u32) -> bool {
+        self.nodes[a as usize].key() < self.nodes[b as usize].key()
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.less(self.heap[pos], self.heap[parent]) {
+                self.heap.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        let len = self.heap.len();
+        loop {
+            let left = 2 * pos + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let mut child = left;
+            if right < len && self.less(self.heap[right], self.heap[left]) {
+                child = right;
+            }
+            if self.less(self.heap[child], self.heap[pos]) {
+                self.heap.swap(pos, child);
+                pos = child;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Live heap indices sorted into pop order. Keys are unique (`seq` is a
+    /// strictly increasing tiebreak), so this is exactly the order a full
+    /// drain would produce — without mutating or cloning anything.
+    fn sorted_live(&self) -> Vec<u32> {
+        let mut live = self.heap.clone();
+        live.sort_unstable_by_key(|&i| self.nodes[i as usize].key());
+        live
+    }
+}
+
+/// The future event list.
+///
+/// A thin dispatcher over the two interchangeable implementations:
+/// [`PooledEventQueue`] (default, allocation-recycling) and
+/// [`HeapEventQueue`] (reference). Both produce bit-identical pop orders and
+/// snapshot bytes; the enum exists so equivalence tests and the perf bench
+/// can run the same simulation against either engine.
+pub enum EventQueue {
+    Pooled(PooledEventQueue),
+    Heap(HeapEventQueue),
+}
+
+impl Default for EventQueue {
+    fn default() -> EventQueue {
+        EventQueue::Pooled(PooledEventQueue::new())
+    }
+}
+
+impl EventQueue {
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// The reference `BinaryHeap` implementation, for equivalence tests and
+    /// honest before/after benchmarking.
+    pub fn new_reference() -> EventQueue {
+        EventQueue::Heap(HeapEventQueue::new())
+    }
+
+    /// True when backed by the pooled slab implementation.
+    pub fn is_pooled(&self) -> bool {
+        matches!(self, EventQueue::Pooled(_))
+    }
+
+    /// Schedule `kind` at absolute time `time`.
+    #[inline]
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        match self {
+            EventQueue::Pooled(q) => q.schedule(time, kind),
+            EventQueue::Heap(q) => q.schedule(time, kind),
+        }
+    }
+
+    /// Pop the next event in deterministic order.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Pooled(q) => q.pop(),
+            EventQueue::Heap(q) => q.pop(),
+        }
+    }
+
+    /// Timestamp of the next event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            EventQueue::Pooled(q) => q.peek_time(),
+            EventQueue::Heap(q) => q.peek_time(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Pooled(q) => q.len(),
+            EventQueue::Heap(q) => q.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        match self {
+            EventQueue::Pooled(q) => q.is_empty(),
+            EventQueue::Heap(q) => q.is_empty(),
+        }
+    }
+
+    /// Total events ever scheduled (the paper's "events/second" metric).
+    pub fn total_scheduled(&self) -> u64 {
+        match self {
+            EventQueue::Pooled(q) => q.total_scheduled(),
+            EventQueue::Heap(q) => q.total_scheduled(),
+        }
     }
 }
 
@@ -263,7 +556,7 @@ impl EventKind {
     }
 }
 
-impl EventQueue {
+impl HeapEventQueue {
     /// Serialize the full future event list plus scheduling counters.
     ///
     /// Events are written in deterministic pop order (by draining a clone of
@@ -296,6 +589,71 @@ impl EventQueue {
         self.seq = r.get_u64()?;
         self.scheduled = r.get_u64()?;
         Ok(())
+    }
+}
+
+impl PooledEventQueue {
+    /// Serialize the full future event list plus scheduling counters.
+    ///
+    /// Byte-identical to [`HeapEventQueue::save_state`]: keys are unique, so
+    /// sorting the live slab indices reproduces the exact pop order the
+    /// reference implementation gets by draining a heap clone — but here
+    /// events are serialized *by reference* (no packet-deep clone of the
+    /// future event list just to take a checkpoint).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.heap.len() as u64);
+        for &idx in &self.sorted_live() {
+            let node = &self.nodes[idx as usize];
+            w.put_u64(node.time.0);
+            w.put_u64(node.seq);
+            node.kind.save(w);
+        }
+        w.put_u64(self.seq);
+        w.put_u64(self.scheduled);
+    }
+
+    /// Rebuild the future event list from [`EventQueue::save_state`] bytes.
+    ///
+    /// Events arrive in pop order (already heap-ordered for an index heap
+    /// filled left to right), and each keeps its original `seq` so restored
+    /// tiebreaks match the uninterrupted run bit for bit.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_count(17)?;
+        self.nodes.clear();
+        self.heap.clear();
+        self.free_head = NIL;
+        self.nodes.reserve(n);
+        self.heap.reserve(n);
+        for _ in 0..n {
+            let time = SimTime(r.get_u64()?);
+            let seq = r.get_u64()?;
+            let kind = EventKind::load(r)?;
+            self.insert(time, kind, seq);
+        }
+        self.seq = r.get_u64()?;
+        self.scheduled = r.get_u64()?;
+        Ok(())
+    }
+}
+
+impl EventQueue {
+    /// Serialize the full future event list plus scheduling counters. Both
+    /// backing implementations write the same bytes for the same logical
+    /// queue contents, so snapshots are portable across them.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            EventQueue::Pooled(q) => q.save_state(w),
+            EventQueue::Heap(q) => q.save_state(w),
+        }
+    }
+
+    /// Rebuild the future event list from [`EventQueue::save_state`] bytes,
+    /// into whichever implementation this queue currently is.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        match self {
+            EventQueue::Pooled(q) => q.load_state(r),
+            EventQueue::Heap(q) => q.load_state(r),
+        }
     }
 }
 
@@ -402,5 +760,187 @@ mod tests {
         assert_eq!(q.peek_time(), Some(t(1_000_000)));
         let e = q.pop().unwrap();
         assert_eq!(e.time, t(1_000_000));
+    }
+
+    /// A deterministic mixed-kind workload for cross-implementation checks.
+    fn mixed_kind(i: u64) -> EventKind {
+        match i % 6 {
+            0 => EventKind::TxDone {
+                link: LinkId((i / 6) as u32 % 16),
+                dir: if i.is_multiple_of(2) { Dir::Up } else { Dir::Down },
+            },
+            1 => EventKind::Arrive {
+                node: NodeId((i % 32) as u32),
+                packet: Packet::data(i, FlowId(i % 8), NodeId(0), NodeId(1), i % 7, 1000, true, t(i)),
+            },
+            2 => EventKind::Timer {
+                host: NodeId((i % 16) as u32),
+                flow: FlowId(i % 8),
+                token: i,
+            },
+            3 => EventKind::FlowArrival {
+                host: NodeId((i % 16) as u32),
+            },
+            4 => EventKind::FeederWake {
+                cluster: (i % 4) as u32,
+            },
+            _ => EventKind::Fault {
+                index: (i % 10) as u32,
+            },
+        }
+    }
+
+    /// Compact fingerprint of a popped event, covering every payload field
+    /// that participates in ordering or dispatch.
+    fn fingerprint(e: &Event) -> (u64, u8, u64) {
+        (e.time.0, e.kind.class(), e.kind.tag())
+    }
+
+    #[test]
+    fn pooled_matches_heap_reference_order() {
+        let mut pooled = EventQueue::new();
+        let mut heap = EventQueue::new_reference();
+        assert!(pooled.is_pooled());
+        assert!(!heap.is_pooled());
+        // Deliberately collision-heavy times to exercise class/tag/seq
+        // tiebreaks, with interleaved pops mid-stream.
+        let mut step = 0u64;
+        for i in 0..500u64 {
+            let time = t((i * 37) % 41);
+            pooled.schedule(time, mixed_kind(i));
+            heap.schedule(time, mixed_kind(i));
+            if i % 7 == 3 {
+                step += 1;
+                let a = pooled.pop().map(|e| fingerprint(&e));
+                let b = heap.pop().map(|e| fingerprint(&e));
+                assert_eq!(a, b, "divergence at interleaved pop {step}");
+            }
+        }
+        loop {
+            let a = pooled.pop().map(|e| fingerprint(&e));
+            let b = heap.pop().map(|e| fingerprint(&e));
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(pooled.total_scheduled(), heap.total_scheduled());
+    }
+
+    #[test]
+    fn pooled_and_heap_snapshots_are_byte_identical() {
+        let mut pooled = EventQueue::new();
+        let mut heap = EventQueue::new_reference();
+        for i in 0..200u64 {
+            let time = t((i * 13) % 29);
+            pooled.schedule(time, mixed_kind(i));
+            heap.schedule(time, mixed_kind(i));
+            if i % 5 == 0 {
+                pooled.pop();
+                heap.pop();
+            }
+        }
+        let mut wp = SnapWriter::new();
+        let mut wh = SnapWriter::new();
+        pooled.save_state(&mut wp);
+        heap.save_state(&mut wh);
+        let (bp, bh) = (wp.into_bytes(), wh.into_bytes());
+        assert_eq!(bp, bh, "snapshot encodings diverge");
+
+        // Cross-restore: pooled bytes into a heap queue and vice versa, then
+        // both must re-save to the same bytes and pop identically.
+        let mut restored_heap = EventQueue::new_reference();
+        restored_heap
+            .load_state(&mut SnapReader::new(&bp))
+            .expect("heap restores pooled bytes");
+        let mut restored_pooled = EventQueue::new();
+        restored_pooled
+            .load_state(&mut SnapReader::new(&bh))
+            .expect("pooled restores heap bytes");
+        loop {
+            let a = restored_pooled.pop().map(|e| fingerprint(&e));
+            let b = restored_heap.pop().map(|e| fingerprint(&e));
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn pool_recycles_nodes_at_steady_state() {
+        let mut q = PooledEventQueue::new();
+        // Fill to a high-water mark of 64 in-flight events...
+        for i in 0..64u64 {
+            q.schedule(t(i), mixed_kind(i));
+        }
+        let high_water = q.pool_size();
+        assert_eq!(high_water, 64);
+        // ...then hold-and-schedule for thousands of events: the slab must
+        // not grow past the high-water mark (every pop frees a node the next
+        // schedule reuses).
+        for i in 64..10_000u64 {
+            q.pop().unwrap();
+            q.schedule(t(i), mixed_kind(i));
+            assert!(q.len() == 64);
+        }
+        assert_eq!(q.pool_size(), high_water, "freelist failed to recycle");
+    }
+
+    /// Guard for the hand-maintained per-kind tables (`COUNT`, the
+    /// `name_of` NAMES array, `class()` ranks). The match in `ordinal` is
+    /// exhaustive, so adding an `EventKind` variant fails to *compile* until
+    /// this test is updated — and the updated sample array's length is tied
+    /// to `COUNT`, so forgetting to bump the counter-array size fails here
+    /// rather than silently misindexing `dcn-obs` counters.
+    #[test]
+    fn kind_tables_are_exhaustive_and_consistent() {
+        fn ordinal(k: &EventKind) -> usize {
+            // EXHAUSTIVE on purpose — no `_` arm. New variant? Update this
+            // match, the `samples` array below, `EventKind::COUNT`,
+            // `class()`, and the NAMES table together.
+            match k {
+                EventKind::Fault { .. } => 0,
+                EventKind::TxDone { .. } => 1,
+                EventKind::Arrive { .. } => 2,
+                EventKind::Timer { .. } => 3,
+                EventKind::FlowArrival { .. } => 4,
+                EventKind::FeederWake { .. } => 5,
+            }
+        }
+        let samples: [EventKind; EventKind::COUNT] = [
+            EventKind::Fault { index: 0 },
+            EventKind::TxDone {
+                link: LinkId(0),
+                dir: Dir::Up,
+            },
+            EventKind::Arrive {
+                node: NodeId(0),
+                packet: Packet::data(0, FlowId(0), NodeId(0), NodeId(1), 0, 1000, true, t(0)),
+            },
+            EventKind::Timer {
+                host: NodeId(0),
+                flow: FlowId(0),
+                token: 0,
+            },
+            EventKind::FlowArrival { host: NodeId(0) },
+            EventKind::FeederWake { cluster: 0 },
+        ];
+        let mut seen = [false; EventKind::COUNT];
+        let mut names = std::collections::HashSet::new();
+        for k in &samples {
+            // class() is the dense per-kind index and must agree with the
+            // canonical ordinal above.
+            assert_eq!(k.index(), ordinal(k), "class rank disagrees with ordinal");
+            assert!(k.index() < EventKind::COUNT, "index out of counter range");
+            assert!(!seen[k.index()], "duplicate class rank {}", k.index());
+            seen[k.index()] = true;
+            assert!(
+                names.insert(EventKind::name_of(k.index())),
+                "duplicate name {}",
+                EventKind::name_of(k.index())
+            );
+        }
+        assert!(seen.iter().all(|&s| s), "class ranks are not dense");
     }
 }

@@ -57,9 +57,10 @@ impl HostState {
         assert!(prev.is_none(), "duplicate endpoint for flow {flow:?}");
     }
 
-    /// Remove an endpoint when its flow completes.
-    pub fn remove_endpoint(&mut self, flow: FlowId) {
-        self.flows.remove(&flow);
+    /// Remove an endpoint when its flow completes, returning it so the
+    /// engine can recycle the boxed transport instead of freeing it.
+    pub fn remove_endpoint(&mut self, flow: FlowId) -> Option<Endpoint> {
+        self.flows.remove(&flow)
     }
 
     /// Active flow count (both roles).

@@ -27,7 +27,7 @@ use crate::switch::process_hop;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{FatTree, LinkId, NodeId, NodeKind};
 use crate::traffic::TrafficGen;
-use crate::transport::{Actions, FlowSpec, TransportCtx, TransportFactory};
+use crate::transport::{Actions, FlowSpec, Transport, TransportCtx, TransportFactory};
 use std::collections::HashSet;
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
@@ -227,6 +227,14 @@ pub struct Simulation {
     metrics: Metrics,
     trace_cluster: Option<u32>,
     scratch: Actions,
+    /// Spare endpoint boxes recycled across completed flows, indexed by
+    /// [`Role`] (`[sender, receiver]`). Never snapshotted: a recycled
+    /// endpoint is reset to factory-fresh state, so the pool's contents are
+    /// interchangeable with fresh allocations.
+    spares: [Vec<Box<dyn Transport>>; 2],
+    /// Per-role pooling enable; flipped off permanently the first time a
+    /// transport's [`Transport::reset`] opts out.
+    pool_endpoints: [bool; 2],
     initialized: bool,
     /// Per-(link, dir) fault streams; `None` when loss injection is off.
     fault: Option<Vec<[crate::rng::SplitMix64; 2]>>,
@@ -316,6 +324,8 @@ impl Simulation {
             factory,
             trace_cluster: None,
             scratch: Actions::default(),
+            spares: [Vec::new(), Vec::new()],
+            pool_endpoints: [true, true],
             initialized: false,
             owner_of_node: None,
             my_partition: 0,
@@ -411,6 +421,65 @@ impl Simulation {
     /// Is overlapped (off-thread) batched flushing enabled?
     pub fn batch_overlap_enabled(&self) -> bool {
         self.batch.as_ref().is_some_and(|rt| rt.overlap.is_some())
+    }
+
+    /// Swap the future event list for the reference `BinaryHeap`
+    /// implementation (see [`crate::event::HeapEventQueue`]). Pop order and
+    /// snapshot bytes are identical to the default pooled queue — this
+    /// exists for equivalence tests and honest before/after benchmarking.
+    /// Must be called before the run starts.
+    pub fn use_reference_queue(&mut self) {
+        assert!(
+            !self.initialized,
+            "cannot swap the event queue after the run started"
+        );
+        assert!(self.queue.is_empty(), "cannot swap a non-empty event queue");
+        self.queue = EventQueue::new_reference();
+    }
+
+    /// Disable transport endpoint recycling so every flow allocates fresh
+    /// boxes (the pre-pooling behavior). Trajectories are identical either
+    /// way — [`Transport::reset`] guarantees a recycled endpoint is
+    /// indistinguishable from a factory-fresh one — so this, too, exists
+    /// for equivalence tests and benchmarking.
+    pub fn disable_endpoint_pooling(&mut self) {
+        self.pool_endpoints = [false, false];
+        self.spares = [Vec::new(), Vec::new()];
+    }
+
+    /// Cap on spare endpoints kept per role. Completion and arrival rates
+    /// track each other at steady state, so the pool stays near the
+    /// high-water mark of concurrently-active flows; the cap only guards
+    /// against pathological burst-then-idle schedules pinning memory.
+    const SPARE_CAP: usize = 4096;
+
+    /// Get an endpoint for `spec`, recycling a spare box when pooling is on.
+    fn acquire_endpoint(&mut self, role: Role, spec: &FlowSpec) -> Box<dyn Transport> {
+        let r = role as usize;
+        if self.pool_endpoints[r] {
+            if let Some(mut b) = self.spares[r].pop() {
+                if b.reset(spec) {
+                    return b;
+                }
+                // This transport type opted out of recycling: stop pooling
+                // the role for good (factories are homogeneous per run, so
+                // one refusal means they would all refuse).
+                self.pool_endpoints[r] = false;
+                self.spares[r] = Vec::new();
+            }
+        }
+        match role {
+            Role::Sender => self.factory.sender(spec),
+            Role::Receiver => self.factory.receiver(spec),
+        }
+    }
+
+    /// Return a completed flow's endpoint box to the role's spare pool.
+    fn recycle_endpoint(&mut self, ep: crate::host::Endpoint) {
+        let r = ep.role as usize;
+        if self.pool_endpoints[r] && self.spares[r].len() < Self::SPARE_CAP {
+            self.spares[r].push(ep.transport);
+        }
     }
 
     /// Install a seeded [`FaultPlan`]. The plan is validated and compiled
@@ -1123,6 +1192,9 @@ impl Simulation {
             !self.initialized,
             "restore targets a freshly configured engine"
         );
+        // Spare endpoints are never part of a snapshot (reset ≡ fresh);
+        // drop any accumulated before the restore for a clean slate.
+        self.spares = [Vec::new(), Vec::new()];
         let mut r = SnapReader::new(payload);
         let fp = serde_json::to_string(&self.cfg)
             .map_err(|e| SnapshotError::Corrupt(format!("config fingerprint: {e}")))?;
@@ -1337,7 +1409,7 @@ impl Simulation {
                 end: None,
             },
         );
-        let sender = self.factory.sender(&spec);
+        let sender = self.acquire_endpoint(Role::Sender, &spec);
         let h = &mut self.hosts[spec.src.0 as usize];
         h.add_endpoint(spec.clone(), sender, Role::Sender);
         let mut out = std::mem::take(&mut self.scratch);
@@ -1702,7 +1774,7 @@ impl Simulation {
                 size_bytes: pkt.flow_size,
                 start: self.now,
             };
-            let recv = self.factory.receiver(&spec);
+            let recv = self.acquire_endpoint(Role::Receiver, &spec);
             self.hosts[idx].add_endpoint(spec, recv, Role::Receiver);
         }
         let mut out = std::mem::take(&mut self.scratch);
@@ -1763,13 +1835,17 @@ impl Simulation {
         }
         if out.completed {
             let idx = host.0 as usize;
-            let role = self.hosts[idx].flows.get(&flow).map(|e| e.role);
-            self.hosts[idx].remove_endpoint(flow);
-            self.done[idx].insert(flow);
-            if role == Some(Role::Sender) {
-                if let Some(rec) = self.metrics.flows.get_mut(&flow) {
-                    rec.end = Some(self.now);
+            if let Some(ep) = self.hosts[idx].remove_endpoint(flow) {
+                let role = ep.role;
+                self.recycle_endpoint(ep);
+                self.done[idx].insert(flow);
+                if role == Role::Sender {
+                    if let Some(rec) = self.metrics.flows.get_mut(&flow) {
+                        rec.end = Some(self.now);
+                    }
                 }
+            } else {
+                self.done[idx].insert(flow);
             }
         }
     }

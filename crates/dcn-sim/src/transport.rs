@@ -124,6 +124,56 @@ pub trait Transport {
     fn load_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
         Err(SnapshotError::Unsupported("this Transport implementation"))
     }
+
+    /// Re-initialize this endpoint for a brand-new flow so the engine can
+    /// recycle the box instead of allocating a fresh one (flow churn is the
+    /// engine's dominant allocation site — see
+    /// `dcn-sim/tests/alloc_steady_state.rs`).
+    ///
+    /// Returning `true` is a contract: the endpoint must now be
+    /// *behaviorally identical* to a factory-fresh endpoint for `spec` —
+    /// same trajectory, same snapshot bytes. Buffers may keep their
+    /// capacity (that is the point), but every logical field must be back
+    /// at its constructed value. The default opts out (`false`), which
+    /// permanently disables pooling for that role; all in-tree transports
+    /// opt in.
+    fn reset(&mut self, spec: &FlowSpec) -> bool {
+        let _ = spec;
+        false
+    }
+}
+
+/// Merge `[start, end)` into a sorted, disjoint `[s, e)` range set — in
+/// place. Touching or overlapping neighbours coalesce, so the common
+/// in-order case is a branch plus an O(1) extension of the first range and
+/// the per-packet receive path never allocates once the vec has capacity.
+/// Shared by every receiver that tracks out-of-order data (the testing
+/// [`testing::CumAckReceiver`] and the TCP/Homa receivers in
+/// `dcn-transport`).
+pub fn merge_range(ranges: &mut Vec<(u64, u64)>, start: u64, end: u64) {
+    let i = ranges.partition_point(|&(s, _)| s <= start);
+    if i > 0 && ranges[i - 1].1 >= start {
+        // Extend the predecessor, folding in any ranges the extension now
+        // touches.
+        ranges[i - 1].1 = ranges[i - 1].1.max(end);
+        let reach = ranges[i - 1].1;
+        let j = i + ranges[i..].partition_point(|&(s, _)| s <= reach);
+        if j > i {
+            ranges[i - 1].1 = reach.max(ranges[j - 1].1);
+            ranges.drain(i..j);
+        }
+        return;
+    }
+    // No predecessor overlap: absorb any following ranges that
+    // `[start, end)` touches.
+    let j = i + ranges[i..].partition_point(|&(s, _)| s <= end);
+    if j == i {
+        ranges.insert(i, (start, end));
+    } else {
+        let e = end.max(ranges[j - 1].1);
+        ranges[i] = (start, e);
+        ranges.drain(i + 1..j);
+    }
 }
 
 /// Creates sender/receiver endpoints for new flows.
@@ -273,6 +323,16 @@ pub mod testing {
             self.timer_gen = r.get_u64()?;
             Ok(())
         }
+
+        fn reset(&mut self, spec: &FlowSpec) -> bool {
+            // `window`/`rto` are factory parameters; within one simulation
+            // every endpoint comes from the same factory, so they carry over.
+            self.flow = spec.clone();
+            self.next_seq = 0;
+            self.acked = 0;
+            self.timer_gen = 0;
+            true
+        }
     }
 
     /// Cumulative-ack receiver shared by the testing transport.
@@ -284,34 +344,11 @@ pub mod testing {
 
     impl CumAckReceiver {
         /// Merge `[start, end)` into the sorted disjoint range set, in
-        /// place. Touching or overlapping neighbours coalesce, so the
-        /// common in-order delivery is a branch and an O(1) extension of
-        /// the first range — the engine's per-packet hot path must not
-        /// allocate (see `dcn-sim/tests/alloc_steady_state.rs`).
+        /// place — see [`super::merge_range`]; the engine's per-packet hot
+        /// path must not allocate (see
+        /// `dcn-sim/tests/alloc_steady_state.rs`).
         fn insert(&mut self, start: u64, end: u64) {
-            let i = self.received.partition_point(|&(s, _)| s <= start);
-            if i > 0 && self.received[i - 1].1 >= start {
-                // Extend the predecessor, folding in any ranges the
-                // extension now touches.
-                self.received[i - 1].1 = self.received[i - 1].1.max(end);
-                let reach = self.received[i - 1].1;
-                let j = i + self.received[i..].partition_point(|&(s, _)| s <= reach);
-                if j > i {
-                    self.received[i - 1].1 = reach.max(self.received[j - 1].1);
-                    self.received.drain(i..j);
-                }
-                return;
-            }
-            // No predecessor overlap: absorb any following ranges that
-            // `[start, end)` touches.
-            let j = i + self.received[i..].partition_point(|&(s, _)| s <= end);
-            if j == i {
-                self.received.insert(i, (start, end));
-            } else {
-                let e = end.max(self.received[j - 1].1);
-                self.received[i] = (start, e);
-                self.received.drain(i + 1..j);
-            }
+            super::merge_range(&mut self.received, start, end);
         }
 
         fn cum_ack(&self) -> u64 {
@@ -369,6 +406,13 @@ pub mod testing {
                 .collect::<Result<_, SnapshotError>>()?;
             self.delivered = r.get_u64()?;
             Ok(())
+        }
+
+        fn reset(&mut self, spec: &FlowSpec) -> bool {
+            self.flow = spec.clone();
+            self.received.clear(); // keeps capacity — that's the point
+            self.delivered = 0;
+            true
         }
     }
 }

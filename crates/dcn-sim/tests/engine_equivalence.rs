@@ -1,0 +1,98 @@
+//! Whole-engine equivalence: the pooled event queue and the endpoint
+//! freelists are pure performance work — they must not move a single bit
+//! of the simulated trajectory or of a checkpoint.
+//!
+//! Four engines run the same small-scale scenario: {pooled queue,
+//! reference `BinaryHeap` queue} × {endpoint pooling on, off}. All four
+//! must produce byte-identical metrics and byte-identical mid-run
+//! snapshots.
+
+use dcn_sim::config::SimConfig;
+use dcn_sim::simulator::Simulation;
+use dcn_sim::time::{SimDuration, SimTime};
+
+fn cfg() -> SimConfig {
+    let mut cfg = SimConfig::small_scale();
+    cfg.duration_s = 0.5;
+    cfg.seed = 97;
+    cfg
+}
+
+struct RunOutput {
+    mid_snapshot: Vec<u8>,
+    metrics: Vec<u8>,
+}
+
+/// Run to completion, snapshotting once at the midpoint.
+fn run(reference_queue: bool, pooling: bool) -> RunOutput {
+    let cfg = cfg();
+    let mut sim = Simulation::new(cfg);
+    if reference_queue {
+        sim.use_reference_queue();
+    }
+    if !pooling {
+        sim.disable_endpoint_pooling();
+    }
+    let mid = SimTime::ZERO + SimDuration::from_secs_f64(cfg.duration_s / 2.0);
+    let leftover = sim.run_window(mid);
+    assert!(leftover.is_empty(), "sequential run exported remote events");
+    let mid_snapshot = sim.save_snapshot().expect("mid-run snapshot");
+    let leftover = sim.run_window(sim.end_time() + SimDuration::from_nanos(1));
+    assert!(leftover.is_empty(), "sequential run exported remote events");
+    RunOutput {
+        mid_snapshot,
+        metrics: sim.metrics().canonical_bytes(),
+    }
+}
+
+#[test]
+fn pooled_engine_matches_reference_bit_for_bit() {
+    let baseline = run(true, false); // reference queue, no pooling: PR 6 behavior
+    for (reference_queue, pooling) in [(true, true), (false, false), (false, true)] {
+        let label = format!("reference_queue={reference_queue} pooling={pooling}");
+        let out = run(reference_queue, pooling);
+        assert_eq!(
+            baseline.metrics, out.metrics,
+            "{label}: trajectory diverged from the un-pooled reference engine"
+        );
+        assert_eq!(
+            baseline.mid_snapshot, out.mid_snapshot,
+            "{label}: mid-run snapshot bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn pooled_snapshot_restores_into_reference_engine_and_vice_versa() {
+    // Snapshot portability across queue implementations: restore the
+    // pooled engine's midpoint state into a reference-queue engine (and
+    // the reverse) and finish the run — the final metrics must match an
+    // uninterrupted pooled run.
+    let full = run(false, true);
+
+    for restore_into_reference in [true, false] {
+        let cfg = cfg();
+        let mut src = Simulation::new(cfg);
+        if !restore_into_reference {
+            // Reference source, pooled destination (and vice versa below).
+            src.use_reference_queue();
+        }
+        let mid = SimTime::ZERO + SimDuration::from_secs_f64(cfg.duration_s / 2.0);
+        let leftover = src.run_window(mid);
+        assert!(leftover.is_empty());
+        let bytes = src.save_snapshot().expect("mid-run snapshot");
+
+        let mut dst = Simulation::new(cfg);
+        if restore_into_reference {
+            dst.use_reference_queue();
+        }
+        dst.restore_snapshot(&bytes).expect("cross-engine restore");
+        let leftover = dst.run_window(dst.end_time() + SimDuration::from_nanos(1));
+        assert!(leftover.is_empty());
+        assert_eq!(
+            full.metrics,
+            dst.metrics().canonical_bytes(),
+            "cross-engine restore (into reference={restore_into_reference}) diverged"
+        );
+    }
+}

@@ -98,6 +98,16 @@ impl CongControl for DctcpCc {
         true
     }
 
+    fn reset(&mut self) -> bool {
+        // `g` is configuration; everything else back to `DctcpCc::new`.
+        self.alpha = 1.0;
+        self.acked_bytes = 0;
+        self.marked_bytes = 0;
+        self.window_end = 0;
+        self.cwr_end = 0;
+        true
+    }
+
     fn save_state(&self, w: &mut dcn_sim::snapshot::SnapWriter) {
         w.put_f64(self.g);
         w.put_f64(self.alpha);

@@ -233,6 +233,18 @@ impl Transport for HomaSender {
         self.retransmits = r.get_u64()?;
         Ok(())
     }
+
+    fn reset(&mut self, spec: &FlowSpec) -> bool {
+        // `rtt_bytes`/`mss`/`resend_timeout` are factory parameters and
+        // carry over; everything else mirrors `HomaFactory::sender`.
+        self.flow = spec.clone();
+        self.snd_nxt = 0;
+        self.granted = 0;
+        self.completed = false;
+        self.timer_gen = 0;
+        self.retransmits = 0;
+        true
+    }
 }
 
 /// The receiving side of a Homa message: reassembly, grant pacing, and
@@ -249,17 +261,11 @@ pub struct HomaReceiver {
 }
 
 impl HomaReceiver {
+    /// In-place range merge — no per-packet rebuild of the reassembly
+    /// buffer (the receive path is an engine hot path; see
+    /// `dcn-sim/tests/alloc_steady_state.rs`).
     fn insert(&mut self, start: u64, end: u64) {
-        self.ranges.push((start, end));
-        self.ranges.sort_unstable();
-        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.ranges.len());
-        for &(s, e) in self.ranges.iter() {
-            match merged.last_mut() {
-                Some(last) if s <= last.1 => last.1 = last.1.max(e),
-                _ => merged.push((s, e)),
-            }
-        }
-        self.ranges = merged;
+        dcn_sim::transport::merge_range(&mut self.ranges, start, end);
     }
 
     fn cum(&self) -> u64 {
@@ -374,6 +380,18 @@ impl Transport for HomaReceiver {
         self.timer_gen = r.get_u64()?;
         self.completed = r.get_bool()?;
         Ok(())
+    }
+
+    fn reset(&mut self, spec: &FlowSpec) -> bool {
+        // `rtt_bytes`/`resend_timeout` are factory parameters and carry
+        // over; everything else mirrors `HomaFactory::receiver`.
+        self.flow = spec.clone();
+        self.ranges.clear(); // keeps capacity
+        self.delivered = 0;
+        self.granted_sent = 0;
+        self.timer_gen = 0;
+        self.completed = false;
+        true
     }
 }
 

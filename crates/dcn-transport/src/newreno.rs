@@ -27,6 +27,10 @@ impl CongControl for RenoCc {
     fn on_timeout(&mut self, _now: SimTime, flight: u64, w: &mut Windows) {
         reno_timeout(flight, w);
     }
+
+    fn reset(&mut self) -> bool {
+        true // stateless
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,10 @@ pub struct RttEstimator {
     srtt: Option<f64>,
     rttvar: f64,
     rto: f64,
+    /// The configured pre-sample RTO, kept so [`RttEstimator::reset`] can
+    /// return to the constructed state (not serialized: it is configuration,
+    /// not mutable state).
+    initial_rto: f64,
     min_rto: f64,
     max_rto: f64,
     backoff: u32,
@@ -28,11 +32,22 @@ impl RttEstimator {
             srtt: None,
             rttvar: 0.0,
             rto: initial.as_secs_f64(),
+            initial_rto: initial.as_secs_f64(),
             min_rto: min.as_secs_f64(),
             max_rto: max.as_secs_f64(),
             backoff: 0,
             min_rtt: None,
         }
+    }
+
+    /// Back to the as-constructed state, keeping the configured
+    /// initial/min/max bounds (for endpoint recycling).
+    pub fn reset(&mut self) {
+        self.srtt = None;
+        self.rttvar = 0.0;
+        self.rto = self.initial_rto;
+        self.backoff = 0;
+        self.min_rtt = None;
     }
 
     /// Data-center-scaled defaults: 10 ms minimum RTO (as DC stacks use),

@@ -345,6 +345,25 @@ impl Transport for TcpSender {
         self.retransmits = r.get_u64()?;
         self.cc.load_state(r)
     }
+
+    fn reset(&mut self, spec: &FlowSpec) -> bool {
+        if !self.cc.reset() {
+            return false;
+        }
+        // Mirror `TcpSender::new` field by field (`cfg` is configuration
+        // and carries over — one factory per simulation).
+        self.flow = spec.clone();
+        self.w = Windows::new(self.cfg.mss, self.cfg.init_cwnd_pkts);
+        self.rtt.reset();
+        self.snd_una = 0;
+        self.snd_nxt = 0;
+        self.dup_acks = 0;
+        self.recover = None;
+        self.timer_gen = 0;
+        self.completed = false;
+        self.retransmits = 0;
+        true
+    }
 }
 
 /// The TCP receiver: cumulative acks over a range-merging reassembly
@@ -367,17 +386,11 @@ impl TcpReceiver {
         }
     }
 
+    /// In-place range merge — no per-packet rebuild of the reassembly
+    /// buffer (the receive path is an engine hot path; see
+    /// `dcn-sim/tests/alloc_steady_state.rs`).
     fn insert(&mut self, start: u64, end: u64) {
-        self.ranges.push((start, end));
-        self.ranges.sort_unstable();
-        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.ranges.len());
-        for &(s, e) in self.ranges.iter() {
-            match merged.last_mut() {
-                Some(last) if s <= last.1 => last.1 = last.1.max(e),
-                _ => merged.push((s, e)),
-            }
-        }
-        self.ranges = merged;
+        dcn_sim::transport::merge_range(&mut self.ranges, start, end);
     }
 
     fn cum_ack(&self) -> u64 {
@@ -441,6 +454,14 @@ impl Transport for TcpReceiver {
         self.delivered = r.get_u64()?;
         self.echo_ecn = r.get_bool()?;
         Ok(())
+    }
+
+    fn reset(&mut self, spec: &FlowSpec) -> bool {
+        // `echo_ecn` is a factory parameter and carries over.
+        self.flow = spec.clone();
+        self.ranges.clear(); // keeps capacity
+        self.delivered = 0;
+        true
     }
 }
 

@@ -90,6 +90,14 @@ impl CongControl for WestwoodCc {
         w.cwnd = w.mss;
     }
 
+    fn reset(&mut self) -> bool {
+        // `gain` is configuration; estimators back to `WestwoodCc::new`.
+        self.bwe = 0.0;
+        self.last_ack = None;
+        self.min_rtt = None;
+        true
+    }
+
     fn save_state(&self, w: &mut dcn_sim::snapshot::SnapWriter) {
         w.put_f64(self.bwe);
         w.put_opt_u64(self.last_ack.map(SimTime::as_nanos));
