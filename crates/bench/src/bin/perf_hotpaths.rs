@@ -132,6 +132,34 @@ struct ObsNumbers {
     repeats: usize,
 }
 
+#[derive(Serialize, Deserialize, Default)]
+struct AdaptiveNumbers {
+    /// Composed clusters in the adaptive workload (1 packet-level
+    /// observable + clusters-1 managed).
+    clusters: usize,
+    /// Simulated seconds per measured run.
+    duration_s: f64,
+    all_mimic_wall_s: f64,
+    all_flow_wall_s: f64,
+    adaptive_wall_s: f64,
+    all_mimic_events_per_sec: f64,
+    all_flow_events_per_sec: f64,
+    adaptive_events_per_sec: f64,
+    /// W1(FCT) of the all-Flow run against the all-Mimic reference, in
+    /// units of the reference's mean FCT (observable cluster only).
+    all_flow_w1_rel: f64,
+    /// Same distance for the adaptive run — it should land at or inside
+    /// the all-Flow distance while running near all-Flow speed.
+    adaptive_w1_rel: f64,
+    /// Promote/demote transitions the adaptive budget executed.
+    tier_switches: usize,
+    /// adaptive / all-Mimic events-per-second.
+    speedup_vs_all_mimic: f64,
+    /// The acceptance number: the adaptive run clears the all-Mimic
+    /// event rate.
+    beats_all_mimic: bool,
+}
+
 #[derive(Serialize, Deserialize)]
 struct PipelineNumbers {
     small_scale_sim_s: f64,
@@ -203,7 +231,17 @@ struct BenchReport {
     /// synchronous flush path. Serde default as above.
     #[serde(default)]
     overlap: OverlapNumbers,
+    /// Adaptive fidelity-tier composition (all-Mimic vs all-Flow vs
+    /// budget-driven adaptive) at the large composed shape. Serde default
+    /// as above.
+    #[serde(default)]
+    adaptive: AdaptiveNumbers,
     pipeline: PipelineNumbers,
+    /// Speedup gates that were skipped on this run, with the reason —
+    /// empty when every gate was enforced. Recorded so a green CI run
+    /// states in the artifact itself which numbers were not checked.
+    #[serde(default)]
+    gate_skips: Vec<String>,
 }
 
 fn sigmoid(x: f32) -> f32 {
@@ -823,6 +861,101 @@ fn bench_overlap(duration_s: f64, repeats: usize) -> OverlapNumbers {
     }
 }
 
+/// Adaptive fidelity-tier composition at the large composed shape
+/// (64 clusters, 63 managed): the same scenario run all-Mimic (the
+/// partitioned baseline every prior bench records), pinned all-Flow
+/// (fluid approximation everywhere), and under the default accuracy
+/// budget, which demotes calm clusters to the Flow tier at epoch
+/// barriers. The contest is event throughput — the adaptive run should
+/// clear the all-Mimic rate once most clusters settle at Flow — with the
+/// W1(FCT) distance to the all-Mimic reference recorded alongside so the
+/// speed is priced in fidelity.
+fn bench_adaptive(scale: Scale) -> AdaptiveNumbers {
+    use dcn_sim::mimic::FidelityTier;
+    use dcn_sim::pdes::TierPlan;
+    use dcn_sim::topology::FatTree;
+    use mimicnet::compose::{run_composed_adaptive, run_composed_partitioned, OBSERVABLE};
+    use mimicnet::degrade::AccuracyBudget;
+    use mimicnet::metrics::{observed, w1_fct_relative};
+    use mimicnet::pipeline::PipelineConfig;
+
+    const CLUSTERS: u32 = 64;
+
+    let mut cfg = PipelineConfig::default();
+    cfg.base.duration_s = 0.3;
+    cfg.base.seed = 5;
+    cfg.hidden = 8;
+    cfg.train.epochs = 1;
+    cfg.train.window = 4;
+    let base = cfg.base;
+    let protocol = cfg.protocol;
+    let trained = Pipeline::new(cfg).train();
+
+    let mut mbase = base;
+    mbase.duration_s = match scale {
+        Scale::Quick => 0.2,
+        Scale::Full => 0.5,
+    };
+    let plan = TierPlan { every_windows: 16 };
+    let all_flow = AccuracyBudget {
+        start: FidelityTier::Flow,
+        promote_above: f64::INFINITY,
+        ..AccuracyBudget::default()
+    };
+    let adaptive_budget = AccuracyBudget::default();
+
+    let t0 = Instant::now();
+    let m_mimic = run_composed_partitioned(mbase, CLUSTERS, protocol, &trained, 1)
+        .expect("all-Mimic run");
+    let mimic_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let m_flow =
+        run_composed_adaptive(mbase, CLUSTERS, protocol, &trained, 1, &all_flow, &plan, None)
+            .expect("all-Flow run");
+    let flow_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let m_adaptive = run_composed_adaptive(
+        mbase,
+        CLUSTERS,
+        protocol,
+        &trained,
+        1,
+        &adaptive_budget,
+        &plan,
+        None,
+    )
+    .expect("adaptive run");
+    let adaptive_s = t0.elapsed().as_secs_f64();
+
+    let mut topo = mbase.topo;
+    topo.clusters = CLUSTERS;
+    let tree = FatTree::new(topo);
+    let reference = observed(&m_mimic, &tree, OBSERVABLE);
+    let flow_obs = observed(&m_flow, &tree, OBSERVABLE);
+    let adaptive_obs = observed(&m_adaptive, &tree, OBSERVABLE);
+
+    let eps = |m: &dcn_sim::instrument::Metrics, s: f64| m.events_processed as f64 / s.max(1e-9);
+    let all_mimic_events_per_sec = eps(&m_mimic, mimic_s);
+    let adaptive_events_per_sec = eps(&m_adaptive, adaptive_s);
+    AdaptiveNumbers {
+        clusters: CLUSTERS as usize,
+        duration_s: mbase.duration_s,
+        all_mimic_wall_s: mimic_s,
+        all_flow_wall_s: flow_s,
+        adaptive_wall_s: adaptive_s,
+        all_mimic_events_per_sec,
+        all_flow_events_per_sec: eps(&m_flow, flow_s),
+        adaptive_events_per_sec,
+        all_flow_w1_rel: w1_fct_relative(&reference.fct, &flow_obs.fct),
+        adaptive_w1_rel: w1_fct_relative(&reference.fct, &adaptive_obs.fct),
+        tier_switches: m_adaptive.tier_switches.len(),
+        speedup_vs_all_mimic: adaptive_events_per_sec / all_mimic_events_per_sec.max(1e-9),
+        beats_all_mimic: adaptive_events_per_sec > all_mimic_events_per_sec,
+    }
+}
+
 fn bench_pipeline(scale: Scale) -> PipelineNumbers {
     let workers = 4;
     let mut pipe = Pipeline::new(pipeline_config(scale, 42).with_workers(workers));
@@ -946,13 +1079,35 @@ fn check_baseline(report: &BenchReport) -> Result<(), String> {
     Ok(())
 }
 
+/// Speedup gates that cannot bind on this runner, with the reason. The
+/// wall-clock speedups of the training fan-out and the overlapped flush
+/// path (both gated at ≥1.5×) are only meaningful with cores to fan out
+/// to: on a single-core runner they degenerate to ~1× while the
+/// bit-identity checks still bind. The skip reasons are recorded in the
+/// report itself (`gate_skips`) so the JSON artifact states which numbers
+/// a green run did not check.
+fn collect_gate_skips(cores: usize) -> Vec<String> {
+    let mut skips = Vec::new();
+    if cores < 2 {
+        skips.push(format!(
+            "training fan-out >=1.5x gate skipped: {cores} core(s) visible, \
+             wall-clock speedup is core-bound (bit-identity check still binds)"
+        ));
+        skips.push(format!(
+            "overlapped flush >=1.5x gate skipped: {cores} core(s) visible, \
+             wall-clock speedup is core-bound (trajectory bit-identity is \
+             asserted by the concurrency suite)"
+        ));
+    }
+    skips
+}
+
 /// Absolute speedup gates, applied on every run (no baseline needed).
 ///
 /// The event-engine gate is single-threaded and binds everywhere. The
-/// wall-clock speedups of the training fan-out and the overlapped flush
-/// path are only meaningful with cores to fan out to: on a single-core
-/// runner they degenerate to ~1× while the bit-identity checks still bind,
-/// so those two gates skip with a note instead of failing.
+/// two ≥1.5× multi-core gates are suppressed by whatever
+/// [`collect_gate_skips`] put in the report — each suppression is printed
+/// here and already serialized in the JSON artifact.
 fn check_speedup_gates(report: &BenchReport) -> Result<(), String> {
     let ee = report.event_engine.speedup;
     if ee < 1.3 {
@@ -964,13 +1119,10 @@ fn check_speedup_gates(report: &BenchReport) -> Result<(), String> {
     }
     println!("event engine gate: pooled {ee:.2}x over heap (>= 1.3x) — OK");
 
-    if report.config.cores < 2 {
-        println!(
-            "multi-core gates: skipped — {} core(s) visible; training fan-out \
-             and overlap wall-clock speedups are core-bound here (their \
-             bit-identity checks above still bind)",
-            report.config.cores
-        );
+    if !report.gate_skips.is_empty() {
+        for skip in &report.gate_skips {
+            println!("gate skip: {skip}");
+        }
         return Ok(());
     }
     let tp = report.training_parallel.speedup;
@@ -1083,6 +1235,23 @@ fn main() {
         overlap.boundary_packets
     );
 
+    println!("\n-- adaptive fidelity tiers (64 clusters, default budget) --");
+    let adaptive = bench_adaptive(scale);
+    println!(
+        "all-Mimic:  {:>8.2} s  ({:>10.0} events/s)\nall-Flow:   {:>8.2} s  ({:>10.0} events/s, W1 {:.3} rel)\nadaptive:   {:>8.2} s  ({:>10.0} events/s, W1 {:.3} rel, {} switches, {:.2}x vs all-Mimic, beats: {})",
+        adaptive.all_mimic_wall_s,
+        adaptive.all_mimic_events_per_sec,
+        adaptive.all_flow_wall_s,
+        adaptive.all_flow_events_per_sec,
+        adaptive.all_flow_w1_rel,
+        adaptive.adaptive_wall_s,
+        adaptive.adaptive_events_per_sec,
+        adaptive.adaptive_w1_rel,
+        adaptive.tier_switches,
+        adaptive.speedup_vs_all_mimic,
+        adaptive.beats_all_mimic
+    );
+
     println!("\n-- end-to-end pipeline ({:?}) --", scale);
     let pipeline = bench_pipeline(scale);
     println!(
@@ -1110,7 +1279,9 @@ fn main() {
         training,
         training_parallel,
         overlap,
+        adaptive,
         pipeline,
+        gate_skips: collect_gate_skips(cores),
     };
 
     let out = std::env::var("OUT").unwrap_or_else(|_| "BENCH_mlperf.json".into());

@@ -178,6 +178,12 @@ pub struct Metrics {
     /// indexed by cluster id. `None` for packet-level clusters and models
     /// without drift monitoring.
     pub cluster_drift: Vec<Option<f64>>,
+    /// Runtime fidelity transitions, ordered by `(epoch, cluster)`. Empty
+    /// for fixed-fidelity runs. In partitioned runs each LP records only
+    /// the clusters it owns, so the merged schedule has one record per
+    /// switch and is invariant to the partition count — the adaptive
+    /// determinism suite compares it byte-for-byte across 1/2/4 LPs.
+    pub tier_switches: Vec<crate::mimic::TierSwitch>,
     /// Observability report folded in by the engine when tracing is on
     /// (`Simulation::enable_obs`); `None` otherwise. Boxed so the common
     /// obs-off path pays one pointer. Merged across PDES partitions via
@@ -202,6 +208,7 @@ impl Metrics {
             hops_forwarded: 0,
             queue_stats: Vec::new(),
             cluster_drift: Vec::new(),
+            tier_switches: Vec::new(),
             obs: None,
         }
     }
@@ -348,6 +355,10 @@ impl Metrics {
                 *mine = theirs;
             }
         }
+        // Partitions record disjoint cluster sets, so a plain merge-and-sort
+        // yields the canonical (epoch, cluster)-ordered schedule.
+        self.tier_switches.extend(other.tier_switches);
+        self.tier_switches.sort_by_key(|s| (s.epoch, s.cluster));
         match (&mut self.obs, other.obs) {
             (Some(mine), Some(theirs)) => mine.merge(*theirs),
             (mine @ None, Some(theirs)) => *mine = Some(theirs),
@@ -415,11 +426,13 @@ impl Metrics {
 use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
 
 impl Metrics {
-    /// Serialize every deterministic measurement. Keys of the flow map are
-    /// sorted, so equal metrics always produce equal bytes — the byte-identity
-    /// tests compare exactly these serializations. The `obs` report is
-    /// excluded: it holds wall-clock timings that are legitimately different
-    /// across runs.
+    /// Serialize every deterministic measurement. Sample vectors whose
+    /// in-memory order depends on the partition count (flow map keys, RTT
+    /// samples, the boundary trace) are written in a canonical sort order,
+    /// so equal measurement *sets* always produce equal bytes — the
+    /// byte-identity tests compare exactly these serializations across
+    /// 1/2/4 LPs. The `obs` report is excluded: it holds wall-clock
+    /// timings that are legitimately different across runs.
     pub fn save_state(&self, w: &mut SnapWriter) {
         let mut flow_ids: Vec<FlowId> = self.flows.keys().copied().collect();
         flow_ids.sort_unstable();
@@ -433,8 +446,17 @@ impl Metrics {
             w.put_u64(f.start.0);
             w.put_opt_u64(f.end.map(|t| t.0));
         }
+        // A sequential run records RTT samples in event order while a
+        // partitioned join concatenates per-LP vectors; sort a side index
+        // by a total key so both serialize identically.
+        let mut rtt_order: Vec<usize> = (0..self.rtt.len()).collect();
+        rtt_order.sort_by_key(|&i| {
+            let s = &self.rtt[i];
+            (s.time, s.host.0, s.rtt)
+        });
         w.put_u64(self.rtt.len() as u64);
-        for s in &self.rtt {
+        for i in rtt_order {
+            let s = &self.rtt[i];
             w.put_u32(s.host.0);
             w.put_u64(s.time.0);
             w.put_u64(s.rtt.0);
@@ -444,8 +466,21 @@ impl Metrics {
             w.put_u64_slice(bins);
         }
         w.put_u64(self.bin.0);
+        // Same partition-order hazard as RTT: ties at one timestamp can
+        // interleave differently, so serialize under a total key.
+        let mut bnd_order: Vec<usize> = (0..self.boundary.len()).collect();
+        bnd_order.sort_by_key(|&i| {
+            let b = &self.boundary[i];
+            (
+                b.time,
+                b.pkt_id,
+                matches!(b.dir, crate::mimic::BoundaryDir::Egress),
+                matches!(b.phase, BoundaryPhase::Exit),
+            )
+        });
         w.put_u64(self.boundary.len() as u64);
-        for b in &self.boundary {
+        for i in bnd_order {
+            let b = &self.boundary[i];
             w.put_u64(b.pkt_id);
             w.put_u64(b.flow.0);
             w.put_u64(b.time.0);
@@ -493,6 +528,13 @@ impl Metrics {
         w.put_u64(self.cluster_drift.len() as u64);
         for d in &self.cluster_drift {
             w.put_opt_f64(*d);
+        }
+        w.put_u64(self.tier_switches.len() as u64);
+        for s in &self.tier_switches {
+            w.put_u64(s.epoch);
+            w.put_u32(s.cluster);
+            w.put_u8(s.from.index() as u8);
+            w.put_u8(s.to.index() as u8);
         }
     }
 
@@ -600,6 +642,21 @@ impl Metrics {
         let nd = r.get_count(1)?;
         self.cluster_drift = (0..nd)
             .map(|_| r.get_opt_f64())
+            .collect::<Result<_, SnapshotError>>()?;
+        let tier = |b: u8| {
+            crate::mimic::FidelityTier::from_index(b as usize)
+                .ok_or_else(|| SnapshotError::Corrupt(format!("bad FidelityTier {b}")))
+        };
+        let ns = r.get_count(14)?;
+        self.tier_switches = (0..ns)
+            .map(|_| {
+                Ok(crate::mimic::TierSwitch {
+                    epoch: r.get_u64()?,
+                    cluster: r.get_u32()?,
+                    from: tier(r.get_u8()?)?,
+                    to: tier(r.get_u8()?)?,
+                })
+            })
             .collect::<Result<_, SnapshotError>>()?;
         Ok(())
     }
@@ -821,6 +878,29 @@ mod tests {
         a.merge(b);
         // `Some` on the incoming side wins; `None` leaves ours in place.
         assert_eq!(a.cluster_drift, vec![Some(0.1), Some(0.9), Some(0.3), Some(0.4)]);
+    }
+
+    #[test]
+    fn merge_orders_tier_switches_canonically() {
+        use crate::mimic::{FidelityTier, TierSwitch};
+        let sw = |epoch, cluster| TierSwitch {
+            epoch,
+            cluster,
+            from: FidelityTier::Mimic,
+            to: FidelityTier::Flow,
+        };
+        let mut a = Metrics::new(1);
+        let mut b = Metrics::new(1);
+        a.tier_switches = vec![sw(1, 2), sw(3, 1)];
+        b.tier_switches = vec![sw(1, 1), sw(2, 3)];
+        a.merge(b);
+        let got: Vec<(u64, u32)> = a.tier_switches.iter().map(|s| (s.epoch, s.cluster)).collect();
+        assert_eq!(got, vec![(1, 1), (1, 2), (2, 3), (3, 1)]);
+        // The schedule participates in the canonical byte serialization.
+        let mut c = Metrics::new(1);
+        assert_ne!(a.canonical_bytes(), c.canonical_bytes());
+        c.tier_switches = a.tier_switches.clone();
+        assert_eq!(a.canonical_bytes(), c.canonical_bytes());
     }
 
     #[test]

@@ -31,6 +31,76 @@ pub enum BoundaryDir {
     Egress,
 }
 
+/// The fidelity at which one cluster is simulated.
+///
+/// Every cluster of a composed run sits at exactly one tier at any sim
+/// time, and adaptive runs move clusters between tiers at PDES window
+/// barriers only (DESIGN.md §13). The registry tables below (`COUNT`,
+/// [`FidelityTier::index`], [`FidelityTier::name_of`],
+/// [`FidelityTier::from_index`]) mirror the `EventKind` tables: a
+/// tier-table guard test fails if a new tier is added without wiring its
+/// snapshot/metrics paths.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FidelityTier {
+    /// Full packet-level simulation: the cluster's switches and hosts run
+    /// in the event engine (ground truth).
+    Packet,
+    /// Learned LSTM Mimic: boundary packets get model-predicted verdicts
+    /// (the paper's mechanism, `mimicnet::batch`).
+    Mimic,
+    /// Flow/fluid approximation: boundary packets get analytic rate-share
+    /// latencies (optionally corrected by a learned head), no per-packet
+    /// queueing. Cheapest, least accurate.
+    Flow,
+}
+
+impl FidelityTier {
+    /// Number of tiers. Every table indexed by [`FidelityTier::index`]
+    /// must have exactly this many rows.
+    pub const COUNT: usize = 3;
+
+    /// Dense ordinal, `0..COUNT`. Also the on-disk encoding used by
+    /// snapshots and the metrics tier schedule.
+    pub fn index(self) -> usize {
+        match self {
+            FidelityTier::Packet => 0,
+            FidelityTier::Mimic => 1,
+            FidelityTier::Flow => 2,
+        }
+    }
+
+    /// Decode an on-disk ordinal; `None` for out-of-range (corrupt) bytes.
+    pub fn from_index(i: usize) -> Option<FidelityTier> {
+        match i {
+            0 => Some(FidelityTier::Packet),
+            1 => Some(FidelityTier::Mimic),
+            2 => Some(FidelityTier::Flow),
+            _ => None,
+        }
+    }
+
+    /// Human-readable tier name by ordinal (report labels, bench JSON).
+    pub fn name_of(index: usize) -> &'static str {
+        const NAMES: [&str; FidelityTier::COUNT] = ["packet", "mimic", "flow"];
+        NAMES[index]
+    }
+}
+
+/// One runtime fidelity transition: `cluster` moved `from → to` at epoch
+/// barrier `epoch`. Recorded into `Metrics::tier_switches` by the engine,
+/// so the tier schedule is part of the run's canonical bytes (the
+/// partition-invariance acceptance check compares it across 1/2/4 LPs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TierSwitch {
+    /// Epoch barrier index (absolute, derived from sim time — stable
+    /// across checkpoint/resume).
+    pub epoch: u64,
+    /// The cluster that moved.
+    pub cluster: u32,
+    pub from: FidelityTier,
+    pub to: FidelityTier,
+}
+
 /// A model's prediction of the cluster's effect on one packet.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Verdict {
@@ -154,6 +224,26 @@ pub trait BatchClusterModel: Send {
         None
     }
 
+    /// The fidelity tier `cluster` is currently served at. Fixed-fidelity
+    /// models are all-Mimic by definition.
+    fn tier(&self, cluster: u32) -> FidelityTier {
+        let _ = cluster;
+        FidelityTier::Mimic
+    }
+
+    /// Epoch-barrier hook for adaptive models: `drift[c]` is the merged
+    /// cross-LP drift score of cluster `c` (the owning LP's value;
+    /// `None` where unmonitored). The model updates its accuracy-budget
+    /// accounting and applies any promotions/demotions *now* — the engine
+    /// guarantees no batch is in flight — returning the switches it made.
+    /// Every LP of a partitioned run calls this with identical inputs at
+    /// the same barrier, so all replicas stay in lockstep. The default is
+    /// a no-op (fixed-fidelity models never switch).
+    fn on_epoch(&mut self, epoch: u64, drift: &[Option<f64>]) -> Vec<TierSwitch> {
+        let _ = (epoch, drift);
+        Vec::new()
+    }
+
     /// Contribute model-side telemetry (lane-occupancy histograms, packet
     /// counters, …) to the engine's observability report at fold time.
     /// Called once per run, only when obs is enabled; the default adds
@@ -266,5 +356,46 @@ mod tests {
     fn default_model_never_wakes() {
         let mut m = ConstModel::new(SimDuration::ZERO, 0.0, 1);
         assert!(m.next_wake(SimTime::ZERO).is_none());
+    }
+
+    /// Guard for the tier registry, mirroring the `EventKind` table guard:
+    /// adding a [`FidelityTier`] variant fails here (the no-`_` match stops
+    /// compiling and the samples array below under-counts) until `COUNT`,
+    /// `index`, `from_index`, and `name_of` are all re-wired — which is
+    /// also the reminder to wire the new tier's snapshot/metrics paths.
+    #[test]
+    fn tier_tables_are_exhaustive_and_consistent() {
+        // One sample per variant; the array length is pinned to COUNT so a
+        // new variant without a sample is a compile error here.
+        let samples: [FidelityTier; FidelityTier::COUNT] =
+            [FidelityTier::Packet, FidelityTier::Mimic, FidelityTier::Flow];
+
+        // Exhaustive ordinal match with no `_` arm: a new variant breaks
+        // this match at compile time.
+        let ordinal = |t: FidelityTier| -> usize {
+            match t {
+                FidelityTier::Packet => 0,
+                FidelityTier::Mimic => 1,
+                FidelityTier::Flow => 2,
+            }
+        };
+
+        let mut seen = [false; FidelityTier::COUNT];
+        let mut names = Vec::new();
+        for &t in &samples {
+            let i = t.index();
+            assert_eq!(i, ordinal(t), "{t:?}: index() disagrees with ordinal");
+            assert!(i < FidelityTier::COUNT, "{t:?}: index {i} out of range");
+            assert!(!seen[i], "{t:?}: duplicate index {i}");
+            seen[i] = true;
+            assert_eq!(FidelityTier::from_index(i), Some(t), "{t:?}: round trip");
+            names.push(FidelityTier::name_of(i));
+        }
+        assert!(seen.iter().all(|&s| s), "indices are not dense");
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate tier names: {names:?}");
+        assert_eq!(FidelityTier::from_index(FidelityTier::COUNT), None);
     }
 }

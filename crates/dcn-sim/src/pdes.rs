@@ -94,6 +94,26 @@ pub struct CheckpointPlan {
     pub every: SimDuration,
 }
 
+/// Cadence of adaptive fidelity-tier epochs in a partitioned run.
+///
+/// At every `every_windows`-th window barrier the LPs exchange per-cluster
+/// drift scores (each cluster's traffic is only observed by its owning
+/// LP), then *every* LP hands the identical merged vector to its batched
+/// model via `Simulation::tier_epoch`. Because the model replicas start
+/// identical and see identical inputs at identical barriers, their tier
+/// assignments stay in lockstep — the tier schedule is a pure function of
+/// the trajectory, hence invariant to the partition count. Transitions
+/// happen only at these barriers, with batched inference settled, so
+/// checkpoints cut at (or after) a transition restore byte-identically.
+#[derive(Clone, Copy, Debug)]
+pub struct TierPlan {
+    /// Re-evaluate tiers every this many conservative windows (>= 1).
+    /// Epoch `k` fires at the barrier where `t = k * every_windows *
+    /// window` — derived from simulated time, so a resumed run lands on
+    /// the same epoch barriers as an uninterrupted one.
+    pub every_windows: u64,
+}
+
 fn generation_name(t: SimTime) -> String {
     format!("gen-{:020}", t.as_nanos())
 }
@@ -128,6 +148,19 @@ pub fn run_partitioned(
     run_partitioned_setup(cfg, partitions, cfg.link.latency, make_factory, &|_| {})
 }
 
+/// Number of tier epochs a run of `duration_s` at `window` granularity
+/// fires under `plan` (the final, possibly-partial window never hosts an
+/// epoch). Lets callers size accuracy-budget patience in epochs.
+pub fn tier_epoch_count(duration_s: f64, window: SimDuration, plan: &TierPlan) -> u64 {
+    let end = SimTime::from_secs_f64(duration_s) + SimDuration::from_nanos(1);
+    let stride = window.as_nanos().saturating_mul(plan.every_windows.max(1));
+    if stride == 0 {
+        return 0;
+    }
+    // Epoch k fires at t = k * stride while t < end.
+    (end.as_nanos().saturating_sub(1)) / stride
+}
+
 /// [`run_partitioned`] with an explicit lookahead `window` and a per-LP
 /// `setup` hook, run on each freshly built engine before its partition is
 /// assigned. This is how composed simulations enter PDES mode: the hook
@@ -143,7 +176,7 @@ pub fn run_partitioned_setup(
     make_factory: &(dyn Fn() -> Box<dyn TransportFactory> + Sync),
     setup: &(dyn Fn(&mut Simulation) + Sync),
 ) -> Metrics {
-    run_partitioned_resumable(cfg, partitions, window, make_factory, setup, None, None)
+    run_partitioned_resumable(cfg, partitions, window, make_factory, setup, None, None, None)
         .expect("no checkpoint I/O requested, so no snapshot error can occur")
 }
 
@@ -161,6 +194,7 @@ pub fn run_partitioned_setup(
 /// manifest rename is the commit point, so a crash at any instant (even
 /// SIGKILL mid-checkpoint) leaves the directory resumable from the last
 /// complete generation.
+#[allow(clippy::too_many_arguments)]
 pub fn run_partitioned_resumable(
     cfg: SimConfig,
     partitions: usize,
@@ -169,10 +203,24 @@ pub fn run_partitioned_resumable(
     setup: &(dyn Fn(&mut Simulation) + Sync),
     checkpoint: Option<&CheckpointPlan>,
     resume_from: Option<&Path>,
+    tiers: Option<&TierPlan>,
 ) -> Result<Metrics, SnapshotError> {
     assert!(partitions >= 1);
     let topo = FatTree::new(cfg.topo);
     let owner = Arc::new(partition_by_cluster(&topo, partitions));
+    if let Some(plan) = tiers {
+        assert!(plan.every_windows >= 1, "zero-window tier epochs");
+    }
+    // Epoch stride in simulated nanoseconds; epoch barriers are the window
+    // barriers where `t` is a multiple of this.
+    let epoch_stride_ns =
+        tiers.map(|plan| window.as_nanos().saturating_mul(plan.every_windows));
+    // Cross-LP drift exchange for tier epochs: each LP writes the scores
+    // of the clusters it observes (Some-wins), all read the merged vector
+    // after a barrier.
+    let drift_slots: Mutex<Vec<Option<f64>>> =
+        Mutex::new(vec![None; cfg.topo.clusters as usize]);
+    let drift_slots = &drift_slots;
 
     assert!(window > SimDuration::ZERO, "zero lookahead breaks conservative PDES");
     let end = SimTime::from_secs_f64(cfg.duration_s) + SimDuration::from_nanos(1);
@@ -292,6 +340,41 @@ pub fn run_partitioned_resumable(
                         barrier.wait();
                     }
                     t = t_next;
+                    // Tier epoch: all LPs derive the same due condition from
+                    // t, exchange drift, and apply the same decision. Runs
+                    // before any checkpoint cut at this same t, so snapshots
+                    // capture post-transition state and a resume never
+                    // re-runs an epoch.
+                    if let Some(stride) = epoch_stride_ns {
+                        if t < end && stride > 0 && t.as_nanos().is_multiple_of(stride) {
+                            let epoch = t.as_nanos() / stride;
+                            let local = sim.cluster_drifts();
+                            {
+                                let mut slots = drift_slots.lock().expect("drift slots");
+                                for (slot, l) in slots.iter_mut().zip(&local) {
+                                    if l.is_some() {
+                                        *slot = *l;
+                                    }
+                                }
+                            }
+                            barrier.wait();
+                            let merged = drift_slots.lock().expect("drift slots").clone();
+                            // A cluster's nodes all live on partition
+                            // `cluster % partitions` (see
+                            // `partition_by_cluster`): record its switches
+                            // there and nowhere else.
+                            sim.tier_epoch(epoch, &merged, |c| c as usize % partitions == part);
+                            barrier.wait();
+                            // Reset the exchange for the next epoch; the
+                            // trailing barrier keeps fast LPs from publishing
+                            // into a vector part 0 has not cleared yet.
+                            if part == 0 {
+                                let mut slots = drift_slots.lock().expect("drift slots");
+                                slots.iter_mut().for_each(|s| *s = None);
+                            }
+                            barrier.wait();
+                        }
+                    }
                     // All LPs share t and the plan, so they branch (and hit
                     // the checkpoint barriers) in lockstep.
                     let due = matches!(next_ckpt, Some(due) if t >= due) && t < end;
@@ -481,6 +564,7 @@ mod tests {
             &|_| {},
             Some(&plan),
             None,
+            None,
         )
         .expect("checkpointed run");
         // Writing checkpoints must not perturb the trajectory.
@@ -502,6 +586,7 @@ mod tests {
             &|_| {},
             None,
             Some(&dir),
+            None,
         )
         .expect("resumed run");
         assert_eq!(m_res.canonical_bytes(), m_full.canonical_bytes());
@@ -523,6 +608,7 @@ mod tests {
             &|_| {},
             Some(&plan),
             None,
+            None,
         )
         .expect("checkpointed run");
         // Wrong partition count: typed error, not a panic.
@@ -534,6 +620,7 @@ mod tests {
             &|_| {},
             None,
             Some(&dir),
+            None,
         )
         .err()
         .expect("partition mismatch must be rejected");
@@ -549,6 +636,7 @@ mod tests {
             &|_| {},
             None,
             Some(&dir),
+            None,
         )
         .err()
         .expect("config mismatch must be rejected");
@@ -562,6 +650,7 @@ mod tests {
             &|_| {},
             None,
             Some(&dir.join("nope")),
+            None,
         )
         .err()
         .expect("missing checkpoint must be rejected");
@@ -583,6 +672,7 @@ mod tests {
             &factory,
             &|_| {},
             Some(&plan),
+            None,
             None,
         )
         .expect("checkpointed run");

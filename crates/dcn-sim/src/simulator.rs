@@ -20,7 +20,9 @@ use crate::fault::{FaultAction, FaultChange, FaultPlan};
 use crate::host::{HostState, Role};
 use crate::instrument::{BoundaryPhase, BoundaryRecord, FlowRecord, Metrics, RttSample};
 use crate::link::{Dir, DuplexLink, LinkSpec};
-use crate::mimic::{BatchClusterModel, BoundaryDir, BoundaryItem, ClusterModel, Verdict};
+use crate::mimic::{
+    BatchClusterModel, BoundaryDir, BoundaryItem, ClusterModel, TierSwitch, Verdict,
+};
 use crate::packet::{Ecn, FlowId, Packet, PacketKind};
 use crate::routing::Router;
 use crate::switch::process_hop;
@@ -1044,6 +1046,65 @@ impl Simulation {
         self.collect_cluster_drift();
         self.fold_obs();
         std::mem::replace(&mut self.metrics, Metrics::new(0))
+    }
+
+    /// Per-cluster drift scores *right now*, indexed by cluster id —
+    /// `None` for packet-level clusters and unmonitored models. Settles
+    /// batched inference first so the scores reflect every boundary packet
+    /// of the window. PDES epoch barriers publish these cross-LP (only the
+    /// owning LP observes a cluster's traffic) before the adaptive tier
+    /// decision.
+    pub fn cluster_drifts(&mut self) -> Vec<Option<f64>> {
+        self.settle_batch();
+        let mut v = vec![None; self.cluster_modes.len()];
+        for (c, mode) in self.cluster_modes.iter().enumerate() {
+            match mode {
+                ClusterMode::Mimic { model, .. } => v[c] = model.drift(),
+                ClusterMode::Batched => {
+                    if let Some(rt) = &self.batch {
+                        v[c] = rt
+                            .model
+                            .as_ref()
+                            .expect("batched model settled before drift read")
+                            .drift(c as u32);
+                    }
+                }
+                ClusterMode::Full => {}
+            }
+        }
+        v
+    }
+
+    /// Epoch-barrier tier update: hand the merged cross-LP drift vector to
+    /// the batched model, which updates its accuracy-budget accounting and
+    /// applies any promotions/demotions. Batched inference is settled
+    /// first, so no verdict ever straddles a tier transition — this is the
+    /// barrier-only transition invariant the snapshot byte-identity tests
+    /// rely on. Switches for clusters passing `record` are appended to the
+    /// metrics tier schedule (partitioned runs record only owned clusters,
+    /// keeping the merged schedule partition-invariant). Returns every
+    /// switch applied, recorded or not.
+    pub fn tier_epoch(
+        &mut self,
+        epoch: u64,
+        drift: &[Option<f64>],
+        record: impl Fn(u32) -> bool,
+    ) -> Vec<TierSwitch> {
+        self.settle_batch();
+        let Some(rt) = self.batch.as_mut() else {
+            return Vec::new();
+        };
+        let switches = rt
+            .model
+            .as_mut()
+            .expect("batched model settled before tier epoch")
+            .on_epoch(epoch, drift);
+        for s in &switches {
+            if record(s.cluster) {
+                self.metrics.tier_switches.push(*s);
+            }
+        }
+        switches
     }
 
     // ------------------------------------------------------------------

@@ -15,6 +15,8 @@
 //! per the paper's methodology ("the topology and traffic pattern were
 //! kept consistent").
 
+pub mod boundary;
+
 use dcn_sim::config::SimConfig;
 use dcn_sim::link::Dir;
 use dcn_sim::packet::FlowId;

@@ -1,0 +1,80 @@
+//! Baseline accuracy and determinism tests for the fluid simulator: FCT
+//! distributions vs the packet-level engine on the canonical scenarios
+//! (the small-scale config recomposed at 2/4/8 clusters), with an
+//! asserted W1 envelope, and bit-identity of repeated same-seed runs.
+
+use dcn_sim::cdf::wasserstein1;
+use dcn_sim::config::SimConfig;
+use dcn_sim::simulator::Simulation;
+use flow_sim::FlowSim;
+
+/// Declared accuracy envelope of the fluid baseline: W1(FCT) against the
+/// packet-level engine stays below one packet-mean FCT on the canonical
+/// scenarios. The fluid model is systematically optimistic (no slow
+/// start, no retransmits), so the distance is real but bounded.
+const FLUID_W1_BOUND: f64 = 1.0;
+
+fn scenario(clusters: u32, seed: u64) -> SimConfig {
+    let mut c = SimConfig::small_scale();
+    c.topo.clusters = clusters;
+    c.duration_s = 0.5;
+    c.seed = seed;
+    c
+}
+
+#[test]
+fn fluid_fct_within_declared_w1_bound_of_packet_level() {
+    for clusters in [2u32, 4, 8] {
+        let cfg = scenario(clusters, 5);
+        let fluid = FlowSim::new(cfg).run();
+        let packet = Simulation::new(cfg).run();
+        let f = fluid.fct_samples(|_| true);
+        let p = packet.fct_samples(|_| true);
+        assert!(
+            !f.is_empty() && !p.is_empty(),
+            "{clusters} clusters: no completed flows (fluid {}, packet {})",
+            f.len(),
+            p.len()
+        );
+        let p_mean = p.iter().sum::<f64>() / p.len() as f64;
+        let w1 = wasserstein1(&f, &p);
+        assert!(
+            w1 < FLUID_W1_BOUND * p_mean,
+            "{clusters} clusters: W1(FCT) {w1:.4}s outside bound {FLUID_W1_BOUND} x mean {p_mean:.4}s"
+        );
+    }
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    for seed in [5u64, 17, 23] {
+        let cfg = scenario(4, seed);
+        let a = FlowSim::new(cfg).run();
+        let b = FlowSim::new(cfg).run();
+        let fa: Vec<u64> = a.fct_samples(|_| true).iter().map(|v| v.to_bits()).collect();
+        let fb: Vec<u64> = b.fct_samples(|_| true).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fa, fb, "seed {seed}: FCT samples diverged between runs");
+        let ta: Vec<u64> = a
+            .throughput_samples(|_| true)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let tb: Vec<u64> = b
+            .throughput_samples(|_| true)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(ta, tb, "seed {seed}: throughput samples diverged");
+        assert_eq!(a.recomputes, b.recomputes, "seed {seed}: solver work diverged");
+    }
+}
+
+#[test]
+fn distinct_seeds_change_the_workload() {
+    // Guard against a degenerate "determinism" where the seed is ignored.
+    let a = FlowSim::new(scenario(4, 5)).run();
+    let b = FlowSim::new(scenario(4, 6)).run();
+    let fa: Vec<u64> = a.fct_samples(|_| true).iter().map(|v| v.to_bits()).collect();
+    let fb: Vec<u64> = b.fct_samples(|_| true).iter().map(|v| v.to_bits()).collect();
+    assert_ne!(fa, fb, "different seeds produced identical runs");
+}

@@ -264,6 +264,61 @@ impl BatchedMimicFleet {
         &self.raw
     }
 
+    /// Feed one boundary packet through its lane's feature extractor and
+    /// ingress drift monitor *without* running inference. The adaptive
+    /// fleet calls this for clusters served below the Mimic tier: the
+    /// promotion decision needs live drift signal even while the LSTM is
+    /// dormant, and the feature path is deterministic in the lane's item
+    /// order just like the full inference path.
+    pub fn observe_boundary(&mut self, item: &BoundaryItem) {
+        let BatchedMimicFleet {
+            topo,
+            ingress,
+            egress,
+            feat_buf,
+            slot,
+            ..
+        } = self;
+        let li = slot[item.cluster as usize];
+        assert!(li != u32::MAX, "item for unserved cluster {}", item.cluster);
+        let fleet = match item.dir {
+            BoundaryDir::Ingress => ingress,
+            BoundaryDir::Egress => egress,
+        };
+        let lane = &mut fleet.lanes[li as usize];
+        let view = packet_view(topo, item.dir, &item.pkt, item.enqueued_at);
+        lane.fx.extract_into(&view, feat_buf);
+        if item.dir == BoundaryDir::Ingress {
+            if let Some(mon) = &mut lane.monitor {
+                mon.observe(feat_buf);
+            }
+        }
+    }
+
+    /// Advance a cluster's feeder streams to `now` without touching the
+    /// frozen model/feature state. At the Flow tier the wake cadence and
+    /// the feeders' random streams must stay aligned with what the Mimic
+    /// tier would have consumed (so a later promotion re-joins the same
+    /// deterministic schedule), but the LSTM warm-up updates — the
+    /// expensive part of [`BatchClusterModel::on_wake`] — are skipped.
+    pub fn advance_feeders(&mut self, cluster: u32, now: SimTime) {
+        let li = self.slot[cluster as usize] as usize;
+        loop {
+            let mut fired = false;
+            if self.ingress.feeders[li].fire(now).is_some() {
+                self.feeder_packets += 1;
+                fired = true;
+            }
+            if self.egress.feeders[li].fire(now).is_some() {
+                self.feeder_packets += 1;
+                fired = true;
+            }
+            if !fired {
+                break;
+            }
+        }
+    }
+
     fn dir_fleet(&mut self, dir: BoundaryDir) -> &mut DirFleet {
         match dir {
             BoundaryDir::Ingress => &mut self.ingress,

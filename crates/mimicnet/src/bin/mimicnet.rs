@@ -29,13 +29,15 @@
 //! runs all produce bit-identical results. All file outputs are written
 //! atomically (temp file + rename), so a crash never leaves a torn file.
 
-use dcn_sim::pdes::CheckpointPlan;
+use dcn_sim::mimic::FidelityTier;
+use dcn_sim::pdes::{CheckpointPlan, TierPlan};
 use dcn_sim::snapshot::atomic_write;
 use dcn_sim::time::SimDuration;
 use dcn_transport::Protocol;
 use mimicnet::mimic::TrainedMimic;
 use mimicnet::pipeline::{Pipeline, PipelineConfig};
 use mimicnet::tuning::{tune, TuningConfig};
+use mimicnet::{AccuracyBudget, CorrectionHead};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::exit;
@@ -56,6 +58,12 @@ fn usage() -> ! {
          \u{20}        [--partitions P] [--checkpoint-every S]\n\
          \u{20}        [--checkpoint-dir DIR] [--resume DIR]\n\
          \n\
+         adaptive fidelity tiers (estimate):\n\
+         \u{20}        [--adaptive] [--tier-every WINDOWS] [--tier-start mimic|flow]\n\
+         \u{20}        [--promote-above X] [--demote-below X] [--tier-patience N]\n\
+         \u{20}        [--max-above-flow N] [--correction FILE]\n\
+         (train: [--correction-out FILE] ridge-fits the Flow-tier head)\n\
+         \n\
          observability (train/estimate/validate):\n\
          \u{20}        [--trace-out FILE] [--obs-out FILE] [--report]\n\
          \n\
@@ -72,7 +80,7 @@ fn parse_args(args: &[String]) -> HashMap<String, String> {
             eprintln!("unexpected argument: {}", args[i]);
             usage();
         };
-        if key == "json" || key == "report" {
+        if key == "json" || key == "report" || key == "adaptive" {
             map.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -199,6 +207,47 @@ fn resumable_from(
     Some((partitions.max(1), plan, resume))
 }
 
+/// Parse the adaptive-tier accuracy budget flags.
+fn budget_from(opts: &HashMap<String, String>) -> AccuracyBudget {
+    let mut b = AccuracyBudget::default();
+    if let Some(v) = opts.get("promote-above") {
+        b.promote_above = v.parse().expect("--promote-above must be a number");
+    }
+    if let Some(v) = opts.get("demote-below") {
+        b.demote_below = v.parse().expect("--demote-below must be a number");
+    }
+    if let Some(v) = opts.get("tier-patience") {
+        b.patience = v.parse().expect("--tier-patience must be an integer");
+    }
+    if let Some(v) = opts.get("max-above-flow") {
+        b.max_above_flow = v.parse().expect("--max-above-flow must be an integer");
+    }
+    if let Some(v) = opts.get("tier-start") {
+        b.start = match v.as_str() {
+            "mimic" => FidelityTier::Mimic,
+            "flow" => FidelityTier::Flow,
+            other => {
+                eprintln!("unknown --tier-start: {other} (use mimic or flow)");
+                usage();
+            }
+        };
+    }
+    b
+}
+
+/// Load the optional Flow-tier correction head.
+fn correction_from(opts: &HashMap<String, String>) -> Option<CorrectionHead> {
+    let path = opts.get("correction")?;
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    Some(serde_json::from_str(&json).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    }))
+}
+
 /// Whether any observability output was requested.
 fn obs_requested(opts: &HashMap<String, String>) -> bool {
     opts.contains_key("trace-out") || opts.contains_key("obs-out") || opts.contains_key("report")
@@ -249,7 +298,7 @@ fn cmd_train(opts: HashMap<String, String>) {
     if let Some(dir) = &ckpt_dir {
         eprintln!("checkpointing training state into {} after every epoch", dir.display());
     }
-    let (trained, _) = pipe
+    let (trained, data) = pipe
         .try_train_with_data_checkpointed(ckpt_dir.as_deref())
         .unwrap_or_else(|e| {
             eprintln!("error: {e}");
@@ -259,6 +308,21 @@ fn cmd_train(opts: HashMap<String, String>) {
         eprintln!("cannot write {out}: {e}");
         exit(1);
     });
+    if let Some(path) = opts.get("correction-out") {
+        let mut dg_sim = pipe.cfg.base;
+        dg_sim.duration_s *= pipe.cfg.datagen_duration_factor.max(1.0);
+        match mimicnet::tier::fit_correction_head(&dg_sim, &data.metrics) {
+            Some(head) => {
+                let json = serde_json::to_string_pretty(&head).expect("serializable head");
+                atomic_write(path.as_ref(), json.as_bytes()).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1);
+                });
+                eprintln!("wrote Flow-tier correction head to {path}");
+            }
+            None => eprintln!("boundary trace too thin to fit a correction head; skipped {path}"),
+        }
+    }
     eprintln!(
         "wrote {out} ({} params/direction; sim {:?}, training {:?})",
         trained.ingress.model.param_count(),
@@ -275,7 +339,45 @@ fn cmd_estimate(opts: HashMap<String, String>) {
     if obs_requested(&opts) {
         pipe = pipe.with_obs();
     }
-    let est = if let Some((partitions, plan, resume)) = resumable_from(&opts) {
+    let est = if opts.contains_key("adaptive") {
+        let budget = budget_from(&opts);
+        let plan = TierPlan {
+            every_windows: opts
+                .get("tier-every")
+                .map(|v| v.parse().expect("--tier-every must be a positive integer"))
+                .unwrap_or(64),
+        };
+        // Adaptive runs honor the same crash-resilience flags as the
+        // plain partitioned path (--partitions/--checkpoint-every/
+        // --checkpoint-dir/--resume).
+        let (partitions, ckpt, resume) =
+            resumable_from(&opts).unwrap_or((1, None, None));
+        let correction = correction_from(&opts);
+        eprintln!(
+            "adaptive tiers: start={:?}, epoch every {} windows, promote ≥{}, demote <{} after {} calm epochs",
+            budget.start, plan.every_windows, budget.promote_above, budget.demote_below, budget.patience
+        );
+        if let Some(dir) = &resume {
+            eprintln!("resuming from checkpoint {}...", dir.display());
+        }
+        let est = pipe
+            .try_estimate_adaptive(
+                &trained,
+                n,
+                partitions,
+                &budget,
+                &plan,
+                correction.as_ref(),
+                ckpt.as_ref(),
+                resume.as_deref(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+        eprintln!("tier switches: {}", est.metrics.tier_switches.len());
+        est
+    } else if let Some((partitions, plan, resume)) = resumable_from(&opts) {
         if let Some(dir) = &resume {
             eprintln!("resuming from checkpoint {}...", dir.display());
         }
@@ -301,6 +403,7 @@ fn cmd_estimate(opts: HashMap<String, String>) {
             "throughput_p99": est.throughput_p99,
             "rtt_p50": dcn_sim::stats::percentile(&est.samples.rtt, 50.0),
             "rtt_p99": est.rtt_p99,
+            "tier_switches": est.metrics.tier_switches.len(),
         });
         println!("{}", serde_json::to_string_pretty(&out).unwrap());
     } else {

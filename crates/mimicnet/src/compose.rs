@@ -6,12 +6,14 @@
 //! constant from the small-scale to the final simulation."
 
 use crate::batch::BatchedMimicFleet;
+use crate::degrade::AccuracyBudget;
 use crate::error::{ComposeRunError, PipelineError};
 use crate::mimic::{LearnedMimic, TrainedMimic};
+use crate::tier::{AdaptiveFleet, CorrectionHead};
 use dcn_sim::config::SimConfig;
 use dcn_sim::instrument::Metrics;
 use dcn_sim::mimic::BatchClusterModel;
-use dcn_sim::pdes::{run_partitioned_resumable, run_partitioned_setup, CheckpointPlan};
+use dcn_sim::pdes::{run_partitioned_resumable, run_partitioned_setup, CheckpointPlan, TierPlan};
 use dcn_sim::simulator::Simulation;
 use dcn_sim::topology::{FatTree, NodeId};
 use dcn_transport::Protocol;
@@ -272,8 +274,72 @@ pub fn run_composed_partitioned_checkpointed(
         },
         checkpoint,
         resume_from,
+        None,
     )
     .map_err(ComposeRunError::from)
+}
+
+/// Run an *adaptive* composition: the Mimic'ed clusters sit behind an
+/// [`AdaptiveFleet`] whose [`AccuracyBudget`] promotes/demotes them
+/// between the Mimic and Flow tiers at every `plan` epoch barrier, with
+/// per-cluster drift exchanged across LPs so every partition applies the
+/// identical tier schedule. Checkpoint/resume cuts compose with tier
+/// transitions: the ledger and Flow-tier state are part of the snapshot,
+/// and epochs fire *before* the checkpoint branch at the same barrier, so
+/// a restored run never replays a decision.
+#[allow(clippy::too_many_arguments)]
+pub fn run_composed_adaptive_checkpointed(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+    partitions: usize,
+    overlap: bool,
+    budget: &AccuracyBudget,
+    plan: &TierPlan,
+    correction: Option<&CorrectionHead>,
+    checkpoint: Option<&CheckpointPlan>,
+    resume_from: Option<&Path>,
+) -> Result<Metrics, ComposeRunError> {
+    let (cfg, _) = composed_engine(base, n_clusters, protocol)?;
+    let floor = adaptive_fleet(&cfg, n_clusters, trained, budget, correction).latency_floor();
+    let window = cfg.link.latency.min(floor);
+    run_partitioned_resumable(
+        cfg,
+        partitions,
+        window,
+        &|| protocol.factory(),
+        &|sim| {
+            sim.set_batch_model(Box::new(adaptive_fleet(
+                &cfg, n_clusters, trained, budget, correction,
+            )));
+            if overlap {
+                sim.set_batch_overlap(true);
+            }
+        },
+        checkpoint,
+        resume_from,
+        Some(plan),
+    )
+    .map_err(ComposeRunError::from)
+}
+
+/// [`run_composed_adaptive_checkpointed`] without crash resilience.
+#[allow(clippy::too_many_arguments)]
+pub fn run_composed_adaptive(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+    partitions: usize,
+    budget: &AccuracyBudget,
+    plan: &TierPlan,
+    correction: Option<&CorrectionHead>,
+) -> Result<Metrics, ComposeRunError> {
+    run_composed_adaptive_checkpointed(
+        base, n_clusters, protocol, trained, partitions, false, budget, plan, correction, None,
+        None,
+    )
 }
 
 fn run_composed_partitioned_full(
@@ -323,6 +389,23 @@ fn composed_engine(
     cfg.validate()?;
     let sim = Simulation::with_transport(cfg, protocol.factory());
     Ok((cfg, sim))
+}
+
+/// The adaptive fleet for `cfg`: the homogeneous Mimic fleet (seeded
+/// exactly like [`compose`]) wrapped under `budget`.
+pub fn adaptive_fleet(
+    cfg: &SimConfig,
+    n_clusters: u32,
+    trained: &TrainedMimic,
+    budget: &AccuracyBudget,
+    correction: Option<&CorrectionHead>,
+) -> AdaptiveFleet {
+    AdaptiveFleet::new(
+        batched_fleet(cfg, n_clusters, trained),
+        cfg,
+        budget.clone(),
+        correction.copied(),
+    )
 }
 
 /// The homogeneous fleet for `cfg`, seeded exactly like [`compose`].

@@ -14,6 +14,8 @@
 //!    simulation and the estimate re-run, trading speed for fidelity
 //!    exactly where the models stopped being trustworthy.
 
+use dcn_sim::mimic::{FidelityTier, TierSwitch};
+use dcn_sim::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use serde::{Deserialize, Serialize};
 
 /// Thresholds driving the escalation ladder. Scores come from
@@ -149,8 +151,7 @@ impl DegradationPolicy {
             .iter()
             .enumerate()
             .map(|(c, &drift)| {
-                let excess =
-                    drift.map(|d| (d - self.baseline.get(c).copied().unwrap_or(0.0)).max(0.0));
+                let excess = drift.map(|d| crate::drift::excess_score(d, &self.baseline, c));
                 ClusterDrift {
                     cluster: c as u32,
                     drift: excess,
@@ -212,6 +213,224 @@ impl DegradationPolicy {
             clusters,
             uncertainty_factor,
         }
+    }
+}
+
+/// The runtime generalization of [`DegradationPolicy`]: instead of a
+/// one-shot end-of-run verdict, an accuracy budget drives *continuous*
+/// promotion/demotion of clusters between the Mimic and Flow tiers at
+/// PDES epoch barriers. Drift is the accuracy signal (a cluster whose
+/// live traffic looks like the Mimic's training distribution is safe to
+/// approximate more cheaply; one that drifts needs the higher tier), and
+/// `max_above_flow` is the cost side of the budget: how many clusters may
+/// run above Flow at once.
+///
+/// Thresholds are compared against *excess* drift (score minus
+/// `baseline`, clamped at zero), like [`DegradationPolicy`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AccuracyBudget {
+    /// Promote a Flow-tier cluster back to Mimic when its excess drift
+    /// reaches this.
+    pub promote_above: f64,
+    /// A Mimic-tier cluster is "calm" in an epoch when its excess drift is
+    /// below this (an unmonitored epoch counts as calm: no evidence of
+    /// drift, and an idle cluster is exactly the cheap-to-approximate
+    /// case).
+    pub demote_below: f64,
+    /// Consecutive calm epochs required before a Mimic→Flow demotion.
+    pub patience: u32,
+    /// Hard cap on clusters simultaneously above the Flow tier. When more
+    /// qualify, the worst-drift clusters win (ties broken by cluster
+    /// index, so the decision is deterministic).
+    pub max_above_flow: usize,
+    /// Tier managed clusters start the run at (Mimic warms the comparison
+    /// path; Flow maximizes early speed). Must be Mimic or Flow.
+    pub start: FidelityTier,
+    /// Per-cluster drift baseline, as in [`DegradationPolicy::baseline`].
+    pub baseline: Vec<f64>,
+}
+
+impl Default for AccuracyBudget {
+    fn default() -> Self {
+        AccuracyBudget {
+            promote_above: 1.0,
+            demote_below: 0.5,
+            patience: 2,
+            max_above_flow: usize::MAX,
+            start: FidelityTier::Mimic,
+            baseline: Vec::new(),
+        }
+    }
+}
+
+/// The budget's mutable accounting: current tier and consecutive-calm
+/// count per cluster. Every LP of a partitioned run holds an identical
+/// replica and feeds it identical merged drift vectors at identical epoch
+/// barriers, so replicas never diverge. Checkpoints serialize the ledger
+/// (the budget parameters are configuration and are re-created on
+/// restore, like model weights).
+#[derive(Clone, Debug)]
+pub struct BudgetLedger {
+    budget: AccuracyBudget,
+    /// Current tier, indexed by cluster. Unmanaged clusters (the
+    /// observable cluster, composition-time packet clusters) are pinned at
+    /// [`FidelityTier::Packet`].
+    tiers: Vec<FidelityTier>,
+    managed: Vec<bool>,
+    calm: Vec<u32>,
+}
+
+impl BudgetLedger {
+    /// A ledger over `clusters` total clusters, with `managed` listing the
+    /// adaptively-tiered (Mimic'ed) ones; the rest stay packet-level.
+    pub fn new(budget: AccuracyBudget, clusters: u32, managed: &[u32]) -> BudgetLedger {
+        assert!(
+            matches!(budget.start, FidelityTier::Mimic | FidelityTier::Flow),
+            "managed clusters start at Mimic or Flow, not Packet"
+        );
+        let n = clusters as usize;
+        let mut tiers = vec![FidelityTier::Packet; n];
+        let mut is_managed = vec![false; n];
+        for &c in managed {
+            assert!((c as usize) < n, "managed cluster {c} out of range");
+            tiers[c as usize] = budget.start;
+            is_managed[c as usize] = true;
+        }
+        BudgetLedger {
+            budget,
+            tiers,
+            managed: is_managed,
+            calm: vec![0; n],
+        }
+    }
+
+    /// Current tier of `cluster`.
+    pub fn tier(&self, cluster: u32) -> FidelityTier {
+        self.tiers
+            .get(cluster as usize)
+            .copied()
+            .unwrap_or(FidelityTier::Packet)
+    }
+
+    /// Force `cluster` to `tier` (test/CLI override). Returns false for
+    /// unmanaged clusters or a Packet target — packet fidelity is decided
+    /// at composition time, not at runtime.
+    pub fn set_tier(&mut self, cluster: u32, tier: FidelityTier) -> bool {
+        let c = cluster as usize;
+        if c >= self.tiers.len() || !self.managed[c] || tier == FidelityTier::Packet {
+            return false;
+        }
+        self.tiers[c] = tier;
+        self.calm[c] = 0;
+        true
+    }
+
+    /// One epoch of the accuracy budget: update calm counters from the
+    /// merged drift vector, apply promotions/demotions, enforce the
+    /// above-Flow cap, and return the switches made. Pure function of
+    /// (ledger state, inputs) — no clocks, no RNG — which is what keeps
+    /// partition counts and resumed runs on the same tier schedule.
+    pub fn on_epoch(&mut self, epoch: u64, drift: &[Option<f64>]) -> Vec<TierSwitch> {
+        let n = self.tiers.len();
+        let excess: Vec<Option<f64>> = (0..n)
+            .map(|c| {
+                drift
+                    .get(c)
+                    .copied()
+                    .flatten()
+                    .map(|d| crate::drift::excess_score(d, &self.budget.baseline, c))
+            })
+            .collect();
+        let mut want = self.tiers.clone();
+        for c in 0..n {
+            if !self.managed[c] {
+                continue;
+            }
+            let calm_now = excess[c].is_none_or(|d| d < self.budget.demote_below);
+            match self.tiers[c] {
+                FidelityTier::Mimic => {
+                    if calm_now {
+                        self.calm[c] = self.calm[c].saturating_add(1);
+                        if self.calm[c] >= self.budget.patience {
+                            want[c] = FidelityTier::Flow;
+                        }
+                    } else {
+                        self.calm[c] = 0;
+                    }
+                }
+                FidelityTier::Flow => {
+                    if excess[c].is_some_and(|d| d >= self.budget.promote_above) {
+                        want[c] = FidelityTier::Mimic;
+                        self.calm[c] = 0;
+                    } else if calm_now {
+                        self.calm[c] = self.calm[c].saturating_add(1);
+                    } else {
+                        self.calm[c] = 0;
+                    }
+                }
+                FidelityTier::Packet => {}
+            }
+        }
+        // Cost cap: worst-drift clusters keep the Mimic tier, ties to the
+        // lower cluster index.
+        let mut above: Vec<u32> = (0..n)
+            .filter(|&c| self.managed[c] && want[c] == FidelityTier::Mimic)
+            .map(|c| c as u32)
+            .collect();
+        if above.len() > self.budget.max_above_flow {
+            above.sort_by(|&a, &b| {
+                let da = excess[a as usize].unwrap_or(0.0);
+                let db = excess[b as usize].unwrap_or(0.0);
+                db.partial_cmp(&da).expect("finite drift scores").then(a.cmp(&b))
+            });
+            for &c in &above[self.budget.max_above_flow..] {
+                want[c as usize] = FidelityTier::Flow;
+                self.calm[c as usize] = 0;
+            }
+        }
+        let mut switches = Vec::new();
+        for (c, &to) in want.iter().enumerate() {
+            if to != self.tiers[c] {
+                switches.push(TierSwitch {
+                    epoch,
+                    cluster: c as u32,
+                    from: self.tiers[c],
+                    to,
+                });
+                self.tiers[c] = to;
+            }
+        }
+        switches
+    }
+
+    /// Serialize the mutable accounting (tiers, calm counters).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.tiers.len() as u64);
+        for c in 0..self.tiers.len() {
+            w.put_u8(self.tiers[c].index() as u8);
+            w.put_bool(self.managed[c]);
+            w.put_u32(self.calm[c]);
+        }
+    }
+
+    /// Restore accounting written by [`BudgetLedger::save_state`] on an
+    /// identically-configured ledger.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_count(6)?;
+        if n != self.tiers.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "budget ledger covers {} clusters, snapshot has {n}",
+                self.tiers.len()
+            )));
+        }
+        for c in 0..n {
+            let t = r.get_u8()?;
+            self.tiers[c] = FidelityTier::from_index(t as usize)
+                .ok_or_else(|| SnapshotError::Corrupt(format!("bad FidelityTier {t}")))?;
+            self.managed[c] = r.get_bool()?;
+            self.calm[c] = r.get_u32()?;
+        }
+        Ok(())
     }
 }
 
@@ -295,5 +514,141 @@ mod tests {
         assert!(!r.degraded());
         assert_eq!(r.uncertainty_factor, 1.0);
         assert!(r.fallback_clusters().is_empty());
+    }
+
+    fn quiet_epochs(ledger: &mut BudgetLedger, drift: &[Option<f64>], from: u64, n: u64) -> Vec<TierSwitch> {
+        let mut all = Vec::new();
+        for e in from..from + n {
+            all.extend(ledger.on_epoch(e, drift));
+        }
+        all
+    }
+
+    #[test]
+    fn ledger_demotes_after_patience_and_promotes_on_drift() {
+        let budget = AccuracyBudget {
+            patience: 2,
+            ..AccuracyBudget::default()
+        };
+        let mut ledger = BudgetLedger::new(budget, 3, &[1, 2]);
+        assert_eq!(ledger.tier(0), FidelityTier::Packet);
+        assert_eq!(ledger.tier(1), FidelityTier::Mimic);
+        // One calm epoch is not enough; the second flips both managed
+        // clusters to Flow.
+        let calm = [None, Some(0.1), None];
+        assert!(ledger.on_epoch(0, &calm).is_empty());
+        let sw = ledger.on_epoch(1, &calm);
+        assert_eq!(sw.len(), 2);
+        assert!(sw
+            .iter()
+            .all(|s| s.from == FidelityTier::Mimic && s.to == FidelityTier::Flow && s.epoch == 1));
+        assert_eq!(ledger.tier(2), FidelityTier::Flow);
+        // Drift on cluster 2 promotes it immediately; cluster 1 stays Flow.
+        let sw = ledger.on_epoch(2, &[None, Some(0.2), Some(1.7)]);
+        assert_eq!(sw.len(), 1);
+        assert_eq!(sw[0].cluster, 2);
+        assert_eq!(sw[0].to, FidelityTier::Mimic);
+        assert_eq!(ledger.tier(1), FidelityTier::Flow);
+        // The unmanaged cluster never moves.
+        assert_eq!(ledger.tier(0), FidelityTier::Packet);
+    }
+
+    #[test]
+    fn ledger_noise_resets_patience() {
+        let mut ledger = BudgetLedger::new(
+            AccuracyBudget {
+                patience: 3,
+                ..AccuracyBudget::default()
+            },
+            1,
+            &[0],
+        );
+        let calm = [Some(0.0)];
+        let noisy = [Some(0.7)]; // above demote_below, below promote_above
+        assert!(quiet_epochs(&mut ledger, &calm, 0, 2).is_empty());
+        assert!(ledger.on_epoch(2, &noisy).is_empty());
+        // Counter restarted: two more calm epochs still aren't enough.
+        assert!(quiet_epochs(&mut ledger, &calm, 3, 2).is_empty());
+        let sw = ledger.on_epoch(5, &calm);
+        assert_eq!(sw.len(), 1);
+        assert_eq!(sw[0].to, FidelityTier::Flow);
+    }
+
+    #[test]
+    fn ledger_cap_keeps_worst_drift_deterministically() {
+        let budget = AccuracyBudget {
+            start: FidelityTier::Flow,
+            max_above_flow: 2,
+            ..AccuracyBudget::default()
+        };
+        let mut ledger = BudgetLedger::new(budget, 4, &[0, 1, 2, 3]);
+        // All four want promotion, but only the two worst get it; the tie
+        // between clusters 1 and 3 (same drift) goes to the lower index.
+        let sw = ledger.on_epoch(0, &[Some(1.5), Some(2.0), Some(1.2), Some(2.0)]);
+        assert_eq!(sw.len(), 2);
+        let promoted: Vec<u32> = sw.iter().map(|s| s.cluster).collect();
+        assert_eq!(promoted, vec![1, 3]);
+        assert_eq!(ledger.tier(0), FidelityTier::Flow);
+        assert_eq!(ledger.tier(2), FidelityTier::Flow);
+        // Replaying the same inputs on a fresh ledger yields the identical
+        // schedule — the decision is a pure function of its inputs.
+        let mut replay = BudgetLedger::new(
+            AccuracyBudget {
+                start: FidelityTier::Flow,
+                max_above_flow: 2,
+                ..AccuracyBudget::default()
+            },
+            4,
+            &[0, 1, 2, 3],
+        );
+        let sw2 = replay.on_epoch(0, &[Some(1.5), Some(2.0), Some(1.2), Some(2.0)]);
+        assert_eq!(sw, sw2);
+    }
+
+    #[test]
+    fn ledger_baseline_applies_to_promotion() {
+        let budget = AccuracyBudget {
+            start: FidelityTier::Flow,
+            baseline: vec![2.0],
+            ..AccuracyBudget::default()
+        };
+        let mut ledger = BudgetLedger::new(budget, 1, &[0]);
+        // Raw 2.5 is only 0.5 over baseline: no promotion.
+        assert!(ledger.on_epoch(0, &[Some(2.5)]).is_empty());
+        let sw = ledger.on_epoch(1, &[Some(3.2)]);
+        assert_eq!(sw.len(), 1);
+        assert_eq!(sw[0].to, FidelityTier::Mimic);
+    }
+
+    #[test]
+    fn ledger_state_round_trips_and_rejects_bad_tier() {
+        use dcn_sim::snapshot::SnapReader;
+
+        let mut ledger = BudgetLedger::new(AccuracyBudget::default(), 3, &[0, 2]);
+        ledger.on_epoch(0, &[Some(0.0), None, Some(0.1)]);
+        let mut w = SnapWriter::new();
+        ledger.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = BudgetLedger::new(AccuracyBudget::default(), 3, &[0, 2]);
+        let mut r = SnapReader::new(&bytes);
+        restored.load_state(&mut r).expect("round trip");
+        for c in 0..3 {
+            assert_eq!(restored.tier(c), ledger.tier(c));
+            assert_eq!(restored.calm[c as usize], ledger.calm[c as usize]);
+        }
+
+        // An out-of-range tier byte is a typed Corrupt error, not a panic.
+        let mut bad = bytes.clone();
+        bad[8] = 9; // first per-cluster tier byte follows the u64 count
+        let mut r = SnapReader::new(&bad);
+        let err = restored.load_state(&mut r).expect_err("bad tier byte");
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err:?}");
+
+        // A cluster-count mismatch is also Corrupt.
+        let mut small = BudgetLedger::new(AccuracyBudget::default(), 2, &[0]);
+        let mut r = SnapReader::new(&bytes);
+        let err = small.load_state(&mut r).expect_err("count mismatch");
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err:?}");
     }
 }

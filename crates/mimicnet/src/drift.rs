@@ -95,6 +95,15 @@ impl FeatureEnvelope {
     }
 }
 
+/// Excess of a live drift score over a calibrated per-cluster baseline,
+/// clamped at zero — the quantity every drift-driven policy thresholds
+/// on ([`crate::degrade::DegradationPolicy`]'s escalation ladder and the
+/// tier [`crate::degrade::AccuracyBudget`]'s promote/demote decisions).
+/// A missing baseline entry means zero (uncalibrated).
+pub fn excess_score(score: f64, baseline: &[f64], cluster: usize) -> f64 {
+    (score - baseline.get(cluster).copied().unwrap_or(0.0)).max(0.0)
+}
+
 /// Default observations per scoring window.
 const DEFAULT_WINDOW: usize = 256;
 /// EWMA weight of the newest window.

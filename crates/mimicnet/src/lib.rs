@@ -65,12 +65,14 @@ pub mod internal_model;
 pub mod metrics;
 pub mod mimic;
 pub mod pipeline;
+pub mod tier;
 pub mod trace;
 pub mod tuning;
 
 pub use batch::BatchedMimicFleet;
-pub use degrade::{DegradationPolicy, DegradationReport};
+pub use degrade::{AccuracyBudget, BudgetLedger, DegradationPolicy, DegradationReport};
 pub use drift::{DriftMonitor, FeatureEnvelope};
 pub use error::PipelineError;
 pub use mimic::LearnedMimic;
 pub use pipeline::{Pipeline, PipelineConfig};
+pub use tier::{AdaptiveFleet, CorrectionHead};

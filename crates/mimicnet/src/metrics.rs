@@ -74,6 +74,22 @@ pub fn compare(truth: &ObservedSamples, approx: &ObservedSamples) -> AccuracyRep
     }
 }
 
+/// W1 distance between two FCT sample sets, normalized by the mean of
+/// `truth` — the unit the tier-equivalence bounds are declared in (a
+/// bound of `1.0` means "off by at most one mean FCT in distribution").
+/// Returns `f64::INFINITY` when `truth` is empty or has zero mean while
+/// `approx` is non-empty, and `0.0` when both are empty.
+pub fn w1_fct_relative(truth: &[f64], approx: &[f64]) -> f64 {
+    if truth.is_empty() && approx.is_empty() {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len().max(1) as f64;
+    if mean <= 0.0 {
+        return f64::INFINITY;
+    }
+    wasserstein1(truth, approx) / mean
+}
+
 /// MSE of per-flow FCT over the intersection of completed flows
 /// (paper §7.2). Returns `None` when the overlap is below `min_overlap`
 /// of either side ("By default, MimicNet ignores models with overlap
@@ -140,6 +156,17 @@ mod tests {
         assert_eq!(r.w1_throughput, 0.0);
         assert_eq!(r.w1_rtt, 0.0);
         assert_eq!(r.fct_p99_rel_err(), 0.0);
+    }
+
+    #[test]
+    fn relative_w1_is_scale_free() {
+        let truth = vec![0.1, 0.2, 0.3];
+        // Shift every sample by one mean: relative W1 is exactly 1.
+        let shifted: Vec<f64> = truth.iter().map(|x| x + 0.2).collect();
+        assert!((w1_fct_relative(&truth, &shifted) - 1.0).abs() < 1e-12);
+        assert_eq!(w1_fct_relative(&truth, &truth), 0.0);
+        assert_eq!(w1_fct_relative(&[], &[]), 0.0);
+        assert_eq!(w1_fct_relative(&[], &[0.1]), f64::INFINITY);
     }
 
     #[test]

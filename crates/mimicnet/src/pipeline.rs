@@ -6,9 +6,11 @@
 //! … are all done at small scale and are, therefore, fast as well."
 
 use crate::compose::{
-    ground_truth, run_composed_partitioned_checkpointed, try_compose, try_compose_partial,
-    OBSERVABLE,
+    ground_truth, run_composed_adaptive_checkpointed, run_composed_partitioned_checkpointed,
+    try_compose, try_compose_partial, OBSERVABLE,
 };
+use crate::degrade::AccuracyBudget;
+use crate::tier::CorrectionHead;
 use crate::datagen::{generate, DataGenConfig, TrainingData};
 use crate::degrade::{DegradationPolicy, DegradationReport};
 use crate::drift::FeatureEnvelope;
@@ -346,6 +348,60 @@ impl Pipeline {
             trained,
             partitions,
             false,
+            checkpoint,
+            resume_from,
+        )?;
+        let wall = t0.elapsed();
+        self.timings.large_scale_sim = wall;
+        Ok(self.report_from(metrics, wall, n_clusters, None))
+    }
+
+    /// Phases ❶–❷ plus a Flow-tier correction head: train the Mimics,
+    /// then ridge-fit [`CorrectionHead`] on the same small-scale boundary
+    /// trace (replayed through the Flow tier's own share estimator, so
+    /// the residuals target exactly the estimate the head corrects).
+    /// `None` when the trace is too thin to fit — the Flow tier then runs
+    /// uncorrected.
+    pub fn try_train_adaptive(
+        &mut self,
+    ) -> Result<(TrainedMimic, Option<CorrectionHead>), PipelineError> {
+        let (trained, data) = self.try_train_with_data()?;
+        let mut dg_sim = self.cfg.base;
+        dg_sim.duration_s *= self.cfg.datagen_duration_factor.max(1.0);
+        let head = crate::tier::fit_correction_head(&dg_sim, &data.metrics);
+        Ok((trained, head))
+    }
+
+    /// Adaptive estimate on the partitioned PDES engine: clusters move
+    /// between the Mimic and Flow tiers under `budget` at every `plan`
+    /// epoch barrier (see
+    /// [`run_composed_adaptive_checkpointed`]). The returned report's
+    /// metrics carry the realized tier schedule in
+    /// [`Metrics::tier_switches`](dcn_sim::instrument::Metrics::tier_switches).
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_estimate_adaptive(
+        &mut self,
+        trained: &TrainedMimic,
+        n_clusters: u32,
+        partitions: usize,
+        budget: &AccuracyBudget,
+        plan: &dcn_sim::pdes::TierPlan,
+        correction: Option<&CorrectionHead>,
+        checkpoint: Option<&dcn_sim::pdes::CheckpointPlan>,
+        resume_from: Option<&std::path::Path>,
+    ) -> Result<EstimateReport, ComposeRunError> {
+        let t0 = Instant::now();
+        let metrics = run_composed_adaptive_checkpointed(
+            self.cfg.base,
+            n_clusters,
+            self.cfg.protocol,
+            trained,
+            partitions,
+            false,
+            budget,
+            plan,
+            correction,
             checkpoint,
             resume_from,
         )?;

@@ -5,12 +5,14 @@
 //! damaged checkpoint must surface as a typed [`SnapshotError`], never a
 //! panic.
 
-use dcn_sim::pdes::{read_manifest, CheckpointPlan, MANIFEST_FILE};
+use dcn_sim::mimic::FidelityTier;
+use dcn_sim::pdes::{read_manifest, CheckpointPlan, TierPlan, MANIFEST_FILE};
 use dcn_sim::snapshot::{
     read_snapshot_file, SnapReader, SnapWriter, SnapshotError, FORMAT_VERSION,
 };
 use dcn_sim::time::SimDuration;
-use mimicnet::compose::run_composed_partitioned_checkpointed;
+use mimicnet::compose::{run_composed_adaptive_checkpointed, run_composed_partitioned_checkpointed};
+use mimicnet::degrade::{AccuracyBudget, BudgetLedger};
 use mimicnet::error::ComposeRunError;
 use mimicnet::mimic::TrainedMimic;
 use mimicnet::pipeline::{Pipeline, PipelineConfig};
@@ -115,6 +117,166 @@ fn committed_part_file(tag: &str) -> (PathBuf, PathBuf) {
     let part = dir.join(&manifest.generation).join("part-0.snap");
     assert!(part.exists(), "committed partition file missing");
     (dir, part)
+}
+
+/// Like [`committed_part_file`], but from an *adaptive* run whose
+/// snapshots additionally carry the per-cluster fidelity state: the
+/// accuracy-budget ledger (tier assignment + calm accounting) and the
+/// Flow-tier share estimators.
+fn committed_adaptive_part_file(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = ckpt_dir(tag);
+    let plan = CheckpointPlan {
+        dir: dir.clone(),
+        every: SimDuration::from_millis(80),
+    };
+    adaptive(Some(&plan), None).expect("adaptive checkpointed run");
+    let manifest = read_manifest(&dir).expect("committed manifest");
+    let part = dir.join(&manifest.generation).join("part-0.snap");
+    assert!(part.exists(), "committed partition file missing");
+    (dir, part)
+}
+
+/// Adaptive run with a budget guaranteed to demote every managed cluster
+/// at the first epoch barrier, so the snapshot holds mixed fidelity state.
+fn adaptive(
+    plan: Option<&CheckpointPlan>,
+    resume: Option<&std::path::Path>,
+) -> Result<dcn_sim::instrument::Metrics, ComposeRunError> {
+    let cfg = quick_cfg();
+    let budget = AccuracyBudget {
+        start: FidelityTier::Mimic,
+        demote_below: f64::INFINITY,
+        patience: 1,
+        ..AccuracyBudget::default()
+    };
+    run_composed_adaptive_checkpointed(
+        cfg.base,
+        4,
+        cfg.protocol,
+        trained(),
+        1,
+        false,
+        &budget,
+        &TierPlan { every_windows: 16 },
+        None,
+        plan,
+        resume,
+    )
+}
+
+#[test]
+fn adaptive_snapshot_corruption_is_a_typed_error() {
+    // The adaptive part file embeds the ledger and estimator state; any
+    // bit damage must still surface as a checksum mismatch, and the
+    // adaptive resume path must propagate it typed, never panic.
+    let (dir, part) = committed_adaptive_part_file("adaptive-flip");
+    let mut bytes = std::fs::read(&part).expect("read snapshot");
+    let payload_at = bytes.len() - 1;
+    bytes[payload_at] ^= 0x10;
+    std::fs::write(&part, &bytes).expect("write corrupted snapshot");
+    match read_snapshot_file(&part) {
+        Err(SnapshotError::ChecksumMismatch { expected, actual }) => {
+            assert_ne!(expected, actual)
+        }
+        other => panic!("bit flip must fail the checksum, got {other:?}"),
+    }
+    match adaptive(None, Some(&dir)) {
+        Err(ComposeRunError::Snapshot(SnapshotError::ChecksumMismatch { .. })) => {}
+        Ok(_) => panic!("adaptive resume from a corrupted snapshot must fail"),
+        Err(e) => panic!("wrong error for corrupted adaptive snapshot: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn adaptive_checkpoint_resumes_byte_identically() {
+    // Sanity anchor for the corruption tests: the *intact* adaptive
+    // checkpoint restores byte-identically, switches included.
+    let plain = adaptive(None, None).expect("uninterrupted adaptive run");
+    assert!(!plain.tier_switches.is_empty(), "budget produced no demotions");
+    let (dir, _part) = committed_adaptive_part_file("adaptive-ok");
+    let resumed = adaptive(None, Some(&dir)).expect("adaptive resume");
+    assert_eq!(plain.canonical_bytes(), resumed.canonical_bytes());
+    assert_eq!(plain.tier_switches, resumed.tier_switches);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Budget-ledger codec: the per-cluster tier byte is validated on load —
+/// an out-of-range ordinal (a fourth tier that does not exist) is a
+/// `Corrupt` error, truncation is `Truncated`, and a count mismatch
+/// against the configured cluster count is `Corrupt`.
+#[test]
+fn ledger_fidelity_state_corruption_is_typed() {
+    let budget = AccuracyBudget::default();
+    let mut ledger = BudgetLedger::new(budget.clone(), 4, &[1, 2, 3]);
+    // Advance the accounting so the snapshot holds non-trivial state.
+    ledger.on_epoch(1, &[None, Some(0.1), None, Some(2.0)]);
+    ledger.on_epoch(2, &[None, Some(0.2), None, None]);
+    let mut w = SnapWriter::new();
+    ledger.save_state(&mut w);
+    let bytes = w.into_bytes();
+
+    // Layout: u64 cluster count, then per cluster [u8 tier, u8 managed,
+    // u32 calm]. Corrupt cluster 1's tier byte (offset 8 + 6*1).
+    let mut bad = bytes.clone();
+    bad[8 + 6] = FidelityTier::COUNT as u8;
+    let mut fresh = BudgetLedger::new(budget.clone(), 4, &[1, 2, 3]);
+    match fresh.load_state(&mut SnapReader::new(&bad)) {
+        Err(SnapshotError::Corrupt(msg)) => {
+            assert!(msg.contains("FidelityTier"), "unexpected message: {msg}")
+        }
+        other => panic!("bad tier byte must be Corrupt, got {other:?}"),
+    }
+
+    let mut fresh = BudgetLedger::new(budget.clone(), 4, &[1, 2, 3]);
+    match fresh.load_state(&mut SnapReader::new(&bytes[..bytes.len() - 3])) {
+        Err(SnapshotError::Truncated) => {}
+        other => panic!("truncated ledger must be Truncated, got {other:?}"),
+    }
+
+    // A snapshot from a differently-sized fleet must not load.
+    let mut wrong_size = BudgetLedger::new(budget.clone(), 6, &[1, 2, 3, 4, 5]);
+    match wrong_size.load_state(&mut SnapReader::new(&bytes)) {
+        Err(SnapshotError::Corrupt(_)) => {}
+        other => panic!("cluster-count mismatch must be Corrupt, got {other:?}"),
+    }
+
+    // And the intact bytes round-trip canonically.
+    let mut good = BudgetLedger::new(budget, 4, &[1, 2, 3]);
+    good.load_state(&mut SnapReader::new(&bytes)).expect("intact ledger loads");
+    let mut w2 = SnapWriter::new();
+    good.save_state(&mut w2);
+    assert_eq!(bytes, w2.into_bytes(), "ledger re-serialization not canonical");
+}
+
+/// Flow-tier share-estimator codec: truncated estimator state is a typed
+/// error, and intact state round-trips canonically.
+#[test]
+fn share_estimator_corruption_is_typed() {
+    use dcn_sim::packet::FlowId;
+    use dcn_sim::time::SimTime;
+    use flow_sim::boundary::ShareEstimator;
+
+    let mut est = ShareEstimator::new(10_000_000, SimDuration::from_millis(1), SimDuration::from_millis(10));
+    for i in 0..5u64 {
+        est.observe(FlowId(i), SimTime::from_secs_f64(0.001 * i as f64), 1500);
+    }
+    est.clamp_exit(SimTime::from_secs_f64(0.02));
+    let mut w = SnapWriter::new();
+    est.save_state(&mut w);
+    let bytes = w.into_bytes();
+
+    let mut fresh = ShareEstimator::new(10_000_000, SimDuration::from_millis(1), SimDuration::from_millis(10));
+    match fresh.load_state(&mut SnapReader::new(&bytes[..bytes.len() / 2])) {
+        Err(SnapshotError::Truncated) => {}
+        other => panic!("truncated estimator must be Truncated, got {other:?}"),
+    }
+
+    let mut good = ShareEstimator::new(10_000_000, SimDuration::from_millis(1), SimDuration::from_millis(10));
+    good.load_state(&mut SnapReader::new(&bytes)).expect("intact estimator loads");
+    let mut w2 = SnapWriter::new();
+    good.save_state(&mut w2);
+    assert_eq!(bytes, w2.into_bytes(), "estimator re-serialization not canonical");
 }
 
 #[test]

@@ -1,0 +1,400 @@
+//! Integration tests of the adaptive fidelity-tier subsystem: the
+//! tier-equivalence matrix (every tier vs packet-level ground truth under
+//! a declared W1(FCT) bound), determinism of the promote/demote schedule
+//! (bit-identical across partition counts per seed), and byte-identity of
+//! checkpoint/restore when a cut coincides with a tier-transition epoch
+//! barrier.
+//!
+//! Scenarios mirror the canonical fig02 shape: the small-scale training
+//! config, re-composed at 2/4/8 clusters with every other parameter held
+//! constant.
+
+use dcn_sim::mimic::{BatchClusterModel, FidelityTier};
+use dcn_sim::pdes::{tier_epoch_count, CheckpointPlan, TierPlan};
+use dcn_sim::time::SimDuration;
+use mimicnet::compose::{
+    adaptive_fleet, ground_truth, run_composed_adaptive, run_composed_adaptive_checkpointed,
+    run_composed_partitioned, OBSERVABLE,
+};
+use mimicnet::degrade::AccuracyBudget;
+use mimicnet::metrics::{observed, w1_fct_relative};
+use mimicnet::mimic::TrainedMimic;
+use mimicnet::pipeline::{Pipeline, PipelineConfig};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Per-tier W1(FCT) bounds, in units of the ground truth's mean FCT.
+/// The Mimic bound matches the pipeline's end-to-end accuracy gate; the
+/// Flow tier is an analytic rate-share approximation, so its declared
+/// envelope is wider. Adaptive runs must stay within the looser of the
+/// two tiers they blend.
+const MIMIC_W1_BOUND: f64 = 1.0;
+const FLOW_W1_BOUND: f64 = 2.5;
+
+fn quick_cfg() -> PipelineConfig {
+    let mut cfg = PipelineConfig::default();
+    cfg.base.duration_s = 0.3;
+    cfg.base.seed = 5;
+    cfg.hidden = 8;
+    cfg.train.epochs = 1;
+    cfg.train.window = 4;
+    cfg
+}
+
+/// One trained bundle shared by every test in this file (training is the
+/// expensive part and its output is deterministic in the config).
+fn trained() -> &'static TrainedMimic {
+    static TRAINED: OnceLock<TrainedMimic> = OnceLock::new();
+    TRAINED.get_or_init(|| Pipeline::new(quick_cfg()).train())
+}
+
+/// Pin every managed cluster at the Flow tier for the whole run: start
+/// there and make promotion unreachable.
+fn all_flow_budget() -> AccuracyBudget {
+    AccuracyBudget {
+        start: FidelityTier::Flow,
+        promote_above: f64::INFINITY,
+        ..AccuracyBudget::default()
+    }
+}
+
+/// Guarantee tier transitions: start at Mimic with patience 1, so every
+/// cluster demotes at the first epoch barrier (an unmonitored epoch counts
+/// as calm), and promote on any observed drift, so warmed-up clusters
+/// oscillate back — a schedule rich enough to exercise mixed-tier state.
+fn switching_budget() -> AccuracyBudget {
+    AccuracyBudget {
+        start: FidelityTier::Mimic,
+        demote_below: f64::INFINITY,
+        patience: 1,
+        promote_above: 0.0,
+        ..AccuracyBudget::default()
+    }
+}
+
+/// The conservative PDES window the adaptive runner derives for this
+/// composition — epoch barriers land at multiples of
+/// `window * plan.every_windows`.
+fn adaptive_window(n_clusters: u32) -> SimDuration {
+    let cfg = quick_cfg();
+    let mut scaled = cfg.base;
+    scaled.topo.clusters = n_clusters;
+    scaled.queue = cfg.protocol.queue_setup(scaled.queue);
+    let floor = adaptive_fleet(&scaled, n_clusters, trained(), &all_flow_budget(), None)
+        .latency_floor();
+    scaled.link.latency.min(floor)
+}
+
+fn ckpt_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mimicnet-tier-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Tier equivalence on the canonical scenarios: each tier's observable
+/// FCT distribution must sit within its declared W1 bound of the
+/// packet-level ground truth, and the adaptive blend within the looser
+/// bound of the tiers it mixes.
+#[test]
+fn every_tier_is_within_its_declared_w1_bound() {
+    let cfg = quick_cfg();
+    let plan = TierPlan { every_windows: 32 };
+    for n_clusters in [2u32, 4, 8] {
+        let label = format!("{n_clusters} clusters");
+        let topo = dcn_sim::topology::FatTree::new({
+            let mut t = cfg.base.topo;
+            t.clusters = n_clusters;
+            t
+        });
+        let truth = observed(
+            &ground_truth(cfg.base, n_clusters, cfg.protocol).run(),
+            &topo,
+            OBSERVABLE,
+        );
+        assert!(!truth.fct.is_empty(), "{label}: ground truth saw no flows");
+
+        let mimic = observed(
+            &run_composed_partitioned(cfg.base, n_clusters, cfg.protocol, trained(), 1)
+                .expect("all-Mimic run"),
+            &topo,
+            OBSERVABLE,
+        );
+        let flow = observed(
+            &run_composed_adaptive(
+                cfg.base,
+                n_clusters,
+                cfg.protocol,
+                trained(),
+                1,
+                &all_flow_budget(),
+                &plan,
+                None,
+            )
+            .expect("all-Flow run"),
+            &topo,
+            OBSERVABLE,
+        );
+        let adaptive = observed(
+            &run_composed_adaptive(
+                cfg.base,
+                n_clusters,
+                cfg.protocol,
+                trained(),
+                1,
+                &AccuracyBudget::default(),
+                &plan,
+                None,
+            )
+            .expect("adaptive run"),
+            &topo,
+            OBSERVABLE,
+        );
+
+        let rel_mimic = w1_fct_relative(&truth.fct, &mimic.fct);
+        let rel_flow = w1_fct_relative(&truth.fct, &flow.fct);
+        let rel_adaptive = w1_fct_relative(&truth.fct, &adaptive.fct);
+        assert!(
+            rel_mimic < MIMIC_W1_BOUND,
+            "{label}: Mimic tier W1(FCT) {rel_mimic:.3} outside bound {MIMIC_W1_BOUND}"
+        );
+        assert!(
+            rel_flow < FLOW_W1_BOUND,
+            "{label}: Flow tier W1(FCT) {rel_flow:.3} outside bound {FLOW_W1_BOUND}"
+        );
+        assert!(
+            rel_adaptive < FLOW_W1_BOUND,
+            "{label}: adaptive W1(FCT) {rel_adaptive:.3} outside bound {FLOW_W1_BOUND}"
+        );
+    }
+}
+
+/// The promote/demote schedule is a deterministic function of the seed and
+/// invariant to the partition count: the full merged metrics (including
+/// the recorded `TierSwitch` log) are bit-identical at 1/2/4 partitions.
+#[test]
+fn adaptive_schedule_is_deterministic_and_partition_invariant() {
+    let cfg = quick_cfg();
+    let plan = TierPlan { every_windows: 16 };
+    let budget = switching_budget();
+    for seed in [5u64, 6, 7] {
+        let mut base = cfg.base;
+        base.seed = seed;
+        let runs: Vec<_> = [1usize, 2, 4]
+            .iter()
+            .map(|&partitions| {
+                run_composed_adaptive(
+                    base,
+                    4,
+                    cfg.protocol,
+                    trained(),
+                    partitions,
+                    &budget,
+                    &plan,
+                    None,
+                )
+                .unwrap_or_else(|e| panic!("seed {seed} x{partitions}: {e}"))
+            })
+            .collect();
+        assert!(
+            !runs[0].tier_switches.is_empty(),
+            "seed {seed}: switching budget produced no transitions"
+        );
+        // Re-running at the same seed and partition count must also be
+        // bit-identical (determinism proper, not just invariance).
+        let again = run_composed_adaptive(
+            base,
+            4,
+            cfg.protocol,
+            trained(),
+            1,
+            &budget,
+            &plan,
+            None,
+        )
+        .expect("repeat run");
+        let reference = runs[0].canonical_bytes();
+        assert_eq!(
+            reference,
+            again.canonical_bytes(),
+            "seed {seed}: same-seed re-run diverged"
+        );
+        for (partitions, m) in [1usize, 2, 4].iter().zip(&runs) {
+            assert_eq!(
+                reference,
+                m.canonical_bytes(),
+                "seed {seed}: x{partitions} diverged from sequential"
+            );
+            assert_eq!(
+                runs[0].tier_switches, m.tier_switches,
+                "seed {seed}: x{partitions} tier schedule diverged"
+            );
+        }
+    }
+}
+
+/// A checkpoint cut at a tier-transition barrier restores byte-identically:
+/// the checkpoint cadence is aligned to the epoch stride, so every cut
+/// lands at a barrier where the ledger may just have moved clusters, and
+/// the resumed run must replay neither the epoch nor diverge after it.
+#[test]
+fn checkpoint_at_tier_transition_restores_byte_identically() {
+    let cfg = quick_cfg();
+    let n_clusters = 4u32;
+    let plan = TierPlan { every_windows: 16 };
+    let budget = switching_budget();
+    let window = adaptive_window(n_clusters);
+    let stride = SimDuration::from_nanos(window.as_nanos() * plan.every_windows);
+    let epochs = tier_epoch_count(cfg.base.duration_s, window, &plan);
+    assert!(epochs >= 2, "scenario too short to host tier epochs");
+
+    let run = |checkpoint: Option<&CheckpointPlan>, resume: Option<&std::path::Path>| {
+        run_composed_adaptive_checkpointed(
+            cfg.base,
+            n_clusters,
+            cfg.protocol,
+            trained(),
+            2,
+            false,
+            &budget,
+            &plan,
+            None,
+            checkpoint,
+            resume,
+        )
+        .expect("adaptive checkpointed run")
+    };
+
+    let plain = run(None, None);
+    assert!(
+        !plain.tier_switches.is_empty(),
+        "no tier transitions; the test would not exercise the barrier"
+    );
+    // Every switch sits on an epoch barrier the checkpoint cadence hits:
+    // cuts land at t = k * stride, epochs at the same multiples.
+    for sw in &plain.tier_switches {
+        assert!(sw.epoch >= 1 && sw.epoch <= epochs, "switch {sw:?} off-barrier");
+    }
+
+    let dir = ckpt_dir("transition");
+    let ckpt_plan = CheckpointPlan {
+        dir: dir.clone(),
+        every: stride,
+    };
+    let ckpt = run(Some(&ckpt_plan), None);
+    assert_eq!(
+        plain.canonical_bytes(),
+        ckpt.canonical_bytes(),
+        "checkpointing at tier barriers changed the trajectory"
+    );
+
+    let resumed = run(None, Some(&dir));
+    assert_eq!(
+        plain.canonical_bytes(),
+        resumed.canonical_bytes(),
+        "resume from a tier-transition cut diverged"
+    );
+    assert_eq!(plain.tier_switches, resumed.tier_switches);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+mod schedule_props {
+    use super::*;
+    use mimicnet::degrade::BudgetLedger;
+    use proptest::prelude::*;
+
+    const CLUSTERS: usize = 6;
+    const EPOCHS: usize = 12;
+
+    fn budget(promote: f64, demote: f64, patience: u32, cap: usize, start_flow: bool) -> AccuracyBudget {
+        AccuracyBudget {
+            promote_above: promote,
+            demote_below: demote,
+            patience,
+            max_above_flow: cap,
+            start: if start_flow {
+                FidelityTier::Flow
+            } else {
+                FidelityTier::Mimic
+            },
+            baseline: Vec::new(),
+        }
+    }
+
+    /// Decode a flat sample into an epoch-by-cluster drift history;
+    /// negative draws become unmonitored (`None`) epochs.
+    fn drift_history(raw: &[f64]) -> Vec<Vec<Option<f64>>> {
+        raw.chunks(CLUSTERS)
+            .map(|chunk| chunk.iter().map(|&v| (v >= 0.0).then_some(v)).collect())
+            .collect()
+    }
+
+    proptest! {
+        /// The ledger's schedule is a pure function of its inputs: replay
+        /// the same drift history through two independent replicas (as
+        /// every PDES partition does) and the switch logs and final tier
+        /// assignments agree exactly.
+        #[test]
+        fn replicated_ledgers_stay_in_lockstep(
+            promote in 0.0f64..2.0,
+            demote in 0.0f64..2.0,
+            patience in 1u32..4,
+            cap in 0usize..6,
+            start_flow in any::<bool>(),
+            raw in proptest::collection::vec(-1.0f64..4.0, CLUSTERS * EPOCHS),
+        ) {
+            let bgt = budget(promote, demote, patience, cap, start_flow);
+            let managed: Vec<u32> = (1..CLUSTERS as u32).collect();
+            let mut a = BudgetLedger::new(bgt.clone(), CLUSTERS as u32, &managed);
+            let mut b = BudgetLedger::new(bgt, CLUSTERS as u32, &managed);
+            for (epoch, d) in drift_history(&raw).iter().enumerate() {
+                let sa = a.on_epoch(epoch as u64, d);
+                let sb = b.on_epoch(epoch as u64, d);
+                prop_assert_eq!(sa, sb, "epoch {} diverged", epoch);
+            }
+            for c in 0..CLUSTERS as u32 {
+                prop_assert_eq!(a.tier(c), b.tier(c));
+            }
+        }
+
+        /// Snapshotting a ledger mid-history and replaying the rest on the
+        /// restored copy matches the uninterrupted ledger — the property
+        /// that makes checkpoint cuts at epoch barriers safe.
+        #[test]
+        fn ledger_restore_resumes_the_same_schedule(
+            promote in 0.0f64..2.0,
+            demote in 0.0f64..2.0,
+            patience in 1u32..4,
+            cap in 0usize..6,
+            start_flow in any::<bool>(),
+            raw in proptest::collection::vec(-1.0f64..4.0, CLUSTERS * EPOCHS),
+            cut in 0usize..12,
+        ) {
+            let bgt = budget(promote, demote, patience, cap, start_flow);
+            let managed: Vec<u32> = (1..CLUSTERS as u32).collect();
+            let mut live = BudgetLedger::new(bgt.clone(), CLUSTERS as u32, &managed);
+            let mut restored = None;
+            for (epoch, d) in drift_history(&raw).iter().enumerate() {
+                if epoch == cut {
+                    let mut w = dcn_sim::snapshot::SnapWriter::new();
+                    live.save_state(&mut w);
+                    let bytes = w.into_bytes();
+                    let mut copy = BudgetLedger::new(bgt.clone(), CLUSTERS as u32, &managed);
+                    let mut r = dcn_sim::snapshot::SnapReader::new(&bytes);
+                    copy.load_state(&mut r).expect("valid ledger snapshot");
+                    restored = Some(copy);
+                }
+                let s_live = live.on_epoch(epoch as u64, d);
+                if let Some(copy) = restored.as_mut() {
+                    let s_copy = copy.on_epoch(epoch as u64, d);
+                    prop_assert_eq!(s_live, s_copy, "epoch {} diverged after restore", epoch);
+                }
+            }
+            if let Some(copy) = restored {
+                for c in 0..CLUSTERS as u32 {
+                    prop_assert_eq!(live.tier(c), copy.tier(c));
+                }
+            }
+        }
+    }
+}
+
