@@ -129,6 +129,35 @@ struct ObsNumbers {
     disabled_overhead_bound_frac: f64,
     /// `on/off - 1` (informational — recording is cheap, not free).
     enabled_overhead_frac: f64,
+    /// The same composed run through the one-LP PDES driver with no
+    /// diagnostics: the reference for the digest/flight overhead gate.
+    /// Serde default keeps baselines recorded before the diagnostics
+    /// existed readable; a zeroed value disables the gate.
+    #[serde(default)]
+    pdes_off_s: f64,
+    /// PDES driver run carrying the diverge-debugging diagnostics: a
+    /// flight ring plus state digests at the amortized stride below
+    /// (which light-enables obs counters, but not per-event wall
+    /// timing — that is the separately-measured `enabled_overhead_frac`).
+    #[serde(default)]
+    pdes_diag_s: f64,
+    /// `pdes_diag/pdes_off - 1`: what the flight recorder + amortized
+    /// digests cost on the real driver path; the CI gate requires < 2%.
+    /// The disabled-path cost is covered by the A/A bound above — with
+    /// diagnostics off the driver sees one `Option` check per window.
+    #[serde(default)]
+    diag_overhead_frac: f64,
+    /// Digest stride used by the diag run. Each digest costs
+    /// `digest_ns`, so overhead scales inversely with the stride; this
+    /// value amortizes digests to a handful per run, mirroring
+    /// checkpoint-cadence production use (`dcn diverge` replays refine
+    /// to stride 1 only between two checkpoints).
+    #[serde(default)]
+    diag_digest_stride: u64,
+    /// One full `window_digest` (queue + links + hosts) on the composed
+    /// engine at mid-run state, nanoseconds (min-of-N microbench).
+    #[serde(default)]
+    digest_ns: f64,
     repeats: usize,
 }
 
@@ -668,12 +697,81 @@ fn bench_obs(repeats: usize) -> ObsNumbers {
         on = on.min(run_once(true));
     }
 
+    // Flight-recorder + digest cost on the real driver path: the same
+    // composed workload through the one-LP PDES loop, bare vs. carrying
+    // the diverge diagnostics (flight ring + digests at an amortized
+    // stride; digests light-enable obs counters without per-event wall
+    // timing). Interleaved min-of-N like the series above.
+    use dcn_sim::pdes::{FlightPlan, PdesRunOpts};
+    use mimicnet::compose::run_composed_partitioned_opts;
+    let run_pdes = |opts: &PdesRunOpts| -> f64 {
+        let t0 = Instant::now();
+        let m = run_composed_partitioned_opts(
+            base,
+            CLUSTERS,
+            Protocol::NewReno,
+            &bundle,
+            1,
+            false,
+            opts,
+        )
+        .expect("valid composition");
+        let s = t0.elapsed().as_secs_f64();
+        std::hint::black_box(m.events_processed);
+        s
+    };
+    // The composed window is the mimic latency floor (tens of µs), so
+    // this 2-simulated-second run crosses ~1e5 barriers; stride 16384
+    // lands a handful of digests, the cadence `dcn diverge` needs from a
+    // production run (its replay refines to stride 1 from a checkpoint).
+    const DIAG_STRIDE: u64 = 16_384;
+    let bare = PdesRunOpts::default();
+    let diag = PdesRunOpts {
+        digest_stride: Some(DIAG_STRIDE),
+        flight: Some(FlightPlan {
+            capacity: 4096,
+            ..FlightPlan::default()
+        }),
+        ..PdesRunOpts::default()
+    };
+    run_pdes(&bare); // warm
+    let (mut pdes_off, mut pdes_diag) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..repeats.max(5) {
+        pdes_off = pdes_off.min(run_pdes(&bare));
+        pdes_diag = pdes_diag.min(run_pdes(&diag));
+    }
+
+    // Absolute cost of one state digest at mid-run state (informational:
+    // overhead at any stride is `digest_ns / stride` per window).
+    let digest_ns = {
+        use dcn_sim::SimTime;
+        let mut sim = compose_batched(base, CLUSTERS, Protocol::NewReno, &bundle);
+        sim.enable_digests();
+        let _ = sim.run_window(SimTime::from_secs_f64(base.duration_s / 2.0));
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats.max(5) {
+            let t0 = Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..32 {
+                acc = acc.wrapping_add(sim.window_digest());
+            }
+            std::hint::black_box(acc);
+            best = best.min(t0.elapsed().as_secs_f64() / 32.0);
+        }
+        best * 1e9
+    };
+
     ObsNumbers {
         off_s: off_a,
         off_repeat_s: off_b,
         on_s: on,
         disabled_overhead_bound_frac: (off_a - off_b).abs() / off_a.min(off_b).max(1e-9),
         enabled_overhead_frac: on / off_a.max(1e-9) - 1.0,
+        pdes_off_s: pdes_off,
+        pdes_diag_s: pdes_diag,
+        diag_overhead_frac: pdes_diag / pdes_off.max(1e-9) - 1.0,
+        diag_digest_stride: DIAG_STRIDE,
+        digest_ns,
         repeats,
     }
 }
@@ -1076,7 +1174,48 @@ fn check_baseline(report: &BenchReport) -> Result<(), String> {
             report.obs.enabled_overhead_frac * 100.0
         );
     }
+    // Diagnostics gate: the flight ring + amortized-stride digests on
+    // the PDES driver must stay under 2% over the bare driver (skipped
+    // when the series was not measured).
+    if report.obs.pdes_off_s > 0.0 {
+        let frac = report.obs.diag_overhead_frac;
+        if frac >= 0.02 {
+            return Err(format!(
+                "digest+flight overhead {:.2}% exceeds the 2% budget \
+                 (bare driver {:.4}s vs diagnostics {:.4}s, digest stride {})",
+                frac * 100.0,
+                report.obs.pdes_off_s,
+                report.obs.pdes_diag_s,
+                report.obs.diag_digest_stride
+            ));
+        }
+        println!(
+            "digest+flight overhead: {:+.2}% (< 2%) — OK (driver {:.4}s vs {:.4}s, \
+             one digest {:.1}µs)",
+            frac * 100.0,
+            report.obs.pdes_off_s,
+            report.obs.pdes_diag_s,
+            report.obs.digest_ns / 1e3
+        );
+    }
+    // A baseline recorded with suppressed gates is weaker than it looks;
+    // restate its skips so the comparison's meaning is visible in the log.
+    for skip in &base.gate_skips {
+        println!("baseline {path} was recorded with a skipped gate: {skip}");
+        ci_warning(&format!("baseline recorded with a skipped gate: {skip}"));
+    }
     Ok(())
+}
+
+/// Emit a GitHub Actions warning annotation when running under CI, so a
+/// green run with suppressed gates is flagged on the workflow summary
+/// instead of buried in the log.
+fn ci_warning(msg: &str) {
+    if std::env::var_os("GITHUB_ACTIONS").is_some() {
+        // Annotation lines must be single-line; the format is
+        // `::warning title=<t>::<message>`.
+        println!("::warning title=perf_hotpaths::{}", msg.replace('\n', " "));
+    }
 }
 
 /// Speedup gates that cannot bind on this runner, with the reason. The
@@ -1122,6 +1261,7 @@ fn check_speedup_gates(report: &BenchReport) -> Result<(), String> {
     if !report.gate_skips.is_empty() {
         for skip in &report.gate_skips {
             println!("gate skip: {skip}");
+            ci_warning(&format!("gate skip: {skip}"));
         }
         return Ok(());
     }
@@ -1187,12 +1327,17 @@ fn main() {
         Scale::Full => 20,
     });
     println!(
-        "obs off:         {:>8.4} s (A/A repeat {:.4} s, bound {:.3}%)\nobs on:          {:>8.4} s ({:+.1}%)",
+        "obs off:         {:>8.4} s (A/A repeat {:.4} s, bound {:.3}%)\nobs on:          {:>8.4} s ({:+.1}%)\npdes bare:       {:>8.4} s\npdes diagnosed:  {:>8.4} s ({:+.2}% — flight ring + digests @ stride {})\none digest:      {:>8.1} µs",
         obs.off_s,
         obs.off_repeat_s,
         obs.disabled_overhead_bound_frac * 100.0,
         obs.on_s,
-        obs.enabled_overhead_frac * 100.0
+        obs.enabled_overhead_frac * 100.0,
+        obs.pdes_off_s,
+        obs.pdes_diag_s,
+        obs.diag_overhead_frac * 100.0,
+        obs.diag_digest_stride,
+        obs.digest_ns / 1e3
     );
 
     println!("\n-- training ({samples} samples x {epochs} epochs, batch 64, window 8) --");

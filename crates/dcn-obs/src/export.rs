@@ -6,7 +6,7 @@
 //! are microseconds (float) since the process obs epoch; partition tracks
 //! map to `tid` so PDES partitions render as parallel lanes.
 
-use crate::{Hist, ObsReport, SpanEvent};
+use crate::{FlightEvent, Hist, ObsReport, SpanEvent};
 use serde_json::Value;
 
 impl ObsReport {
@@ -42,11 +42,27 @@ impl ObsReport {
                 .collect(),
         );
         let spans = Value::Array(self.spans.iter().map(span_json).collect());
+        // Digests are emitted as exact u64s: the diverge tooling compares
+        // these values bit-for-bit, so they must not round-trip through f64.
+        let digests = Value::Object(
+            self.digests
+                .iter()
+                .map(|(k, d)| {
+                    (
+                        k.to_string(),
+                        Value::Array(d.iter().map(|&v| Value::U64(v)).collect()),
+                    )
+                })
+                .collect(),
+        );
+        let flight = Value::Array(self.flight.iter().map(flight_json).collect());
         Value::Object(vec![
             ("counters".to_string(), counters),
             ("gauges".to_string(), gauges),
             ("hists".to_string(), hists),
             ("series".to_string(), series),
+            ("digests".to_string(), digests),
+            ("flight".to_string(), flight),
             ("spans".to_string(), spans),
             (
                 "span_coverage".to_string(),
@@ -160,8 +176,162 @@ impl ObsReport {
                 }
             }
         }
+        if !self.digests.is_empty() {
+            let _ = writeln!(out, "state digests (windows / first / last):");
+            for (k, d) in &self.digests {
+                match (d.first(), d.last()) {
+                    (Some(a), Some(b)) => {
+                        let _ = writeln!(
+                            out,
+                            "  {:<32} n={} {:016x} .. {:016x}",
+                            k,
+                            d.len(),
+                            a,
+                            b
+                        );
+                    }
+                    _ => {
+                        let _ = writeln!(out, "  {:<32} n=0", k);
+                    }
+                }
+            }
+        }
+        if !self.flight.is_empty() {
+            let _ = writeln!(out, "flight recorder: {} retained events", self.flight.len());
+            let lps: std::collections::BTreeSet<u32> =
+                self.flight.iter().map(|e| e.lp).collect();
+            for lp in lps {
+                let evs: Vec<&FlightEvent> =
+                    self.flight.iter().filter(|e| e.lp == lp).collect();
+                let last = evs.last().unwrap();
+                let _ = writeln!(
+                    out,
+                    "  lp {:<3} {:>7} events, last: {} @ {} ns (pkt {}, depth {})",
+                    lp,
+                    evs.len(),
+                    last.kind_name,
+                    last.sim_ns,
+                    if last.packet_id == u64::MAX {
+                        "-".to_string()
+                    } else {
+                        last.packet_id.to_string()
+                    },
+                    last.queue_depth
+                );
+            }
+        }
+        self.render_tier_telemetry(&mut out);
         out
     }
+
+    /// Adaptive-tier telemetry: the tier-switch timeline plus a
+    /// per-cluster time-in-tier summary, rendered from the
+    /// `tier.switch.*` series folded in by the engine (empty unless the
+    /// run used the adaptive fleet and recorded at least one epoch).
+    fn render_tier_telemetry(&self, out: &mut String) {
+        use std::fmt::Write;
+        let (Some(epochs), Some(clusters), Some(froms), Some(tos)) = (
+            self.series.get("tier.switch.epoch"),
+            self.series.get("tier.switch.cluster"),
+            self.series.get("tier.switch.from"),
+            self.series.get("tier.switch.to"),
+        ) else {
+            return;
+        };
+        let n = epochs.len().min(clusters.len()).min(froms.len()).min(tos.len());
+        let total_epochs = self.gauges.get("tier.epochs_total").copied().unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "adaptive tiers: {} switches over {} epochs",
+            n, total_epochs as u64
+        );
+        // Timeline, ordered by (epoch, cluster).
+        let mut switches: Vec<(u64, u32, u8, u8)> = (0..n)
+            .map(|i| {
+                (
+                    epochs[i] as u64,
+                    clusters[i] as u32,
+                    froms[i] as u8,
+                    tos[i] as u8,
+                )
+            })
+            .collect();
+        switches.sort_unstable();
+        for &(epoch, cluster, from, to) in &switches {
+            let _ = writeln!(
+                out,
+                "  epoch {:>5}  cluster {:<3} {} -> {}",
+                epoch,
+                cluster,
+                tier_name(from),
+                tier_name(to)
+            );
+        }
+        // Per-cluster time-in-tier, in epochs: walk each cluster's
+        // switches; before its first switch the cluster sat in that
+        // switch's `from` tier (clusters that never switch spent every
+        // epoch in the fleet's starting tier, which the engine records as
+        // the `tier.initial` gauge — mimic if absent).
+        let total = total_epochs as u64;
+        if total == 0 {
+            return;
+        }
+        let initial = self.gauges.get("tier.initial").copied().unwrap_or(1.0) as u8;
+        let all_clusters: std::collections::BTreeSet<u32> = (0..self
+            .gauges
+            .get("tier.clusters")
+            .copied()
+            .unwrap_or(0.0) as u32)
+            .chain(switches.iter().map(|s| s.1))
+            .collect();
+        let _ = writeln!(out, "time-in-tier (epochs per cluster):");
+        for c in all_clusters {
+            let mut per_tier = [0u64; 3];
+            let mut epoch = 0u64;
+            let mut tier = initial;
+            for &(e, cl, from, to) in &switches {
+                if cl != c {
+                    continue;
+                }
+                if epoch == 0 {
+                    tier = from;
+                }
+                let e = e.min(total);
+                per_tier[(tier as usize).min(2)] += e.saturating_sub(epoch);
+                epoch = e;
+                tier = to;
+            }
+            per_tier[(tier as usize).min(2)] += total.saturating_sub(epoch);
+            let _ = writeln!(
+                out,
+                "  cluster {:<3} packet={:<6} mimic={:<6} flow={:<6}",
+                c, per_tier[0], per_tier[1], per_tier[2]
+            );
+        }
+    }
+}
+
+fn tier_name(idx: u8) -> &'static str {
+    match idx {
+        0 => "packet",
+        1 => "mimic",
+        2 => "flow",
+        _ => "?",
+    }
+}
+
+fn flight_json(e: &FlightEvent) -> Value {
+    Value::Object(vec![
+        ("lp".to_string(), Value::U64(e.lp as u64)),
+        ("sim_ns".to_string(), Value::U64(e.sim_ns)),
+        ("kind".to_string(), Value::U64(e.kind as u64)),
+        (
+            "kind_name".to_string(),
+            Value::Str(e.kind_name.to_string()),
+        ),
+        ("packet_id".to_string(), Value::U64(e.packet_id)),
+        ("queue_depth".to_string(), Value::U64(e.queue_depth as u64)),
+    ])
 }
 
 fn hist_json(h: &Hist) -> Value {

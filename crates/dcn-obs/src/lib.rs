@@ -22,9 +22,12 @@
 //! so the allocation cost is irrelevant. Span names stay `&'static str` —
 //! spans are the only record produced inside the event loop.
 
+pub mod digest;
 mod export;
+mod flight;
 
 pub use export::span_coverage;
+pub use flight::{FlightEvent, FlightRecorder};
 
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
@@ -129,6 +132,17 @@ pub struct ObsReport {
     /// Ordered samples (e.g. per-epoch training losses); concatenated on
     /// merge.
     pub series: BTreeMap<String, Vec<f64>>,
+    /// Per-window state-digest timelines (DESIGN.md §14). Unlike `series`
+    /// these keep full `u64` precision, and merge *element-wise with
+    /// `wrapping_add`*: each LP contributes the multiset digest of the
+    /// state it owns at window `i`, so the merged entry `i` is the
+    /// partition-count-invariant digest of the whole simulation at that
+    /// window.
+    pub digests: BTreeMap<String, Vec<u64>>,
+    /// Flight-recorder drain: the last events each LP processed before
+    /// the report was taken (empty unless the recorder was enabled).
+    /// Concatenated on merge.
+    pub flight: Vec<FlightEvent>,
 }
 
 impl ObsReport {
@@ -149,6 +163,16 @@ impl ObsReport {
         for (k, v) in other.series {
             self.series.entry(k).or_default().extend(v);
         }
+        for (k, v) in other.digests {
+            let mine = self.digests.entry(k).or_default();
+            if mine.len() < v.len() {
+                mine.resize(v.len(), 0);
+            }
+            for (a, b) in mine.iter_mut().zip(v) {
+                *a = a.wrapping_add(b);
+            }
+        }
+        self.flight.extend(other.flight);
     }
 
     pub fn counter(&self, name: &str) -> u64 {
@@ -281,6 +305,21 @@ impl Obs {
     pub fn series_push(&mut self, name: impl Into<String>, v: f64) {
         if let Some(inner) = &mut self.0 {
             inner.report.series.entry(name.into()).or_default().push(v);
+        }
+    }
+
+    /// Append one window digest to the named digest timeline (full `u64`
+    /// precision; see [`ObsReport::digests`]).
+    pub fn digest_push(&mut self, name: impl Into<String>, v: u64) {
+        if let Some(inner) = &mut self.0 {
+            inner.report.digests.entry(name.into()).or_default().push(v);
+        }
+    }
+
+    /// Hand a flight-recorder drain over to the report.
+    pub fn flight_extend(&mut self, events: Vec<FlightEvent>) {
+        if let Some(inner) = &mut self.0 {
+            inner.report.flight.extend(events);
         }
     }
 

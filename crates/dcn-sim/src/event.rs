@@ -636,7 +636,39 @@ impl PooledEventQueue {
     }
 }
 
+impl EventKind {
+    /// Write the event payload through the snapshot codec. The window
+    /// digest uses this so per-event digests cover exactly the bytes a
+    /// checkpoint would persist for the event.
+    pub fn encode_for_digest(&self, w: &mut SnapWriter) {
+        self.save(w);
+    }
+}
+
 impl EventQueue {
+    /// Visit every live (not yet popped) event, in arbitrary order.
+    ///
+    /// This is the window-digest iteration hook: callers combine per-event
+    /// digests commutatively, so visit order is irrelevant, and the `seq`
+    /// insertion tiebreak is deliberately not exposed — it depends on
+    /// scheduling history and differs across partition counts, while the
+    /// `(time, payload)` pair visible here does not.
+    pub fn for_each_live(&self, mut f: impl FnMut(SimTime, &EventKind)) {
+        match self {
+            EventQueue::Pooled(q) => {
+                for &i in &q.heap {
+                    let n = &q.nodes[i as usize];
+                    f(n.time, &n.kind);
+                }
+            }
+            EventQueue::Heap(q) => {
+                for e in q.heap.iter() {
+                    f(e.time, &e.kind);
+                }
+            }
+        }
+    }
+
     /// Serialize the full future event list plus scheduling counters. Both
     /// backing implementations write the same bytes for the same logical
     /// queue contents, so snapshots are portable across them.

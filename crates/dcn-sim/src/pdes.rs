@@ -92,6 +92,10 @@ pub struct CheckpointPlan {
     /// Simulated-time interval between checkpoints. Cuts land on the first
     /// window barrier at or after each due time.
     pub every: SimDuration,
+    /// How many generations to retain (values below 1 behave as 1). The
+    /// manifest always points at the newest; keeping more gives
+    /// `dcn diverge` a ladder of restore points near a divergence.
+    pub keep: usize,
 }
 
 /// Cadence of adaptive fidelity-tier epochs in a partitioned run.
@@ -114,21 +118,135 @@ pub struct TierPlan {
     pub every_windows: u64,
 }
 
+/// Flight-recorder plan for a partitioned run (DESIGN.md §14): how much
+/// history each LP keeps, where post-mortems land, and the SLOs whose
+/// breach triggers an automatic dump.
+#[derive(Clone, Debug, Default)]
+pub struct FlightPlan {
+    /// Ring capacity per LP, in events (clamped to at least 1).
+    pub capacity: usize,
+    /// Directory for automatic post-mortem dumps (panic, SLO breach).
+    /// `None` disables file dumps; the ring still folds into the obs
+    /// report at the end of a successful run.
+    pub dump_dir: Option<PathBuf>,
+    /// Wall-clock throughput floor in simulator events per second,
+    /// checked at window barriers over ≥250 ms samples. The first breach
+    /// dumps the ring; the run continues.
+    pub min_events_per_sec: Option<f64>,
+    /// Per-cluster drift ceiling, checked at tier epochs (requires a
+    /// [`TierPlan`]). The first breach dumps the ring; the run continues.
+    pub max_drift: Option<f64>,
+}
+
+/// Everything optional about a partitioned run, in one place.
+/// [`run_partitioned_resumable`] is the positional-argument subset kept
+/// for existing callers; new knobs only land here.
+#[derive(Clone, Debug, Default)]
+pub struct PdesRunOpts {
+    /// Enable the engine observability layer on every LP (window spans,
+    /// event counters, queue stats, tier telemetry). Also implied by
+    /// `digest_stride`.
+    pub obs: bool,
+    /// Write checkpoints per this plan.
+    pub checkpoint: Option<CheckpointPlan>,
+    /// Resume from the manifest in this checkpoint directory.
+    pub resume_from: Option<PathBuf>,
+    /// Resume from this specific generation sub-directory instead of the
+    /// manifest's current one (the name encodes the cut time). Ignored
+    /// without `resume_from`. This is how `dcn diverge` replays from the
+    /// last checkpoint *before* a divergence.
+    pub resume_generation: Option<String>,
+    /// Adaptive fidelity-tier epochs.
+    pub tiers: Option<TierPlan>,
+    /// Stop at this simulated time instead of the configured duration
+    /// (clamped to it). Replays use a barrier-aligned stop just past the
+    /// window under investigation.
+    pub stop_at: Option<SimTime>,
+    /// Record a state digest every N true window barriers (absolute
+    /// window indices that are multiples of N). `None` disables digests;
+    /// enabling them forces obs on so the `digest.*` gauges that align
+    /// two timelines are always exported.
+    pub digest_stride: Option<u64>,
+    /// Flight recorder + SLO dumps.
+    pub flight: Option<FlightPlan>,
+    /// Post-mortem drill: partition 0 panics while processing the window
+    /// whose barrier index equals this value, exercising the same dump
+    /// path a real fault would. Never set outside tests/drills.
+    pub crash_at_window: Option<u64>,
+}
+
 fn generation_name(t: SimTime) -> String {
     format!("gen-{:020}", t.as_nanos())
 }
 
-/// Remove retired generations, keeping `keep`. Best-effort: a failure to
-/// delete old data never fails the run.
-fn prune_generations(dir: &Path, keep: &str) {
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Write one LP's post-mortem (reason, flight ring, digest timeline) as
+/// JSON through the snapshot crate's atomic temp+rename, so a dump
+/// interrupted by the very crash it is reporting can never leave a
+/// half-written file shadowing a good one.
+fn post_mortem_dump(sim: &Simulation, dir: &Path, part: usize, reason: &str, t: SimTime) {
+    use serde_json::Value;
+    let _ = fs::create_dir_all(dir);
+    let flight: Vec<Value> = sim
+        .flight_snapshot()
+        .iter()
+        .map(|e| {
+            Value::Object(vec![
+                ("lp".to_string(), Value::U64(e.lp as u64)),
+                ("sim_ns".to_string(), Value::U64(e.sim_ns)),
+                ("kind".to_string(), Value::U64(e.kind as u64)),
+                ("kind_name".to_string(), Value::Str(e.kind_name.to_string())),
+                ("packet_id".to_string(), Value::U64(e.packet_id)),
+                ("queue_depth".to_string(), Value::U64(e.queue_depth as u64)),
+            ])
+        })
+        .collect();
+    let (first, digests) = match sim.digest_timeline() {
+        Some((f, d)) => (Value::U64(f), d.iter().map(|&x| Value::U64(x)).collect()),
+        None => (Value::Null, Vec::new()),
+    };
+    let doc = Value::Object(vec![
+        ("reason".to_string(), Value::Str(reason.to_string())),
+        ("partition".to_string(), Value::U64(part as u64)),
+        ("sim_time_ns".to_string(), Value::U64(t.as_nanos())),
+        ("flight".to_string(), Value::Array(flight)),
+        ("digest_first_window".to_string(), first),
+        ("digests".to_string(), Value::Array(digests)),
+    ]);
+    if let Ok(text) = serde_json::to_string_pretty(&doc) {
+        let _ = atomic_write(&dir.join(format!("postmortem-part-{part}.json")), text.as_bytes());
+    }
+}
+
+/// Remove retired generations, keeping the newest `keep` (and always the
+/// just-committed `current`). Generation names embed zero-padded
+/// nanoseconds, so the lexicographic order is the chronological one.
+/// Best-effort: a failure to delete old data never fails the run.
+fn prune_generations(dir: &Path, current: &str, keep: usize) {
+    let keep = keep.max(1);
     let Ok(entries) = fs::read_dir(dir) else {
         return;
     };
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if name.starts_with("gen-") && name != keep {
-            let _ = fs::remove_dir_all(entry.path());
+    let mut gens: Vec<(String, PathBuf)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().to_str()?.to_string();
+            name.starts_with("gen-").then(|| (name, e.path()))
+        })
+        .collect();
+    gens.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    for (name, path) in gens.into_iter().skip(keep) {
+        if name != current {
+            let _ = fs::remove_dir_all(path);
         }
     }
 }
@@ -205,9 +323,38 @@ pub fn run_partitioned_resumable(
     resume_from: Option<&Path>,
     tiers: Option<&TierPlan>,
 ) -> Result<Metrics, SnapshotError> {
+    let opts = PdesRunOpts {
+        checkpoint: checkpoint.cloned(),
+        resume_from: resume_from.map(Path::to_path_buf),
+        tiers: tiers.copied(),
+        ..PdesRunOpts::default()
+    };
+    run_partitioned_opts(cfg, partitions, window, make_factory, setup, &opts)
+}
+
+/// [`run_partitioned_resumable`] driven by a [`PdesRunOpts`]: adds state
+/// digests, the flight recorder with SLO-triggered post-mortems, early
+/// stop, generation-pinned resume, and the crash drill. The extra
+/// machinery costs nothing when the corresponding option is `None` — the
+/// hot loop sees one `Option` check per window per feature.
+pub fn run_partitioned_opts(
+    cfg: SimConfig,
+    partitions: usize,
+    window: SimDuration,
+    make_factory: &(dyn Fn() -> Box<dyn TransportFactory> + Sync),
+    setup: &(dyn Fn(&mut Simulation) + Sync),
+    opts: &PdesRunOpts,
+) -> Result<Metrics, SnapshotError> {
     assert!(partitions >= 1);
     let topo = FatTree::new(cfg.topo);
     let owner = Arc::new(partition_by_cluster(&topo, partitions));
+    let checkpoint = opts.checkpoint.as_ref();
+    let tiers = opts.tiers.as_ref();
+    let digest_stride = opts.digest_stride.map(|s| s.max(1));
+    let flight_plan = opts.flight.as_ref();
+    let dump_dir = flight_plan.and_then(|f| f.dump_dir.as_deref());
+    let slo_floor = flight_plan.and_then(|f| f.min_events_per_sec);
+    let drift_ceiling = flight_plan.and_then(|f| f.max_drift);
     if let Some(plan) = tiers {
         assert!(plan.every_windows >= 1, "zero-window tier epochs");
     }
@@ -223,7 +370,10 @@ pub fn run_partitioned_resumable(
     let drift_slots = &drift_slots;
 
     assert!(window > SimDuration::ZERO, "zero lookahead breaks conservative PDES");
-    let end = SimTime::from_secs_f64(cfg.duration_s) + SimDuration::from_nanos(1);
+    let mut end = SimTime::from_secs_f64(cfg.duration_s) + SimDuration::from_nanos(1);
+    if let Some(stop) = opts.stop_at {
+        end = end.min(stop);
+    }
 
     if let Some(plan) = checkpoint {
         assert!(plan.every > SimDuration::ZERO, "zero checkpoint interval");
@@ -233,7 +383,7 @@ pub fn run_partitioned_resumable(
     // Validate the resume target up front, in one place: manifest shape,
     // partition count, and configuration must all match before any LP
     // thread is spawned.
-    let resume: Option<(SimTime, PathBuf)> = match resume_from {
+    let resume: Option<(SimTime, PathBuf)> = match opts.resume_from.as_deref() {
         None => None,
         Some(dir) => {
             let manifest = read_manifest(dir)?;
@@ -250,7 +400,30 @@ pub fn run_partitioned_resumable(
                     "checkpoint belongs to a different simulation configuration".into(),
                 ));
             }
-            Some((SimTime(manifest.time_ns), dir.join(&manifest.generation)))
+            // A pinned generation overrides the manifest's current one; its
+            // cut time is encoded in the directory name.
+            let (t_ns, gen) = match &opts.resume_generation {
+                None => (manifest.time_ns, manifest.generation.clone()),
+                Some(g) => {
+                    let nanos = g
+                        .strip_prefix("gen-")
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or_else(|| {
+                            SnapshotError::Corrupt(format!(
+                                "generation name `{g}` does not encode a cut time"
+                            ))
+                        })?;
+                    (nanos, g.clone())
+                }
+            };
+            let gen_dir = dir.join(&gen);
+            if !gen_dir.is_dir() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "checkpoint generation `{gen}` is not present in {}",
+                    dir.display()
+                )));
+            }
+            Some((SimTime(t_ns), gen_dir))
         }
     };
     let resume = &resume;
@@ -273,6 +446,9 @@ pub fn run_partitioned_resumable(
         slot.get_or_insert(e);
         abort.store(true, Ordering::SeqCst);
     };
+    let crash_at = opts.crash_at_window;
+    let obs_flag = opts.obs;
+    let window_ns = window.as_nanos();
 
     let merged = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(partitions);
@@ -287,6 +463,33 @@ pub fn run_partitioned_resumable(
                 let mut sim = Simulation::with_transport(cfg, make_factory());
                 setup(&mut sim);
                 sim.set_partition(owner.clone(), part as u8);
+                if obs_flag && !sim.obs_enabled() {
+                    sim.enable_obs();
+                }
+                if let Some(stride) = digest_stride {
+                    // Digests imply obs: the `digest.*` gauges are how two
+                    // timelines get aligned, so they must always export.
+                    // Light mode unless full obs was requested — per-event
+                    // wall timing costs tens of percent on short-event
+                    // workloads, which would sink the <2% diagnostics
+                    // budget (BENCH obs section).
+                    if !sim.obs_enabled() {
+                        sim.enable_obs_light();
+                    }
+                    sim.enable_digests();
+                    sim.obs_gauge_set("digest.window_ns", window_ns as f64);
+                    sim.obs_gauge_set("digest.stride", stride as f64);
+                }
+                if let Some(fp) = flight_plan {
+                    sim.enable_flight_recorder(fp.capacity);
+                }
+                if let (Some(plan), true) = (tiers, sim.obs_enabled()) {
+                    sim.obs_gauge_set(
+                        "tier.epochs_total",
+                        tier_epoch_count(cfg.duration_s, window, plan) as f64,
+                    );
+                    sim.obs_gauge_set("tier.clusters", cfg.topo.clusters as f64);
+                }
                 let mut t = SimTime::ZERO;
                 if let Some((resume_t, gen_dir)) = resume {
                     let restored = read_snapshot_file(&gen_dir.join(format!("part-{part}.snap")))
@@ -306,12 +509,57 @@ pub fn run_partitioned_resumable(
                 // cross-partition message counts, folded into the engine's
                 // report so they merge with everything else at the join.
                 let obs_on = sim.obs_enabled();
+                // Per-window clock reads (barrier stall timing) only under
+                // full/timed obs; light mode keeps the loop clock-free.
+                let obs_timed = sim.obs_timing_enabled();
                 sim.obs_span_begin("pdes.lp", "pdes");
                 let mut barrier_wait_ns = 0u64;
                 let (mut exported, mut imported) = (0u64, 0u64);
+                // Throughput SLO state: (wall clock of last sample, events
+                // processed at that instant, already dumped?).
+                let mut slo = slo_floor
+                    .map(|_| (std::time::Instant::now(), sim.metrics().events_processed, false));
+                let mut drift_dumped = false;
+                // Digest alignment trackers (divisions only here, once):
+                // `t` is window-aligned at start and resume, so the first
+                // digest-eligible barrier is the next multiple of `stride`
+                // strictly after the current window index.
+                let mut widx = t.as_nanos() / window_ns;
+                let mut next_aligned_ns = t.as_nanos() + window_ns;
+                let mut next_digest_widx = digest_stride.map_or(0, |s| (widx / s + 1) * s);
                 while t < end {
                     let t_next = (t + window).min(end);
-                    let outbox = sim.run_window(t_next);
+                    // The window body runs under `catch_unwind` so a panic
+                    // (a real engine fault or the crash drill) dumps the
+                    // flight ring, records a typed error, and keeps this
+                    // LP's barrier count matched with its siblings instead
+                    // of deadlocking them.
+                    let drill = matches!(crash_at, Some(cw)
+                        if part == 0 && t.as_nanos() / window_ns + 1 == cw);
+                    let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if drill {
+                            panic!("crash drill: window {}", t.as_nanos() / window_ns + 1);
+                        }
+                        sim.run_window(t_next)
+                    }));
+                    let outbox = match ran {
+                        Ok(out) => out,
+                        Err(payload) => {
+                            let msg = panic_message(payload.as_ref());
+                            if let Some(dir) = dump_dir {
+                                post_mortem_dump(&sim, dir, part, &format!("panic: {msg}"), t);
+                            }
+                            record_err(SnapshotError::Corrupt(format!(
+                                "LP {part} panicked in window ending at {} ns: {msg}",
+                                t_next.as_nanos()
+                            )));
+                            // Match the sibling LPs' two window barriers,
+                            // then every LP returns at the abort check.
+                            barrier.wait();
+                            barrier.wait();
+                            return None;
+                        }
+                    };
                     if obs_on {
                         exported += outbox.len() as u64;
                     }
@@ -319,7 +567,7 @@ pub fn run_partitioned_resumable(
                         let dest = owner[node.0 as usize] as usize;
                         senders[dest].send((time, node, pkt)).expect("LP alive");
                     }
-                    if obs_on {
+                    if obs_timed {
                         let t0 = std::time::Instant::now();
                         barrier.wait();
                         barrier_wait_ns += t0.elapsed().as_nanos() as u64;
@@ -332,14 +580,66 @@ pub fn run_partitioned_resumable(
                         }
                         sim.inject_arrival(time, node, pkt);
                     }
-                    if obs_on {
+                    if obs_timed {
                         let t0 = std::time::Instant::now();
                         barrier.wait();
                         barrier_wait_ns += t0.elapsed().as_nanos() as u64;
                     } else {
                         barrier.wait();
                     }
+                    // A panic in any sibling this window set `abort` before
+                    // the first barrier; every LP sees it here, after the
+                    // second, and returns at the same loop position.
+                    if abort.load(Ordering::SeqCst) {
+                        return None;
+                    }
                     t = t_next;
+                    // State digest at true window barriers (DESIGN.md §14):
+                    // every remote arrival for past windows is imported, so
+                    // the per-LP digests sum to a partition-count-invariant
+                    // global digest. Indices are absolute, so resumed and
+                    // uninterrupted timelines align. Alignment and stride
+                    // are tracked by increment-and-compare: two u64
+                    // divisions here once cost ~4% of a window-dominated
+                    // run (windows can outnumber events).
+                    if let Some(stride) = digest_stride {
+                        let nanos = t.as_nanos();
+                        if nanos == next_aligned_ns {
+                            widx += 1;
+                            next_aligned_ns += window_ns;
+                            if widx == next_digest_widx {
+                                next_digest_widx += stride;
+                                sim.record_window_digest(widx);
+                            }
+                        }
+                    }
+                    // Throughput SLO: sample events/s over ≥250 ms of wall
+                    // clock; the first breach dumps the flight ring.
+                    if let Some((last_at, last_events, dumped)) = slo.as_mut() {
+                        let dt = last_at.elapsed().as_secs_f64();
+                        if dt >= 0.25 {
+                            let now_events = sim.metrics().events_processed;
+                            let rate = (now_events - *last_events) as f64 / dt;
+                            let floor = slo_floor.expect("slo state implies a floor");
+                            if rate < floor && !*dumped {
+                                *dumped = true;
+                                sim.obs_counter_add("flight.slo_breaches", 1);
+                                if let Some(dir) = dump_dir {
+                                    post_mortem_dump(
+                                        &sim,
+                                        dir,
+                                        part,
+                                        &format!(
+                                            "slo: {rate:.0} events/s below floor {floor:.0}"
+                                        ),
+                                        t,
+                                    );
+                                }
+                            }
+                            *last_at = std::time::Instant::now();
+                            *last_events = now_events;
+                        }
+                    }
                     // Tier epoch: all LPs derive the same due condition from
                     // t, exchange drift, and apply the same decision. Runs
                     // before any checkpoint cut at this same t, so snapshots
@@ -359,6 +659,32 @@ pub fn run_partitioned_resumable(
                             }
                             barrier.wait();
                             let merged = drift_slots.lock().expect("drift slots").clone();
+                            // Drift-ceiling SLO: the merged vector is the
+                            // same in every LP, so each dumps (its own
+                            // ring) on the same epoch.
+                            if let Some(ceiling) = drift_ceiling {
+                                let breach = merged
+                                    .iter()
+                                    .enumerate()
+                                    .find_map(|(c, d)| d.filter(|d| *d > ceiling).map(|d| (c, d)));
+                                if let Some((c, d)) = breach {
+                                    if !drift_dumped {
+                                        drift_dumped = true;
+                                        sim.obs_counter_add("flight.slo_breaches", 1);
+                                        if let Some(dir) = dump_dir {
+                                            post_mortem_dump(
+                                                &sim,
+                                                dir,
+                                                part,
+                                                &format!(
+                                                    "slo: cluster {c} drift {d:.4} above ceiling {ceiling:.4}"
+                                                ),
+                                                t,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
                             // A cluster's nodes all live on partition
                             // `cluster % partitions` (see
                             // `partition_by_cluster`): record its switches
@@ -419,7 +745,7 @@ pub fn run_partitioned_resumable(
                                         .map_err(SnapshotError::from)
                                 });
                             match committed {
-                                Ok(()) => prune_generations(&plan.dir, &gen),
+                                Ok(()) => prune_generations(&plan.dir, &gen, plan.keep),
                                 Err(e) => record_err(e),
                             }
                         }
@@ -555,6 +881,7 @@ mod tests {
         let plan = CheckpointPlan {
             dir: dir.clone(),
             every: SimDuration::from_nanos(50_000_000),
+            keep: 1,
         };
         let m_ck = run_partitioned_resumable(
             cfg(),
@@ -599,6 +926,7 @@ mod tests {
         let plan = CheckpointPlan {
             dir: dir.clone(),
             every: SimDuration::from_nanos(50_000_000),
+            keep: 1,
         };
         run_partitioned_resumable(
             cfg(),
@@ -664,6 +992,7 @@ mod tests {
         let plan = CheckpointPlan {
             dir: dir.clone(),
             every: SimDuration::from_nanos(40_000_000),
+            keep: 1,
         };
         run_partitioned_resumable(
             cfg(),
@@ -686,6 +1015,119 @@ mod tests {
             .collect();
         let manifest = read_manifest(&dir).expect("manifest committed");
         assert_eq!(gens, vec![manifest.generation]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keep_n_generations_retained_and_pinned_resume_replays() {
+        let dir = temp_ckpt_dir("keepn");
+        let plan = CheckpointPlan {
+            dir: dir.clone(),
+            every: SimDuration::from_nanos(40_000_000),
+            keep: 2,
+        };
+        run_partitioned_resumable(
+            cfg(),
+            1,
+            cfg().link.latency,
+            &factory,
+            &|_| {},
+            Some(&plan),
+            None,
+            None,
+        )
+        .expect("checkpointed run");
+        let mut gens: Vec<String> = fs::read_dir(&dir)
+            .expect("dir exists")
+            .flatten()
+            .filter_map(|e| e.file_name().to_str().map(String::from))
+            .filter(|n| n.starts_with("gen-"))
+            .collect();
+        gens.sort();
+        assert_eq!(gens.len(), 2, "keep=2 retains exactly two generations");
+        let manifest = read_manifest(&dir).expect("manifest committed");
+        assert_eq!(gens.last(), Some(&manifest.generation));
+        // Pinning the *older* generation replays the longer tail to the
+        // same final state as an uninterrupted run.
+        let m_full = run_partitioned(cfg(), 1, &factory);
+        let opts = PdesRunOpts {
+            resume_from: Some(dir.clone()),
+            resume_generation: Some(gens[0].clone()),
+            ..PdesRunOpts::default()
+        };
+        let m_res =
+            run_partitioned_opts(cfg(), 1, cfg().link.latency, &factory, &|_| {}, &opts)
+                .expect("pinned resume");
+        assert_eq!(m_res.canonical_bytes(), m_full.canonical_bytes());
+        // A generation name that decodes to no directory is rejected.
+        let opts = PdesRunOpts {
+            resume_from: Some(dir.clone()),
+            resume_generation: Some("gen-00000000000000000007".into()),
+            ..PdesRunOpts::default()
+        };
+        let err = run_partitioned_opts(cfg(), 1, cfg().link.latency, &factory, &|_| {}, &opts)
+            .err()
+            .expect("missing generation must be rejected");
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_at_truncates_the_run() {
+        let m_full = run_partitioned(cfg(), 2, &factory);
+        let opts = PdesRunOpts {
+            stop_at: Some(SimTime::from_secs_f64(0.1)),
+            ..PdesRunOpts::default()
+        };
+        let m_half = run_partitioned_opts(cfg(), 2, cfg().link.latency, &factory, &|_| {}, &opts)
+            .expect("truncated run");
+        assert!(m_half.events_processed < m_full.events_processed);
+        assert!(m_half.events_processed > 0);
+    }
+
+    #[test]
+    fn window_digests_are_partition_invariant() {
+        let opts = PdesRunOpts {
+            digest_stride: Some(4),
+            ..PdesRunOpts::default()
+        };
+        let timelines: Vec<(Vec<u64>, f64)> = [1usize, 2]
+            .iter()
+            .map(|&p| {
+                let m =
+                    run_partitioned_opts(cfg(), p, cfg().link.latency, &factory, &|_| {}, &opts)
+                        .expect("digested run");
+                let r = m.obs.expect("digests imply an obs report");
+                (
+                    r.digests.get("digest.window").cloned().unwrap_or_default(),
+                    r.gauges.get("digest.first_window").copied().unwrap_or(-1.0),
+                )
+            })
+            .collect();
+        assert!(!timelines[0].0.is_empty(), "digests were recorded");
+        assert_eq!(timelines[0], timelines[1]);
+    }
+
+    #[test]
+    fn crash_drill_dumps_flight_ring_and_fails_typed() {
+        let dir = temp_ckpt_dir("drill");
+        let opts = PdesRunOpts {
+            flight: Some(FlightPlan {
+                capacity: 64,
+                dump_dir: Some(dir.clone()),
+                ..FlightPlan::default()
+            }),
+            crash_at_window: Some(5),
+            ..PdesRunOpts::default()
+        };
+        let err = run_partitioned_opts(cfg(), 2, cfg().link.latency, &factory, &|_| {}, &opts)
+            .err()
+            .expect("crash drill must fail the run");
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err:?}");
+        let dump = fs::read_to_string(dir.join("postmortem-part-0.json"))
+            .expect("post-mortem dump written");
+        assert!(dump.contains("crash drill"), "reason recorded: {dump}");
+        assert!(dump.contains("\"flight\""), "flight ring present");
         let _ = fs::remove_dir_all(&dir);
     }
 

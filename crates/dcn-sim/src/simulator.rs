@@ -59,6 +59,10 @@ const EVENT_WALL_NAMES: [&str; EventKind::COUNT] = [
 /// are attached once when the run folds into `Metrics::obs`. Boxed behind
 /// an `Option` so the obs-off hot path pays a single branch.
 struct EngineObs {
+    /// When false (light mode, [`Simulation::enable_obs_light`]), the
+    /// event loop skips the two per-event `Instant::now()` calls and
+    /// `event_wall_ns` stays zero; counters and digests still record.
+    time_events: bool,
     event_count: [u64; EventKind::COUNT],
     event_wall_ns: [u64; EventKind::COUNT],
     /// Batched-flush sizes (items per `flush_batch` that did work).
@@ -74,6 +78,22 @@ struct EngineObs {
     overlap_stall_wall_ns: u64,
     overlap_stall_hist: dcn_obs::Hist,
     obs: dcn_obs::Obs,
+}
+
+/// Per-window state-digest recorder ([`Simulation::enable_digests`],
+/// DESIGN.md §14). Holds this LP's share of the digest timeline; the
+/// shares merge element-wise with `wrapping_add` in
+/// [`dcn_obs::ObsReport::merge`], which is what makes the merged timeline
+/// partition-count-invariant.
+struct DigestRec {
+    /// This LP's per-window digests, in recording order.
+    windows: Vec<u64>,
+    /// Absolute barrier-window index of `windows[0]` (non-zero for runs
+    /// resumed from a checkpoint); `digest.first_window` in the report.
+    first_window: u64,
+    /// Scratch encoder reused across items so steady-state digest
+    /// computation allocates nothing.
+    scratch: crate::snapshot::SnapWriter,
 }
 
 /// How one cluster is executed.
@@ -248,6 +268,13 @@ pub struct Simulation {
     /// Observability accumulators; `None` (the default) is the no-op
     /// recorder and costs one branch per event.
     obs: Option<Box<EngineObs>>,
+    /// Per-window state-digest recorder; `None` (the default) records
+    /// nothing and costs nothing — digests are computed only when the
+    /// PDES driver calls [`Simulation::record_window_digest`].
+    digests: Option<Box<DigestRec>>,
+    /// Flight recorder ring; `None` (the default) costs one branch per
+    /// event, same discipline as `obs`.
+    flight: Option<Box<dcn_obs::FlightRecorder>>,
     // --- partitioning (None = own everything) ---
     owner_of_node: Option<Arc<Vec<u8>>>,
     my_partition: u8,
@@ -311,6 +338,8 @@ impl Simulation {
             fault_schedule: None,
             batch: None,
             obs: None,
+            digests: None,
+            flight: None,
             end: SimTime::from_secs_f64(cfg.duration_s),
             metrics,
             done: vec![HashSet::new(); cfg.topo.num_hosts() as usize],
@@ -540,9 +569,31 @@ impl Simulation {
     /// are taken. Recording is wall-clock only — the simulated trajectory
     /// is bit-identical with obs on or off.
     pub fn enable_obs(&mut self) {
+        self.enable_obs_with_timing(true);
+    }
+
+    /// Light observability: counters, histograms, gauges, and digest
+    /// export all work, but the event loop skips its two per-event
+    /// `Instant::now()` calls so `event_wall_ns`/`flush_wall_ns` stay
+    /// zero. Per-window digests ride on this mode when full obs was not
+    /// requested: wall-clock timing costs tens of percent on short-event
+    /// workloads, while counter upkeep is a few nanoseconds per event.
+    /// Calling [`Simulation::enable_obs`] afterwards upgrades timing in
+    /// place without discarding anything already recorded.
+    pub fn enable_obs_light(&mut self) {
+        self.enable_obs_with_timing(false);
+    }
+
+    fn enable_obs_with_timing(&mut self, time_events: bool) {
+        if let Some(eo) = self.obs.as_mut() {
+            // Already on: upgrade to timing if either caller wants it.
+            eo.time_events |= time_events;
+            return;
+        }
         let mut obs = dcn_obs::Obs::on();
         obs.set_track(self.my_partition as u32);
         self.obs = Some(Box::new(EngineObs {
+            time_events,
             event_count: [0; EventKind::COUNT],
             event_wall_ns: [0; EventKind::COUNT],
             flush_batch: dcn_obs::Hist::default(),
@@ -560,6 +611,13 @@ impl Simulation {
     /// Is the engine recording observability data?
     pub fn obs_enabled(&self) -> bool {
         self.obs.is_some()
+    }
+
+    /// Is obs recording wall-clock timings (full mode), as opposed to the
+    /// counters-only light mode of [`Simulation::enable_obs_light`]?
+    /// Drivers use this to skip their own per-window clock reads.
+    pub fn obs_timing_enabled(&self) -> bool {
+        self.obs.as_deref().is_some_and(|eo| eo.time_events)
     }
 
     /// Add to a registry counter (no-op with obs off). Used by drivers
@@ -584,6 +642,218 @@ impl Simulation {
         if let Some(eo) = self.obs.as_mut() {
             eo.obs.end(None);
         }
+    }
+
+    /// Set a registry gauge (no-op with obs off). Used by drivers to
+    /// record run-level facts like the barrier window size or the tier
+    /// plan's epoch count.
+    pub fn obs_gauge_set(&mut self, name: impl Into<String>, v: f64) {
+        if let Some(eo) = self.obs.as_mut() {
+            eo.obs.gauge_set(name, v);
+        }
+    }
+
+    /// Turn on per-window state digests (DESIGN.md §14). The digest
+    /// itself is computed only when the driver calls
+    /// [`Simulation::record_window_digest`] at a barrier; event
+    /// processing carries no digest code at all, so the trajectory is
+    /// bit-identical with digests on or off.
+    pub fn enable_digests(&mut self) {
+        self.digests = Some(Box::new(DigestRec {
+            windows: Vec::new(),
+            first_window: 0,
+            scratch: crate::snapshot::SnapWriter::new(),
+        }));
+    }
+
+    /// Is the engine recording per-window state digests?
+    pub fn digests_enabled(&self) -> bool {
+        self.digests.is_some()
+    }
+
+    /// Turn on the flight recorder with room for the last `capacity`
+    /// events (DESIGN.md §14). Recording is one ring store per popped
+    /// event; the trajectory is bit-identical with the recorder on or
+    /// off.
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        self.flight = Some(Box::new(dcn_obs::FlightRecorder::new(capacity)));
+    }
+
+    /// Is the flight recorder on?
+    pub fn flight_enabled(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// The retained flight-recorder events in recording order, without
+    /// draining (empty when the recorder is off). Post-mortem dumps use
+    /// this so a dump never perturbs the report folded at run end.
+    pub fn flight_snapshot(&self) -> Vec<dcn_obs::FlightEvent> {
+        self.flight
+            .as_ref()
+            .map(|fr| fr.snapshot_ordered())
+            .unwrap_or_default()
+    }
+
+    /// The recorded digest timeline as `(first_window, digests)`, or
+    /// `None` until the first digest lands. Post-mortem dumps read this
+    /// without disturbing the record.
+    pub fn digest_timeline(&self) -> Option<(u64, &[u64])> {
+        self.digests
+            .as_ref()
+            .filter(|rec| !rec.windows.is_empty())
+            .map(|rec| (rec.first_window, rec.windows.as_slice()))
+    }
+
+    /// Record this LP's state digest for the barrier window `window`
+    /// (absolute index — a resumed run passes the index it restarted at).
+    /// No-op unless [`Simulation::enable_digests`] was called.
+    pub fn record_window_digest(&mut self, window: u64) {
+        if self.digests.is_none() {
+            return;
+        }
+        let digest = self.window_digest();
+        let rec = self.digests.as_mut().expect("checked above");
+        if rec.windows.is_empty() {
+            rec.first_window = window;
+        }
+        rec.windows.push(digest);
+    }
+
+    /// This LP's share of the partition-invariant state digest
+    /// (DESIGN.md §14): a commutative (`wrapping_add`) combination of
+    /// per-item FNV-1a digests over every piece of deterministic state
+    /// this LP *owns* —
+    ///
+    /// * queued future events (time + payload through the snapshot codec;
+    ///   the `seq` tiebreak is excluded because it depends on scheduling
+    ///   history, and replicated fault-schedule events count only on
+    ///   partition 0);
+    /// * per-direction transmitter state (busy flag + port queue) and
+    ///   gray-loss RNG streams, attributed to the LP owning the
+    ///   transmitting node; link health attributed to the lower end's
+    ///   owner;
+    /// * per-host state for owned hosts: id counter, live flows (spec +
+    ///   transport state), finished-flow set, and traffic-generator
+    ///   stream position.
+    ///
+    /// Model state (Mimic weights, fleet lanes, tier ledgers) and metrics
+    /// are deliberately excluded: models advance only on their owning LP
+    /// and any model-state divergence surfaces through the events it
+    /// re-injects within a window. Summing every LP's share equals the
+    /// sequential run's digest at the same barrier — asserted at 1/2/4
+    /// partitions by the integration suite.
+    pub fn window_digest(&mut self) -> u64 {
+        use dcn_obs::digest::Fnv64;
+        let mut rec = self.digests.take().unwrap_or_else(|| {
+            Box::new(DigestRec {
+                windows: Vec::new(),
+                first_window: 0,
+                scratch: crate::snapshot::SnapWriter::new(),
+            })
+        });
+        let scratch = &mut rec.scratch;
+        let mut acc = 0u64;
+        // Queued events. Domain tags keep items from different state
+        // families from colliding.
+        let part0 = self.my_partition == 0;
+        self.queue.for_each_live(|time, kind| {
+            if matches!(kind, EventKind::Fault { .. }) && !part0 {
+                return;
+            }
+            scratch.clear();
+            scratch.put_u8(0xE1);
+            scratch.put_u64(time.as_nanos());
+            kind.encode_for_digest(scratch);
+            let mut h = Fnv64::new();
+            h.write_bytes(scratch.as_bytes());
+            acc = acc.wrapping_add(h.finish());
+        });
+        // Links: health once (lower end's owner), transmitter + gray-loss
+        // stream per direction (transmitting node's owner).
+        for (l, link) in self.links.iter().enumerate() {
+            let lid = LinkId(l as u32);
+            let (lo, hi) = self.topo.link_ends(lid);
+            if self.owned(lo) {
+                scratch.clear();
+                scratch.put_u8(0xA1);
+                scratch.put_u32(lid.0);
+                scratch.put_bool(link.health.up);
+                scratch.put_f64(link.health.extra_loss);
+                scratch.put_f64(link.health.rate_factor);
+                let mut h = Fnv64::new();
+                h.write_bytes(scratch.as_bytes());
+                acc = acc.wrapping_add(h.finish());
+            }
+            for dir in [Dir::Up, Dir::Down] {
+                let tx_node = match dir {
+                    Dir::Up => lo,
+                    Dir::Down => hi,
+                };
+                if !self.owned(tx_node) {
+                    continue;
+                }
+                let tx = link.tx(dir);
+                scratch.clear();
+                scratch.put_u8(0xA2);
+                scratch.put_u32(lid.0);
+                scratch.put_u8(dir.index() as u8);
+                scratch.put_bool(tx.busy);
+                tx.queue.save_state(scratch);
+                if let Some(streams) = &self.fault {
+                    scratch.put_u64(streams[l][dir.index()].state());
+                }
+                let mut h = Fnv64::new();
+                h.write_bytes(scratch.as_bytes());
+                acc = acc.wrapping_add(h.finish());
+            }
+        }
+        // Hosts: endpoint + traffic + done state for owned hosts.
+        for (hidx, host) in self.hosts.iter().enumerate() {
+            let node = NodeId(hidx as u32);
+            if !self.owned(node) {
+                continue;
+            }
+            scratch.clear();
+            scratch.put_u8(0xA3);
+            scratch.put_u32(node.0);
+            scratch.put_u64(host.ids.counter());
+            let mut flows: Vec<&FlowId> = host.flows.keys().collect();
+            flows.sort();
+            scratch.put_u64(flows.len() as u64);
+            for flow in flows {
+                let ep = &host.flows[flow];
+                scratch.put_u64(flow.0);
+                scratch.put_u8(match ep.role {
+                    Role::Sender => 0,
+                    Role::Receiver => 1,
+                });
+                scratch.put_u64(ep.spec.id.0);
+                scratch.put_u32(ep.spec.src.0);
+                scratch.put_u32(ep.spec.dst.0);
+                scratch.put_u64(ep.spec.size_bytes);
+                scratch.put_u64(ep.spec.start.as_nanos());
+                if ep.transport.save_state(scratch).is_err() {
+                    // A transport without snapshot support digests as a
+                    // fixed marker — still deterministic and owned by
+                    // exactly one LP.
+                    scratch.put_u64(0xDEAD_BEEF_0BAD_F00D);
+                }
+            }
+            let mut done: Vec<u64> = self.done[hidx].iter().map(|f| f.0).collect();
+            done.sort_unstable();
+            scratch.put_u64(done.len() as u64);
+            for id in done {
+                scratch.put_u64(id);
+            }
+            let (rng_state, flow_counter) = self.traffic.host_state(node);
+            scratch.put_u64(rng_state);
+            scratch.put_u64(flow_counter);
+            let mut h = Fnv64::new();
+            h.write_bytes(scratch.as_bytes());
+            acc = acc.wrapping_add(h.finish());
+        }
+        self.digests = Some(rec);
+        acc
     }
 
     /// The topology being simulated.
@@ -686,9 +956,37 @@ impl Simulation {
     /// `self.metrics.obs` (registry naming happens here, once per run).
     /// No-op with obs off; consumes the recorder.
     fn fold_obs(&mut self) {
-        let Some(mut eo) = self.obs.take() else {
+        let mut report = self.fold_engine_obs();
+        // Digest timelines and flight-recorder drains ride in the obs
+        // report even when span/counter recording is off — they are the
+        // diverge tooling's inputs, and each costs nothing unless enabled.
+        if let Some(rec) = self.digests.take() {
+            let r = report.get_or_insert_with(Default::default);
+            let slot = r.digests.entry("digest.window".to_string()).or_default();
+            debug_assert!(slot.is_empty(), "digest timeline folded twice");
+            *slot = rec.windows;
+            r.gauges
+                .insert("digest.first_window".to_string(), rec.first_window as f64);
+        }
+        if let Some(mut fr) = self.flight.take() {
+            let r = report.get_or_insert_with(Default::default);
+            *r.counters.entry("flight.recorded".to_string()).or_insert(0) +=
+                fr.total_recorded();
+            r.flight.extend(fr.drain_ordered());
+        }
+        let Some(report) = report else {
             return;
         };
+        match &mut self.metrics.obs {
+            Some(existing) => existing.merge(report),
+            slot @ None => *slot = Some(Box::new(report)),
+        }
+    }
+
+    /// The span/counter half of [`Simulation::fold_obs`]: `None` with obs
+    /// off; consumes the recorder.
+    fn fold_engine_obs(&mut self) -> Option<dcn_obs::ObsReport> {
+        let mut eo = self.obs.take()?;
         for i in 0..EventKind::COUNT {
             if eo.event_count[i] > 0 {
                 eo.obs.counter_add(EVENT_COUNT_NAMES[i], eo.event_count[i]);
@@ -736,10 +1034,34 @@ impl Simulation {
                 report.gauges.insert(format!("drift.cluster.{c}"), *v);
             }
         }
-        match &mut self.metrics.obs {
-            Some(existing) => existing.merge(report),
-            slot @ None => *slot = Some(Box::new(report)),
+        // Adaptive-tier telemetry: the realized switch schedule as
+        // parallel series, so `--report` can render the timeline and the
+        // per-cluster time-in-tier summary. Only owned clusters are in
+        // `tier_switches` (see `tier_epoch`), keeping the merged series
+        // partition-invariant up to ordering.
+        for s in &self.metrics.tier_switches {
+            report
+                .series
+                .entry("tier.switch.epoch".to_string())
+                .or_default()
+                .push(s.epoch as f64);
+            report
+                .series
+                .entry("tier.switch.cluster".to_string())
+                .or_default()
+                .push(s.cluster as f64);
+            report
+                .series
+                .entry("tier.switch.from".to_string())
+                .or_default()
+                .push(s.from.index() as f64);
+            report
+                .series
+                .entry("tier.switch.to".to_string())
+                .or_default()
+                .push(s.to.index() as f64);
         }
+        Some(report)
     }
 
     /// Copy each Mimic'ed cluster's drift score (if monitored) into the
@@ -784,7 +1106,12 @@ impl Simulation {
         let until = until.min(self.end + SimDuration::from_nanos(1));
         if let Some(eo) = self.obs.as_mut() {
             eo.windows += 1;
-            eo.obs.begin("sim.window", "sim", Some(self.now.as_nanos()));
+            // Window spans only under timed obs: at tens of thousands of
+            // PDES windows per run the two clock reads plus a SpanEvent
+            // per window dominate light-mode overhead.
+            if eo.time_events {
+                eo.obs.begin("sim.window", "sim", Some(self.now.as_nanos()));
+            }
         }
         loop {
             let Some(t) = self.queue.peek_time() else {
@@ -814,7 +1141,24 @@ impl Simulation {
             self.now = ev.time;
             self.metrics.events_processed += 1;
             let kind_index = ev.kind.index();
-            let t0 = self.obs.as_ref().map(|_| Instant::now());
+            if let Some(fr) = self.flight.as_mut() {
+                let packet_id = match &ev.kind {
+                    EventKind::Arrive { packet, .. } => packet.id,
+                    _ => u64::MAX,
+                };
+                fr.record(dcn_obs::FlightEvent {
+                    lp: self.my_partition as u32,
+                    sim_ns: ev.time.as_nanos(),
+                    kind: kind_index as u8,
+                    kind_name: EventKind::name_of(kind_index),
+                    packet_id,
+                    queue_depth: self.queue.len() as u32,
+                });
+            }
+            let t0 = match self.obs.as_deref() {
+                Some(eo) if eo.time_events => Some(Instant::now()),
+                _ => None,
+            };
             match ev.kind {
                 EventKind::TxDone { link, dir } => self.handle_tx_done(link, dir),
                 EventKind::Arrive { node, packet } => self.handle_arrive(node, packet),
@@ -823,17 +1167,20 @@ impl Simulation {
                 EventKind::FeederWake { cluster } => self.handle_feeder(cluster),
                 EventKind::Fault { index } => self.handle_fault(index),
             }
-            if let Some(t0) = t0 {
-                let eo = self.obs.as_mut().expect("obs checked above");
+            if let Some(eo) = self.obs.as_mut() {
                 eo.event_count[kind_index] += 1;
-                eo.event_wall_ns[kind_index] += t0.elapsed().as_nanos() as u64;
+                if let Some(t0) = t0 {
+                    eo.event_wall_ns[kind_index] += t0.elapsed().as_nanos() as u64;
+                }
             }
             // Overlap mode: ship any boundary items this event queued to
             // the helper while the engine moves on to the next event.
             self.maybe_dispatch_overlap();
         }
         if let Some(eo) = self.obs.as_mut() {
-            eo.obs.end(Some(self.now.as_nanos()));
+            if eo.time_events {
+                eo.obs.end(Some(self.now.as_nanos()));
+            }
         }
         std::mem::take(&mut self.outbox)
     }
@@ -902,17 +1249,21 @@ impl Simulation {
             return false;
         }
         let batch_len = rt.pending.len() as u64;
-        let t0 = self.obs.as_ref().map(|_| Instant::now());
+        let t0 = match self.obs.as_deref() {
+            Some(eo) if eo.time_events => Some(Instant::now()),
+            _ => None,
+        };
         rt.verdicts.clear();
         rt.model
             .as_mut()
             .expect("model in hand for a synchronous flush")
             .infer_batch(&rt.pending, &mut rt.verdicts);
-        if let Some(t0) = t0 {
-            let eo = self.obs.as_mut().expect("obs checked above");
+        if let Some(eo) = self.obs.as_mut() {
             eo.flushes += 1;
             eo.flush_batch.observe(batch_len);
-            eo.flush_wall_ns += t0.elapsed().as_nanos() as u64;
+            if let Some(t0) = t0 {
+                eo.flush_wall_ns += t0.elapsed().as_nanos() as u64;
+            }
         }
         let rt = self.batch.as_mut().expect("still installed");
         // Swap the buffers out so re-injection can borrow the rest of

@@ -117,6 +117,17 @@ impl SnapWriter {
         self.buf
     }
 
+    /// The bytes written so far (borrow; see [`SnapWriter::into_bytes`]).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Reset for reuse as a scratch buffer, keeping the allocation. The
+    /// digest layer serializes many small items through one writer.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     pub fn len(&self) -> usize {
         self.buf.len()
     }

@@ -204,6 +204,14 @@ impl TrafficGen {
         }
     }
 
+    /// One host's generator state `(rng_state, flow_counter)`. The window
+    /// digest reads this per owned host, so each host's stream is
+    /// attributed to exactly one LP.
+    pub fn host_state(&self, host: NodeId) -> (u64, u64) {
+        let g = &self.hosts[host.0 as usize];
+        (g.rng.state(), g.flow_counter)
+    }
+
     /// Restore per-host generator state from [`TrafficGen::save_state`].
     pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
         let n = r.get_count(16)?;

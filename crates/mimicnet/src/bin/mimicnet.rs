@@ -30,21 +30,22 @@
 //! atomically (temp file + rename), so a crash never leaves a torn file.
 
 use dcn_sim::mimic::FidelityTier;
-use dcn_sim::pdes::{CheckpointPlan, TierPlan};
+use dcn_sim::pdes::{CheckpointPlan, FlightPlan, PdesRunOpts, TierPlan};
 use dcn_sim::snapshot::atomic_write;
-use dcn_sim::time::SimDuration;
+use dcn_sim::time::{SimDuration, SimTime};
 use dcn_transport::Protocol;
+use mimicnet::diverge::{self, DigestTimeline, ReplayConfig, ReplaySide};
 use mimicnet::mimic::TrainedMimic;
 use mimicnet::pipeline::{Pipeline, PipelineConfig};
 use mimicnet::tuning::{tune, TuningConfig};
 use mimicnet::{AccuracyBudget, CorrectionHead};
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mimicnet <train|estimate|validate|tune> [options]\n\
+        "usage: mimicnet <train|estimate|validate|tune|diverge|snap-flip> [options]\n\
          \n\
          train    --out FILE [--duration S] [--seed N] [--protocol P] [--k K]\n\
          \u{20}        [--epochs E] [--hidden H] [--layers L] [--window W]\n\
@@ -54,9 +55,23 @@ fn usage() -> ! {
          tune     [--evals E] [--scales 2,4] [--duration S] [--seed N]\n\
          \u{20}        [--workers W]\n\
          \n\
+         diverge  --a A-obs.json --b B-obs.json [--out report.json]\n\
+         \u{20}        [--a-ckpt DIR --b-ckpt DIR --model FILE --clusters N\n\
+         \u{20}         [--partitions P] [--flight N] [estimate flags]]\n\
+         \u{20}        (exit 0 = identical, 3 = divergence localized)\n\
+         snap-flip --ckpt DIR --model FILE --clusters N [--part N]\n\
+         \u{20}        [--generation GEN] [estimate flags]\n\
+         \u{20}        (seed a divergence for testing)\n\
+         \n\
          crash resilience (estimate/validate):\n\
          \u{20}        [--partitions P] [--checkpoint-every S]\n\
          \u{20}        [--checkpoint-dir DIR] [--resume DIR]\n\
+         \u{20}        [--keep-generations N] [--resume-generation GEN]\n\
+         \n\
+         diagnostics (estimate/validate):\n\
+         \u{20}        [--digests] [--digest-stride N] [--flight N]\n\
+         \u{20}        [--flight-dump DIR] [--slo-events-per-sec X]\n\
+         \u{20}        [--slo-max-drift X] [--stop-at S] [--crash-at-window N]\n\
          \n\
          adaptive fidelity tiers (estimate):\n\
          \u{20}        [--adaptive] [--tier-every WINDOWS] [--tier-start mimic|flow]\n\
@@ -80,7 +95,7 @@ fn parse_args(args: &[String]) -> HashMap<String, String> {
             eprintln!("unexpected argument: {}", args[i]);
             usage();
         };
-        if key == "json" || key == "report" || key == "adaptive" {
+        if key == "json" || key == "report" || key == "adaptive" || key == "digests" {
             map.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -202,9 +217,74 @@ fn resumable_from(
             .map(PathBuf::from)
             .or_else(|| resume.clone())
             .unwrap_or_else(|| PathBuf::from("mimicnet-ckpt"));
-        CheckpointPlan { dir, every: SimDuration::from_secs_f64(secs) }
+        let keep = opts
+            .get("keep-generations")
+            .map(|v| v.parse().expect("--keep-generations must be a positive integer"))
+            .unwrap_or(1);
+        CheckpointPlan { dir, every: SimDuration::from_secs_f64(secs), keep }
     });
     Some((partitions.max(1), plan, resume))
+}
+
+/// Parse the diagnostics flags (state digests, flight recorder, SLO
+/// tripwires, early stop) into `o`. Returns whether any were given —
+/// callers use that to route onto the full-options engine path.
+fn diag_flags_into(o: &mut PdesRunOpts, opts: &HashMap<String, String>) -> bool {
+    let mut any = false;
+    if opts.contains_key("digests") || opts.contains_key("digest-stride") {
+        o.digest_stride = Some(
+            opts.get("digest-stride")
+                .map(|v| v.parse().expect("--digest-stride must be a positive integer"))
+                .unwrap_or(1),
+        );
+        any = true;
+    }
+    if ["flight", "flight-dump", "slo-events-per-sec", "slo-max-drift"]
+        .iter()
+        .any(|k| opts.contains_key(*k))
+    {
+        o.flight = Some(FlightPlan {
+            capacity: opts
+                .get("flight")
+                .map(|v| v.parse().expect("--flight must be a positive integer"))
+                .unwrap_or(4096),
+            dump_dir: opts.get("flight-dump").map(PathBuf::from),
+            min_events_per_sec: opts
+                .get("slo-events-per-sec")
+                .map(|v| v.parse().expect("--slo-events-per-sec must be a number")),
+            max_drift: opts
+                .get("slo-max-drift")
+                .map(|v| v.parse().expect("--slo-max-drift must be a number")),
+        });
+        any = true;
+    }
+    if let Some(v) = opts.get("stop-at") {
+        let secs: f64 = v.parse().expect("--stop-at must be simulated seconds");
+        o.stop_at = Some(SimTime::from_secs_f64(secs));
+        any = true;
+    }
+    if let Some(v) = opts.get("crash-at-window") {
+        o.crash_at_window = Some(v.parse().expect("--crash-at-window must be an integer"));
+        any = true;
+    }
+    if let Some(g) = opts.get("resume-generation") {
+        o.resume_generation = Some(g.clone());
+        any = true;
+    }
+    any
+}
+
+/// Print the error, flush whatever telemetry the pipeline gathered (so a
+/// failed run still leaves its trace/obs artifacts behind), and exit.
+fn die_with_obs(
+    pipe: &mut Pipeline,
+    opts: &HashMap<String, String>,
+    e: impl std::fmt::Display,
+    code: i32,
+) -> ! {
+    eprintln!("error: {e}");
+    export_obs(pipe, opts);
+    exit(code)
 }
 
 /// Parse the adaptive-tier accuracy budget flags.
@@ -339,6 +419,9 @@ fn cmd_estimate(opts: HashMap<String, String>) {
     if obs_requested(&opts) {
         pipe = pipe.with_obs();
     }
+    let mut run_opts = PdesRunOpts::default();
+    let diag = diag_flags_into(&mut run_opts, &opts);
+    let resumable = resumable_from(&opts);
     let est = if opts.contains_key("adaptive") {
         let budget = budget_from(&opts);
         let plan = TierPlan {
@@ -347,50 +430,49 @@ fn cmd_estimate(opts: HashMap<String, String>) {
                 .map(|v| v.parse().expect("--tier-every must be a positive integer"))
                 .unwrap_or(64),
         };
-        // Adaptive runs honor the same crash-resilience flags as the
-        // plain partitioned path (--partitions/--checkpoint-every/
-        // --checkpoint-dir/--resume).
-        let (partitions, ckpt, resume) =
-            resumable_from(&opts).unwrap_or((1, None, None));
+        // Adaptive runs honor the same crash-resilience and diagnostics
+        // flags as the plain partitioned path.
+        let (partitions, ckpt, resume) = resumable.unwrap_or((1, None, None));
+        run_opts.checkpoint = ckpt;
+        run_opts.resume_from = resume;
         let correction = correction_from(&opts);
         eprintln!(
             "adaptive tiers: start={:?}, epoch every {} windows, promote ≥{}, demote <{} after {} calm epochs",
             budget.start, plan.every_windows, budget.promote_above, budget.demote_below, budget.patience
         );
-        if let Some(dir) = &resume {
+        if let Some(dir) = &run_opts.resume_from {
             eprintln!("resuming from checkpoint {}...", dir.display());
         }
-        let est = pipe
-            .try_estimate_adaptive(
-                &trained,
-                n,
-                partitions,
-                &budget,
-                &plan,
-                correction.as_ref(),
-                ckpt.as_ref(),
-                resume.as_deref(),
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            });
+        let est = match pipe.try_estimate_adaptive_opts(
+            &trained,
+            n,
+            partitions,
+            &budget,
+            &plan,
+            correction.as_ref(),
+            &run_opts,
+        ) {
+            Ok(est) => est,
+            Err(e) => die_with_obs(&mut pipe, &opts, e, 2),
+        };
         eprintln!("tier switches: {}", est.metrics.tier_switches.len());
         est
-    } else if let Some((partitions, plan, resume)) = resumable_from(&opts) {
-        if let Some(dir) = &resume {
+    } else if resumable.is_some() || diag {
+        let (partitions, ckpt, resume) = resumable.unwrap_or((1, None, None));
+        run_opts.checkpoint = ckpt;
+        run_opts.resume_from = resume;
+        if let Some(dir) = &run_opts.resume_from {
             eprintln!("resuming from checkpoint {}...", dir.display());
         }
-        pipe.try_estimate_resumable(&trained, n, partitions, plan.as_ref(), resume.as_deref())
-            .unwrap_or_else(|e| {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            })
+        match pipe.try_estimate_opts(&trained, n, partitions, &run_opts) {
+            Ok(est) => est,
+            Err(e) => die_with_obs(&mut pipe, &opts, e, 2),
+        }
     } else {
-        pipe.try_estimate(&trained, n, None).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        })
+        match pipe.try_estimate(&trained, n, None) {
+            Ok(est) => est,
+            Err(e) => die_with_obs(&mut pipe, &opts, e, 2),
+        }
     };
     if opts.contains_key("json") {
         let out = serde_json::json!({
@@ -424,22 +506,25 @@ fn cmd_validate(opts: HashMap<String, String>) {
         pipe = pipe.with_obs();
     }
     eprintln!("running MimicNet and full-fidelity at {n} clusters...");
-    let (report, mimic_wall, truth_wall) =
-        if let Some((partitions, plan, resume)) = resumable_from(&opts) {
-            if let Some(dir) = &resume {
-                eprintln!("resuming from checkpoint {}...", dir.display());
-            }
-            let est = pipe
-                .try_estimate_resumable(&trained, n, partitions, plan.as_ref(), resume.as_deref())
-                .unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
-                    std::process::exit(2);
-                });
-            let (truth, _, truth_wall) = pipe.run_ground_truth(n);
-            (mimicnet::metrics::compare(&truth, &est.samples), est.wall, truth_wall)
-        } else {
-            pipe.validate(&trained, n)
+    let mut run_opts = PdesRunOpts::default();
+    let diag = diag_flags_into(&mut run_opts, &opts);
+    let resumable = resumable_from(&opts);
+    let (report, mimic_wall, truth_wall) = if resumable.is_some() || diag {
+        let (partitions, ckpt, resume) = resumable.unwrap_or((1, None, None));
+        run_opts.checkpoint = ckpt;
+        run_opts.resume_from = resume;
+        if let Some(dir) = &run_opts.resume_from {
+            eprintln!("resuming from checkpoint {}...", dir.display());
+        }
+        let est = match pipe.try_estimate_opts(&trained, n, partitions, &run_opts) {
+            Ok(est) => est,
+            Err(e) => die_with_obs(&mut pipe, &opts, e, 2),
         };
+        let (truth, _, truth_wall) = pipe.run_ground_truth(n);
+        (mimicnet::metrics::compare(&truth, &est.samples), est.wall, truth_wall)
+    } else {
+        pipe.validate(&trained, n)
+    };
     println!("W1(FCT)        = {:.5}", report.w1_fct);
     println!("W1(throughput) = {:.0}", report.w1_throughput);
     println!("W1(RTT)        = {:.6}", report.w1_rtt);
@@ -456,6 +541,127 @@ fn cmd_validate(opts: HashMap<String, String>) {
         truth_wall.as_secs_f64() / mimic_wall.as_secs_f64().max(1e-9)
     );
     export_obs(&mut pipe, &opts);
+}
+
+/// `mimicnet diverge`: localize where two digested runs first disagree.
+/// Digest-only with just `--a`/`--b`; with `--a-ckpt`/`--b-ckpt`/`--model`/
+/// `--clusters` it also replays both sides from the nearest common
+/// checkpoint with full tracing and reports the first diverging event.
+/// Exit codes: 0 = timelines agree, 3 = divergence found, 1/2 = error.
+fn cmd_diverge(opts: HashMap<String, String>) {
+    let obs_path = |key: &str| -> String {
+        opts.get(key).cloned().unwrap_or_else(|| {
+            eprintln!("--{key} OBS.json is required (the run's --obs-out snapshot)");
+            usage();
+        })
+    };
+    let timeline = |path: &str| -> DigestTimeline {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        });
+        DigestTimeline::from_obs_json(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(1);
+        })
+    };
+    let (a_path, b_path) = (obs_path("a"), obs_path("b"));
+    let (ta, tb) = (timeline(&a_path), timeline(&b_path));
+
+    let replay_ready = opts.contains_key("a-ckpt") && opts.contains_key("b-ckpt");
+    if (opts.contains_key("a-ckpt") || opts.contains_key("b-ckpt")) && !replay_ready {
+        eprintln!("replay needs both --a-ckpt and --b-ckpt");
+        usage();
+    }
+    let trained = replay_ready.then(|| load_model(&opts));
+    let result = match &trained {
+        Some(trained) => {
+            let cfg = ReplayConfig {
+                pipeline_cfg: pipeline_from(&opts),
+                trained,
+                n_clusters: clusters_from(&opts),
+                partitions: opts
+                    .get("partitions")
+                    .map(|v| v.parse().expect("--partitions must be a positive integer"))
+                    .unwrap_or(1),
+                flight_capacity: opts
+                    .get("flight")
+                    .map(|v| v.parse().expect("--flight must be a positive integer"))
+                    .unwrap_or(65_536),
+                adaptive: opts.contains_key("adaptive").then(|| {
+                    let plan = TierPlan {
+                        every_windows: opts
+                            .get("tier-every")
+                            .map(|v| v.parse().expect("--tier-every must be a positive integer"))
+                            .unwrap_or(64),
+                    };
+                    (budget_from(&opts), plan, correction_from(&opts))
+                }),
+            };
+            let side_a = ReplaySide { ckpt_dir: Path::new(&opts["a-ckpt"]), label: "A" };
+            let side_b = ReplaySide { ckpt_dir: Path::new(&opts["b-ckpt"]), label: "B" };
+            eprintln!("comparing digest timelines, then replaying both sides with full tracing...");
+            diverge::bisect(&ta, &tb, Some((&cfg, &side_a, &side_b)))
+        }
+        None => {
+            eprintln!(
+                "digest-only comparison; add --a-ckpt/--b-ckpt/--model/--clusters \
+                 to replay and pinpoint the first diverging event"
+            );
+            diverge::bisect(&ta, &tb, None)
+        }
+    };
+    match result {
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+        Ok(None) => {
+            println!("no divergence: the two digest timelines agree over their whole overlap");
+        }
+        Ok(Some(report)) => {
+            print!("{}", diverge::render_report(&report));
+            if let Some(out) = opts.get("out") {
+                let json = serde_json::to_string_pretty(&diverge::report_json(&report))
+                    .expect("serializable report");
+                atomic_write(out.as_ref(), json.as_bytes()).unwrap_or_else(|e| {
+                    eprintln!("cannot write {out}: {e}");
+                    exit(1);
+                });
+                eprintln!("wrote diff report to {out}");
+            }
+            exit(3);
+        }
+    }
+}
+
+/// `mimicnet snap-flip`: flip one restorable state bit in a checkpoint
+/// snapshot (re-framed with a valid checksum) to seed a divergence.
+fn cmd_snap_flip(opts: HashMap<String, String>) {
+    let trained = load_model(&opts);
+    let n = clusters_from(&opts);
+    let ckpt = PathBuf::from(opts.get("ckpt").cloned().unwrap_or_else(|| {
+        eprintln!("--ckpt DIR is required");
+        usage();
+    }));
+    let part = opts
+        .get("part")
+        .map(|v| v.parse().expect("--part must be an integer"))
+        .unwrap_or(0);
+    let generation = opts.get("generation").map(String::as_str);
+    match diverge::snap_flip(&pipeline_from(&opts), &trained, n, &ckpt, part, generation) {
+        Ok(r) => println!(
+            "flipped bit 0 of payload byte {} in {} (restored digest {:#018x} -> {:#018x})",
+            r.offset,
+            r.path.display(),
+            r.digest_before,
+            r.digest_after
+        ),
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    }
 }
 
 fn cmd_tune(opts: HashMap<String, String>) {
@@ -512,6 +718,8 @@ fn main() {
         "estimate" => cmd_estimate(opts),
         "validate" => cmd_validate(opts),
         "tune" => cmd_tune(opts),
+        "diverge" => cmd_diverge(opts),
+        "snap-flip" => cmd_snap_flip(opts),
         _ => usage(),
     }
 }

@@ -13,7 +13,9 @@ use crate::tier::{AdaptiveFleet, CorrectionHead};
 use dcn_sim::config::SimConfig;
 use dcn_sim::instrument::Metrics;
 use dcn_sim::mimic::BatchClusterModel;
-use dcn_sim::pdes::{run_partitioned_resumable, run_partitioned_setup, CheckpointPlan, TierPlan};
+use dcn_sim::pdes::{
+    run_partitioned_opts, run_partitioned_setup, CheckpointPlan, PdesRunOpts, TierPlan,
+};
 use dcn_sim::simulator::Simulation;
 use dcn_sim::topology::{FatTree, NodeId};
 use dcn_transport::Protocol;
@@ -258,10 +260,31 @@ pub fn run_composed_partitioned_checkpointed(
     checkpoint: Option<&CheckpointPlan>,
     resume_from: Option<&Path>,
 ) -> Result<Metrics, ComposeRunError> {
+    let opts = PdesRunOpts {
+        checkpoint: checkpoint.cloned(),
+        resume_from: resume_from.map(Path::to_path_buf),
+        ..PdesRunOpts::default()
+    };
+    run_composed_partitioned_opts(base, n_clusters, protocol, trained, partitions, overlap, &opts)
+}
+
+/// [`run_composed_partitioned_checkpointed`] with the full option set:
+/// state digests, flight recorder + SLO dumps, early stop, pinned-
+/// generation resume, and the crash drill ([`PdesRunOpts`]). This is the
+/// entry point `dcn diverge` replays through.
+pub fn run_composed_partitioned_opts(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+    partitions: usize,
+    overlap: bool,
+    opts: &PdesRunOpts,
+) -> Result<Metrics, ComposeRunError> {
     let (cfg, _) = composed_engine(base, n_clusters, protocol)?;
     let floor = batched_fleet(&cfg, n_clusters, trained).latency_floor();
     let window = cfg.link.latency.min(floor);
-    run_partitioned_resumable(
+    run_partitioned_opts(
         cfg,
         partitions,
         window,
@@ -272,9 +295,7 @@ pub fn run_composed_partitioned_checkpointed(
                 sim.set_batch_overlap(true);
             }
         },
-        checkpoint,
-        resume_from,
-        None,
+        opts,
     )
     .map_err(ComposeRunError::from)
 }
@@ -301,10 +322,38 @@ pub fn run_composed_adaptive_checkpointed(
     checkpoint: Option<&CheckpointPlan>,
     resume_from: Option<&Path>,
 ) -> Result<Metrics, ComposeRunError> {
+    let opts = PdesRunOpts {
+        checkpoint: checkpoint.cloned(),
+        resume_from: resume_from.map(Path::to_path_buf),
+        ..PdesRunOpts::default()
+    };
+    run_composed_adaptive_opts(
+        base, n_clusters, protocol, trained, partitions, overlap, budget, plan, correction, &opts,
+    )
+}
+
+/// [`run_composed_adaptive_checkpointed`] with the full [`PdesRunOpts`]
+/// set. `plan` overrides `opts.tiers` — an adaptive run always has tier
+/// epochs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_composed_adaptive_opts(
+    base: SimConfig,
+    n_clusters: u32,
+    protocol: Protocol,
+    trained: &TrainedMimic,
+    partitions: usize,
+    overlap: bool,
+    budget: &AccuracyBudget,
+    plan: &TierPlan,
+    correction: Option<&CorrectionHead>,
+    opts: &PdesRunOpts,
+) -> Result<Metrics, ComposeRunError> {
     let (cfg, _) = composed_engine(base, n_clusters, protocol)?;
     let floor = adaptive_fleet(&cfg, n_clusters, trained, budget, correction).latency_floor();
     let window = cfg.link.latency.min(floor);
-    run_partitioned_resumable(
+    let mut opts = opts.clone();
+    opts.tiers = Some(*plan);
+    run_partitioned_opts(
         cfg,
         partitions,
         window,
@@ -317,9 +366,7 @@ pub fn run_composed_adaptive_checkpointed(
                 sim.set_batch_overlap(true);
             }
         },
-        checkpoint,
-        resume_from,
-        Some(plan),
+        &opts,
     )
     .map_err(ComposeRunError::from)
 }
@@ -373,7 +420,7 @@ fn run_composed_partitioned_full(
 
 /// Shared composition plumbing: scale the base config, validate it, and
 /// build the bare engine.
-fn composed_engine(
+pub(crate) fn composed_engine(
     base: SimConfig,
     n_clusters: u32,
     protocol: Protocol,
@@ -409,7 +456,11 @@ pub fn adaptive_fleet(
 }
 
 /// The homogeneous fleet for `cfg`, seeded exactly like [`compose`].
-fn batched_fleet(cfg: &SimConfig, n_clusters: u32, trained: &TrainedMimic) -> BatchedMimicFleet {
+pub(crate) fn batched_fleet(
+    cfg: &SimConfig,
+    n_clusters: u32,
+    trained: &TrainedMimic,
+) -> BatchedMimicFleet {
     let cluster_seeds: Vec<(u32, u64)> = (0..n_clusters)
         .filter(|&c| c != OBSERVABLE)
         .map(|c| (c, cfg.seed ^ (0xC0DE_0000 + c as u64)))

@@ -57,6 +57,7 @@ pub mod batch;
 pub mod compose;
 pub mod datagen;
 pub mod degrade;
+pub mod diverge;
 pub mod drift;
 pub mod error;
 pub mod features;

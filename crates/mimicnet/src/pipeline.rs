@@ -6,7 +6,7 @@
 //! … are all done at small scale and are, therefore, fast as well."
 
 use crate::compose::{
-    ground_truth, run_composed_adaptive_checkpointed, run_composed_partitioned_checkpointed,
+    ground_truth, run_composed_adaptive_opts, run_composed_partitioned_opts,
     try_compose, try_compose_partial, OBSERVABLE,
 };
 use crate::degrade::AccuracyBudget;
@@ -144,7 +144,12 @@ impl Pipeline {
     }
 
     /// Absorb a finished simulation's engine-side report, if it has one.
+    /// With the pipeline recorder off, the report stays on the metrics so
+    /// programmatic callers (e.g. divergence bisection) can read it.
     fn absorb_sim_obs(&mut self, metrics: &mut Metrics) {
+        if !self.obs.is_on() {
+            return;
+        }
         if let Some(r) = metrics.obs.take() {
             self.obs.merge_report(*r);
         }
@@ -340,17 +345,42 @@ impl Pipeline {
         checkpoint: Option<&dcn_sim::pdes::CheckpointPlan>,
         resume_from: Option<&std::path::Path>,
     ) -> Result<EstimateReport, ComposeRunError> {
+        let opts = dcn_sim::pdes::PdesRunOpts {
+            checkpoint: checkpoint.cloned(),
+            resume_from: resume_from.map(std::path::Path::to_path_buf),
+            ..dcn_sim::pdes::PdesRunOpts::default()
+        };
+        self.try_estimate_opts(trained, n_clusters, partitions, &opts)
+    }
+
+    /// [`Pipeline::try_estimate_resumable`] with the full
+    /// [`PdesRunOpts`](dcn_sim::pdes::PdesRunOpts) set: state digests,
+    /// flight recorder + SLO dumps, early stop, pinned-generation resume.
+    /// When the pipeline's obs collector is on, engine obs is forced on so
+    /// digests, flight events, and tier telemetry land in the exported
+    /// report.
+    pub fn try_estimate_opts(
+        &mut self,
+        trained: &TrainedMimic,
+        n_clusters: u32,
+        partitions: usize,
+        opts: &dcn_sim::pdes::PdesRunOpts,
+    ) -> Result<EstimateReport, ComposeRunError> {
         let t0 = Instant::now();
-        let metrics = run_composed_partitioned_checkpointed(
+        let mut opts = opts.clone();
+        opts.obs = opts.obs || self.obs.is_on();
+        self.obs.begin("pipeline.estimate", "pipeline", None);
+        let mut metrics = run_composed_partitioned_opts(
             self.cfg.base,
             n_clusters,
             self.cfg.protocol,
             trained,
             partitions,
             false,
-            checkpoint,
-            resume_from,
+            &opts,
         )?;
+        self.obs.end(None);
+        self.absorb_sim_obs(&mut metrics);
         let wall = t0.elapsed();
         self.timings.large_scale_sim = wall;
         Ok(self.report_from(metrics, wall, n_clusters, None))
@@ -379,7 +409,6 @@ impl Pipeline {
     /// metrics carry the realized tier schedule in
     /// [`Metrics::tier_switches`](dcn_sim::instrument::Metrics::tier_switches).
     #[allow(clippy::too_many_arguments)]
-    #[allow(clippy::too_many_arguments)]
     pub fn try_estimate_adaptive(
         &mut self,
         trained: &TrainedMimic,
@@ -391,8 +420,33 @@ impl Pipeline {
         checkpoint: Option<&dcn_sim::pdes::CheckpointPlan>,
         resume_from: Option<&std::path::Path>,
     ) -> Result<EstimateReport, ComposeRunError> {
+        let opts = dcn_sim::pdes::PdesRunOpts {
+            checkpoint: checkpoint.cloned(),
+            resume_from: resume_from.map(std::path::Path::to_path_buf),
+            ..dcn_sim::pdes::PdesRunOpts::default()
+        };
+        self.try_estimate_adaptive_opts(trained, n_clusters, partitions, budget, plan, correction, &opts)
+    }
+
+    /// [`Pipeline::try_estimate_adaptive`] with the full
+    /// [`PdesRunOpts`](dcn_sim::pdes::PdesRunOpts) set (see
+    /// [`Pipeline::try_estimate_opts`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_estimate_adaptive_opts(
+        &mut self,
+        trained: &TrainedMimic,
+        n_clusters: u32,
+        partitions: usize,
+        budget: &AccuracyBudget,
+        plan: &dcn_sim::pdes::TierPlan,
+        correction: Option<&CorrectionHead>,
+        opts: &dcn_sim::pdes::PdesRunOpts,
+    ) -> Result<EstimateReport, ComposeRunError> {
         let t0 = Instant::now();
-        let metrics = run_composed_adaptive_checkpointed(
+        let mut opts = opts.clone();
+        opts.obs = opts.obs || self.obs.is_on();
+        self.obs.begin("pipeline.estimate", "pipeline", None);
+        let mut metrics = run_composed_adaptive_opts(
             self.cfg.base,
             n_clusters,
             self.cfg.protocol,
@@ -402,9 +456,10 @@ impl Pipeline {
             budget,
             plan,
             correction,
-            checkpoint,
-            resume_from,
+            &opts,
         )?;
+        self.obs.end(None);
+        self.absorb_sim_obs(&mut metrics);
         let wall = t0.elapsed();
         self.timings.large_scale_sim = wall;
         Ok(self.report_from(metrics, wall, n_clusters, None))

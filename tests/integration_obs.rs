@@ -131,3 +131,177 @@ fn pipeline_obs_stitches_training_and_estimation_into_one_snapshot() {
             o.iter().find(|(k, _)| k == "name").map(|(_, v)| v.as_str() == Some("pipeline.estimate"))
         }) == Some(true)));
 }
+
+#[test]
+fn flight_ring_wraps_keeping_only_the_most_recent_events() {
+    use dcn_sim::pdes::{FlightPlan, PdesRunOpts};
+    use mimicnet::compose::run_composed_partitioned_opts;
+
+    let (trained, mut base) = quick_trained();
+    base.duration_s = 0.2;
+    base.seed = 44;
+    let opts = PdesRunOpts {
+        flight: Some(FlightPlan {
+            capacity: 64,
+            ..FlightPlan::default()
+        }),
+        ..PdesRunOpts::default()
+    };
+    let m = run_composed_partitioned_opts(base, 3, Protocol::NewReno, &trained, 2, false, &opts)
+        .expect("valid composition");
+    let r = m.obs.as_ref().expect("flight ring rides in the obs report");
+    // Two LPs, 64 slots each: the retained history is bounded while the
+    // recorded-total counter keeps the true event count.
+    assert!(!r.flight.is_empty(), "ring captured events");
+    assert!(r.flight.len() <= 128, "ring bounded: {}", r.flight.len());
+    assert!(
+        r.counter("flight.recorded") > r.flight.len() as u64,
+        "ring wrapped: recorded {} kept {}",
+        r.counter("flight.recorded"),
+        r.flight.len()
+    );
+    // Retained events are the most recent ones: each LP's tail, so every
+    // kept timestamp lands in the final stretch of the run, and within an
+    // LP the order is non-decreasing in sim time.
+    let mut per_lp: std::collections::BTreeMap<u32, Vec<u64>> = Default::default();
+    for ev in &r.flight {
+        per_lp.entry(ev.lp).or_default().push(ev.sim_ns);
+    }
+    assert_eq!(per_lp.len(), 2, "both LPs recorded");
+    for (lp, times) in per_lp {
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "LP {lp} ring out of order"
+        );
+    }
+}
+
+#[test]
+fn crash_drill_dumps_flight_ring_through_atomic_write() {
+    use dcn_sim::pdes::{FlightPlan, PdesRunOpts};
+    use mimicnet::compose::run_composed_partitioned_opts;
+
+    let dir = std::env::temp_dir().join(format!("obs-crash-dump-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (trained, mut base) = quick_trained();
+    base.duration_s = 0.2;
+    base.seed = 45;
+    let opts = PdesRunOpts {
+        crash_at_window: Some(40),
+        flight: Some(FlightPlan {
+            capacity: 256,
+            dump_dir: Some(dir.clone()),
+            ..FlightPlan::default()
+        }),
+        ..PdesRunOpts::default()
+    };
+    let err =
+        match run_composed_partitioned_opts(base, 3, Protocol::NewReno, &trained, 2, false, &opts)
+        {
+            Ok(_) => panic!("crash drill must fail the run"),
+            Err(e) => e,
+        };
+    let msg = format!("{err}");
+    assert!(msg.contains("crash drill"), "typed error carries the panic: {msg}");
+
+    // The post-mortem landed as a complete JSON file (atomic_write: no
+    // truncated artifacts on the panic path) naming the reason and the
+    // ring contents.
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dump dir exists")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    assert!(!dumps.is_empty(), "at least one post-mortem file");
+    let text = std::fs::read_to_string(&dumps[0]).expect("dump readable");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("dump is complete JSON");
+    let obj = v.as_object().expect("dump is an object");
+    let reason = obj
+        .iter()
+        .find(|(k, _)| k == "reason")
+        .and_then(|(_, v)| v.as_str())
+        .expect("dump names a reason");
+    assert!(reason.contains("panic"), "reason records the panic: {reason}");
+    assert!(
+        obj.iter().any(|(k, _)| k == "flight"),
+        "dump carries the flight ring"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn digest_timeline_is_partition_count_invariant() {
+    use dcn_sim::pdes::PdesRunOpts;
+    use mimicnet::compose::run_composed_partitioned_opts;
+
+    let (trained, mut base) = quick_trained();
+    base.duration_s = 0.2;
+    for seed in [46u64, 97] {
+        base.seed = seed;
+        let timeline = |partitions: usize| {
+            let opts = PdesRunOpts {
+                digest_stride: Some(4),
+                ..PdesRunOpts::default()
+            };
+            let m = run_composed_partitioned_opts(
+                base,
+                4,
+                Protocol::NewReno,
+                &trained,
+                partitions,
+                false,
+                &opts,
+            )
+            .expect("valid composition");
+            let r = m.obs.expect("digests imply an obs report");
+            (
+                r.gauges["digest.first_window"],
+                r.digests["digest.window"].clone(),
+            )
+        };
+        let (fw1, d1) = timeline(1);
+        let (fw2, d2) = timeline(2);
+        let (fw4, d4) = timeline(4);
+        assert!(!d1.is_empty(), "seed {seed}: digests recorded");
+        assert_eq!(fw1, fw2, "seed {seed}: first window 1 vs 2 partitions");
+        assert_eq!(fw1, fw4, "seed {seed}: first window 1 vs 4 partitions");
+        assert_eq!(d1, d2, "seed {seed}: timeline 1 vs 2 partitions");
+        assert_eq!(d1, d4, "seed {seed}: timeline 1 vs 4 partitions");
+    }
+}
+
+#[test]
+fn diagnostics_do_not_perturb_the_trajectory() {
+    use dcn_sim::pdes::{FlightPlan, PdesRunOpts};
+    use mimicnet::compose::run_composed_partitioned_opts;
+
+    let (trained, mut base) = quick_trained();
+    base.duration_s = 0.2;
+    base.seed = 48;
+    let run = |opts: &PdesRunOpts| {
+        run_composed_partitioned_opts(base, 3, Protocol::NewReno, &trained, 2, false, opts)
+            .expect("valid composition")
+    };
+    let plain = run(&PdesRunOpts::default());
+    let diagnosed = run(&PdesRunOpts {
+        obs: true,
+        digest_stride: Some(1),
+        flight: Some(FlightPlan {
+            capacity: 1024,
+            ..FlightPlan::default()
+        }),
+        ..PdesRunOpts::default()
+    });
+    // Full diagnostics (timed obs + stride-1 digests + flight ring) must
+    // leave the simulated trajectory bit-identical.
+    assert_eq!(
+        plain.total_delivered_bytes(),
+        diagnosed.total_delivered_bytes()
+    );
+    assert_eq!(plain.flows_completed(), diagnosed.flows_completed());
+    assert_eq!(plain.queue_drops, diagnosed.queue_drops);
+    assert_eq!(plain.mimic_drops, diagnosed.mimic_drops);
+    for (id, rec) in &plain.flows {
+        let other = diagnosed.flows.get(id).expect("flow present in both runs");
+        assert_eq!(rec.end, other.end, "FCT mismatch for {id:?}");
+    }
+}

@@ -78,6 +78,7 @@ fn checkpointed_and_resumed_runs_are_byte_identical_across_modes() {
             let plan = CheckpointPlan {
                 dir: dir.clone(),
                 every: SimDuration::from_millis(80),
+                keep: 1,
             };
             let ckpt = composed(partitions, overlap, Some(&plan), None)
                 .unwrap_or_else(|e| panic!("{label}: checkpointed run failed: {e}"));
@@ -111,6 +112,7 @@ fn committed_part_file(tag: &str) -> (PathBuf, PathBuf) {
     let plan = CheckpointPlan {
         dir: dir.clone(),
         every: SimDuration::from_millis(80),
+        keep: 1,
     };
     composed(1, false, Some(&plan), None).expect("checkpointed run");
     let manifest = read_manifest(&dir).expect("committed manifest");
@@ -128,6 +130,7 @@ fn committed_adaptive_part_file(tag: &str) -> (PathBuf, PathBuf) {
     let plan = CheckpointPlan {
         dir: dir.clone(),
         every: SimDuration::from_millis(80),
+        keep: 1,
     };
     adaptive(Some(&plan), None).expect("adaptive checkpointed run");
     let manifest = read_manifest(&dir).expect("committed manifest");

@@ -279,6 +279,7 @@ fn checkpoint_at_tier_transition_restores_byte_identically() {
     let ckpt_plan = CheckpointPlan {
         dir: dir.clone(),
         every: stride,
+        keep: 1,
     };
     let ckpt = run(Some(&ckpt_plan), None);
     assert_eq!(
